@@ -1,0 +1,60 @@
+"""Extension: batch foreground arrivals (M/G/1-type chain).
+
+At a fixed offered job load, larger batches make arrivals burstier; this
+bench quantifies the cost on both headline metrics and times the
+Ramaswami-based solve.
+"""
+
+import numpy as np
+
+from repro.core.batch import BatchFgBgModel
+from repro.experiments.result import ExperimentResult, Series
+from repro.processes.poisson import PoissonProcess
+from repro.workloads.paper import SERVICE_RATE_PER_MS
+
+UTILIZATIONS = np.round(np.arange(0.1, 0.851, 0.15), 3)
+
+BATCHES = {
+    "batch 1": (1.0,),
+    "batch 2": (0.0, 1.0),
+    "geometric-ish 1-3": (0.5, 0.3, 0.2),
+}
+
+
+def sweep_batches() -> ExperimentResult:
+    series = []
+    for name, probs in BATCHES.items():
+        mean_batch = sum(b * q for b, q in enumerate(probs, start=1))
+        qlen = np.empty_like(UTILIZATIONS)
+        comp = np.empty_like(UTILIZATIONS)
+        for i, util in enumerate(UTILIZATIONS):
+            event_rate = util * SERVICE_RATE_PER_MS / mean_batch
+            model = BatchFgBgModel(
+                arrival=PoissonProcess(event_rate),
+                batch_probabilities=probs,
+                service_rate=SERVICE_RATE_PER_MS,
+                bg_probability=0.6,
+            )
+            s = model.solve()
+            qlen[i] = s.fg_queue_length
+            comp[i] = s.bg_completion_rate
+        series.append(Series(label=f"fg qlen | {name}", x=UTILIZATIONS.copy(), y=qlen))
+        series.append(Series(label=f"completion | {name}", x=UTILIZATIONS.copy(), y=comp))
+    return ExperimentResult(
+        experiment_id="extension-batch",
+        title="Batch arrivals at equal offered job load (Poisson events, p = 0.6)",
+        x_label="foreground utilization (jobs)",
+        y_label="metric value",
+        series=tuple(series),
+    )
+
+
+def bench_extension_batch(regenerate):
+    result = regenerate(sweep_batches)
+    q1 = result.series_by_label("fg qlen | batch 1")
+    q2 = result.series_by_label("fg qlen | batch 2")
+    c1 = result.series_by_label("completion | batch 1")
+    c2 = result.series_by_label("completion | batch 2")
+    # Burstier arrivals hurt both metrics at every load.
+    assert np.all(q2.y > q1.y)
+    assert np.all(c2.y <= c1.y + 1e-9)

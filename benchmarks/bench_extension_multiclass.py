@@ -1,0 +1,51 @@
+"""Extension: multiclass background priorities across foreground loads.
+
+Regenerates the per-class backlog/response curves of the future-work
+extension and times the (larger) multiclass QBD solve.
+"""
+
+import numpy as np
+
+from repro.core.multiclass import MulticlassFgBgModel
+from repro.experiments.result import ExperimentResult, Series
+from repro.workloads.paper import SERVICE_RATE_PER_MS, WORKLOADS
+
+UTILIZATIONS = np.round(np.arange(0.1, 0.851, 0.15), 3)
+
+
+def sweep_multiclass() -> ExperimentResult:
+    arrival = WORKLOADS["software_development"].fit()
+    resp = {0: [], 1: []}
+    backlog = {0: [], 1: []}
+    for util in UTILIZATIONS:
+        model = MulticlassFgBgModel(
+            arrival=arrival.scaled_to_utilization(util, SERVICE_RATE_PER_MS),
+            service_rate=SERVICE_RATE_PER_MS,
+            bg_probabilities=(0.3, 0.3),
+        )
+        s = model.solve()
+        for c in (0, 1):
+            resp[c].append(s.bg_response_times[c])
+            backlog[c].append(s.bg_queue_lengths[c])
+    series = []
+    for c, name in ((0, "class 1 (priority)"), (1, "class 2")):
+        series.append(
+            Series(label=f"response | {name}", x=UTILIZATIONS.copy(), y=np.array(resp[c]))
+        )
+        series.append(
+            Series(label=f"backlog | {name}", x=UTILIZATIONS.copy(), y=np.array(backlog[c]))
+        )
+    return ExperimentResult(
+        experiment_id="extension-multiclass",
+        title="Two prioritized background classes (SoftDev, p = 0.3 + 0.3)",
+        x_label="foreground utilization",
+        y_label="metric value",
+        series=tuple(series),
+    )
+
+
+def bench_extension_multiclass(regenerate):
+    result = regenerate(sweep_multiclass)
+    hi = result.series_by_label("response | class 1 (priority)")
+    lo = result.series_by_label("response | class 2")
+    assert np.all(hi.y < lo.y)  # priority wins at every load

@@ -1,0 +1,12 @@
+"""Figure 1: empirical ACF of the three (synthetic) traces + summary table."""
+
+from repro.experiments import fig1_trace_acf
+
+
+def bench_fig1_trace_acf(regenerate):
+    result = regenerate(fig1_trace_acf, samples=100_000)
+    assert len(result.series) == 3
+    # High-ACF E-mail trace clearly above the low-ACF Software Development.
+    email = result.series_by_label("E-mail")
+    softdev = result.series_by_label("Software Development")
+    assert email.y[:10].mean() > softdev.y[:10].mean()

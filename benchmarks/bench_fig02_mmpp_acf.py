@@ -1,0 +1,10 @@
+"""Figure 2: closed-form ACF of the fitted MMPP(2)s + parameter table."""
+
+from repro.experiments import fig2_mmpp_acf
+
+
+def bench_fig2_mmpp_acf(regenerate):
+    result = regenerate(fig2_mmpp_acf)
+    assert result.table[0] == ("workload", "v1", "v2", "l1", "l2")
+    email = result.series_by_label("E-mail")
+    assert 0.25 < email.y[0] < 0.35  # the paper's ~0.3 lag-1 level

@@ -1,0 +1,15 @@
+"""Figure 5: foreground queue length vs load, per background probability."""
+
+import numpy as np
+
+from repro.experiments import fig5_fg_queue_length
+
+
+def bench_fig5_fg_queue_length(regenerate):
+    result = regenerate(fig5_fg_queue_length)
+    # Sharp increase with load, near-insensitivity to p, and the high-ACF
+    # workload saturating far earlier than the low-ACF one.
+    email = result.series_by_label("E-mail High ACF | p = 0.3")
+    assert np.all(np.diff(email.y) > 0)
+    softdev = result.series_by_label("Software Dev. Low ACF | p = 0.3")
+    assert email.y[-1] > softdev.y[np.searchsorted(softdev.x, email.x[-1])]

@@ -1,0 +1,15 @@
+"""Figure 6: portion of foreground jobs delayed by background jobs."""
+
+import numpy as np
+
+from repro.experiments import fig6_fg_delayed
+
+
+def bench_fig6_fg_delayed(regenerate):
+    result = regenerate(fig6_fg_delayed)
+    # Worst case stays small, and the curve rises then falls with load.
+    worst = max(float(s.y.max()) for s in result.series)
+    assert worst < 0.15
+    s = result.series_by_label("E-mail High ACF | p = 0.9")
+    peak = int(np.argmax(s.y))
+    assert 0 < peak < len(s.y) - 1

@@ -1,0 +1,13 @@
+"""Figure 7: background completion rate vs load."""
+
+import numpy as np
+
+from repro.experiments import fig7_bg_completion
+
+
+def bench_fig7_bg_completion(regenerate):
+    result = regenerate(fig7_bg_completion)
+    for s in result.series:
+        assert np.all(np.diff(s.y) < 1e-9)  # monotone collapse with load
+    email = result.series_by_label("E-mail High ACF | p = 0.9")
+    assert email.y[-1] < 0.35

@@ -1,0 +1,12 @@
+"""Figure 8: background queue length vs load."""
+
+import numpy as np
+
+from repro.experiments import fig8_bg_queue_length
+
+
+def bench_fig8_bg_queue_length(regenerate):
+    result = regenerate(fig8_bg_queue_length)
+    for s in result.series:
+        assert np.all(s.y <= 5.0)  # bounded by the buffer
+        assert np.all(np.diff(s.y) > -1e-9)  # grows with load

@@ -1,0 +1,9 @@
+"""Figure 9: foreground queue length vs idle-wait duration."""
+
+from repro.experiments import fig9_idle_wait_fg
+
+
+def bench_fig9_idle_wait_fg(regenerate):
+    result = regenerate(fig9_idle_wait_fg)
+    for s in result.series:
+        assert s.y[-1] <= s.y[0]  # longer idle wait helps foreground

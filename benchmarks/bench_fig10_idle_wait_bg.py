@@ -1,0 +1,11 @@
+"""Figure 10: background completion rate vs idle-wait duration."""
+
+import numpy as np
+
+from repro.experiments import fig10_idle_wait_bg
+
+
+def bench_fig10_idle_wait_bg(regenerate):
+    result = regenerate(fig10_idle_wait_bg)
+    for s in result.series:
+        assert np.all(np.diff(s.y) < 0)  # longer idle wait hurts background

@@ -1,0 +1,14 @@
+"""Figure 11: FG queue length under the four dependence structures."""
+
+import numpy as np
+
+from repro.experiments import fig11_dependence_fg_qlen
+
+
+def bench_fig11_dependence_fg_qlen(regenerate):
+    result = regenerate(fig11_dependence_fg_qlen)
+    high = result.series_by_label("p = 0.3 | High ACF")
+    expo = result.series_by_label("p = 0.3 | Expo")
+    # Correlated arrivals reach at ~50% load queue lengths Poisson arrivals
+    # only reach far later -- the paper's orders-of-magnitude gap.
+    assert high.y[-1] > 10 * expo.y[np.searchsorted(expo.x, high.x[-1])]

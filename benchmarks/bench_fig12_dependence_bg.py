@@ -1,0 +1,16 @@
+"""Figure 12: BG completion rate under the four dependence structures."""
+
+import numpy as np
+
+from repro.experiments import fig12_dependence_bg_completion
+
+
+def bench_fig12_dependence_bg_completion(regenerate):
+    result = regenerate(fig12_dependence_bg_completion)
+    high = result.series_by_label("p = 0.3 | High ACF")
+    expo = result.series_by_label("p = 0.3 | Expo")
+    # Around mid load the completion gap approaches the paper's huge
+    # exponential-vs-correlated difference.
+    h = high.y[-1]
+    e = expo.y[np.searchsorted(expo.x, high.x[-1])]
+    assert e - h > 0.4

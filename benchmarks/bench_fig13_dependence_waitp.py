@@ -1,0 +1,16 @@
+"""Figure 13: fraction of FG delayed under the four dependence structures."""
+
+import numpy as np
+
+from repro.experiments import fig13_dependence_fg_delayed
+
+
+def bench_fig13_dependence_fg_delayed(regenerate):
+    result = regenerate(fig13_dependence_fg_delayed)
+    # The impact is contained in a limited range, reached earlier under
+    # correlated arrivals.
+    for s in result.series:
+        assert np.all(s.y < 0.2)
+    high = result.series_by_label("p = 0.9 | High ACF")
+    expo = result.series_by_label("p = 0.9 | Expo")
+    assert high.x[int(np.argmax(high.y))] < expo.x[int(np.argmax(expo.y))]

@@ -1,0 +1,51 @@
+"""Idle-period anatomy across loads (beyond the paper's mean metrics).
+
+Quantifies what the paper argues qualitatively: as load grows, idle
+periods shorten and more of them expire before the idle wait ever grants
+the server to background work.
+"""
+
+import numpy as np
+
+from repro.core.idle_period import analyze_idle_periods
+from repro.core.model import FgBgModel
+from repro.experiments.result import ExperimentResult, Series
+from repro.workloads.paper import SERVICE_RATE_PER_MS, WORKLOADS
+
+UTILIZATIONS = np.round(np.arange(0.1, 0.851, 0.15), 3)
+
+
+def sweep_idle_periods() -> ExperimentResult:
+    arrival = WORKLOADS["software_development"].fit()
+    lengths = np.empty_like(UTILIZATIONS)
+    completions = np.empty_like(UTILIZATIONS)
+    starved = np.empty_like(UTILIZATIONS)
+    for i, util in enumerate(UTILIZATIONS):
+        model = FgBgModel(
+            arrival=arrival.scaled_to_utilization(util, SERVICE_RATE_PER_MS),
+            service_rate=SERVICE_RATE_PER_MS,
+            bg_probability=0.6,
+        )
+        analysis = analyze_idle_periods(model)
+        lengths[i] = analysis.mean_length
+        completions[i] = analysis.mean_bg_completions
+        starved[i] = analysis.prob_no_bg_service
+    return ExperimentResult(
+        experiment_id="idle-period",
+        title="Idle-period anatomy (SoftDev, p = 0.6)",
+        x_label="foreground utilization",
+        y_label="metric value",
+        series=(
+            Series(label="mean length (ms)", x=UTILIZATIONS.copy(), y=lengths),
+            Series(label="BG completions per period", x=UTILIZATIONS.copy(), y=completions),
+            Series(label="P(no BG service starts)", x=UTILIZATIONS.copy(), y=starved),
+        ),
+    )
+
+
+def bench_idle_period_anatomy(regenerate):
+    result = regenerate(sweep_idle_periods)
+    lengths = result.series_by_label("mean length (ms)")
+    starved = result.series_by_label("P(no BG service starts)")
+    assert np.all(np.diff(lengths.y) < 0)  # idle periods shrink with load
+    assert np.all(np.diff(starved.y) > 0)  # and starve BG more often

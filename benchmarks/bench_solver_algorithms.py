@@ -1,0 +1,33 @@
+"""Performance of the three R-matrix algorithms on the paper's model.
+
+Times each algorithm end-to-end (R + boundary + metrics) at a demanding
+operating point (high load, strongly correlated arrivals -- sp(R) close
+to 1, where linear iterations slow down and logarithmic reduction shines).
+"""
+
+import pytest
+
+from repro.core.model import FgBgModel
+from repro.workloads.paper import SERVICE_RATE_PER_MS, WORKLOADS
+
+
+def make_model() -> FgBgModel:
+    arrival = WORKLOADS["email"].fit().scaled_to_utilization(
+        0.7, SERVICE_RATE_PER_MS
+    )
+    return FgBgModel(
+        arrival=arrival, service_rate=SERVICE_RATE_PER_MS, bg_probability=0.6
+    )
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["logarithmic-reduction", "natural", "functional"]
+)
+def bench_solver_algorithm(benchmark, algorithm):
+    model = make_model()
+    solution = benchmark(model.solve, algorithm=algorithm)
+    # All algorithms must land on the same answer.
+    reference = model.solve(algorithm="logarithmic-reduction")
+    assert solution.fg_queue_length == pytest.approx(
+        reference.fg_queue_length, rel=1e-6
+    )

@@ -1,0 +1,26 @@
+"""Solver cost as the background buffer (state space) grows.
+
+The repeating level has ``(2X + 1) * A`` states and the boundary
+``(X + 1)^2 * A``; this bench tracks the full solve time at X in
+{5, 10, 25, 50} to document the polynomial growth.
+"""
+
+import pytest
+
+from repro.core.model import FgBgModel
+from repro.workloads.paper import SERVICE_RATE_PER_MS, WORKLOADS
+
+
+@pytest.mark.parametrize("bg_buffer", [5, 10, 25, 50])
+def bench_solver_buffer_scaling(benchmark, bg_buffer):
+    arrival = WORKLOADS["software_development"].fit().scaled_to_utilization(
+        0.5, SERVICE_RATE_PER_MS
+    )
+    model = FgBgModel(
+        arrival=arrival,
+        service_rate=SERVICE_RATE_PER_MS,
+        bg_probability=0.6,
+        bg_buffer=bg_buffer,
+    )
+    solution = benchmark(model.solve)
+    assert 0 <= solution.bg_completion_rate <= 1

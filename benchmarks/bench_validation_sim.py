@@ -1,0 +1,54 @@
+"""Analytic solution vs discrete-event simulation, timed side by side.
+
+Prints the agreement table (the repository's stand-in for the paper's
+model-validation experiments) while measuring the simulation cost.
+"""
+
+import numpy as np
+
+from repro.core.model import FgBgModel
+from repro.sim.fgbg import FgBgSimulator
+from repro.workloads.paper import SERVICE_RATE_PER_MS, WORKLOADS
+
+METRICS = (
+    "fg_queue_length",
+    "bg_queue_length",
+    "fg_delayed_fraction",
+    "bg_completion_rate",
+    "fg_server_share",
+    "bg_server_share",
+)
+
+
+def bench_validation_against_simulation(benchmark, capsys):
+    arrival = WORKLOADS["software_development"].fit().scaled_to_utilization(
+        0.4, SERVICE_RATE_PER_MS
+    )
+    model = FgBgModel(
+        arrival=arrival, service_rate=SERVICE_RATE_PER_MS, bg_probability=0.6
+    )
+    analytic = model.solve()
+    simulator = FgBgSimulator(model)
+    simulated = benchmark.pedantic(
+        simulator.run,
+        args=(1_500_000.0, np.random.default_rng(2006)),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("== analytic vs simulation (SoftDev at 40% load, p = 0.6) ==")
+        print(f"{'metric':<24} {'analytic':>12} {'simulated':>12}")
+        for name in METRICS:
+            print(
+                f"{name:<24} {getattr(analytic, name):>12.5f} "
+                f"{getattr(simulated, name):>12.5f}"
+            )
+    for name in METRICS:
+        assert getattr(simulated, name) == pytest_approx(getattr(analytic, name))
+
+
+def pytest_approx(value: float):
+    import pytest
+
+    return pytest.approx(value, rel=0.1, abs=0.01)

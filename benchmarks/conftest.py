@@ -1,0 +1,37 @@
+"""Shared plumbing for the benchmark harness.
+
+Every ``bench_figNN_*.py`` regenerates one table/figure of the paper: the
+benchmark fixture times the computation and the resulting series are
+printed so the run log contains the same rows/curves the paper reports.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.render import render_result
+from repro.experiments.result import ExperimentResult
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Time a figure function once and print its rendered output.
+
+    The sweeps are deterministic and relatively expensive, so one round is
+    measured (pedantic mode) instead of pytest-benchmark's auto-calibrated
+    many-rounds default.
+    """
+
+    def run(figure_func, *args, **kwargs) -> ExperimentResult:
+        result = benchmark.pedantic(
+            figure_func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(render_result(result))
+        return result
+
+    return run

@@ -1,0 +1,60 @@
+"""Idle-wait policy tuning for background media scrubbing.
+
+Disk scrubbing runs during idle periods; the idle-wait timer decides how
+aggressively.  This example sweeps the idle wait from half to four mean
+service times (the paper's Figures 9-10) and reports the trade-off between
+foreground queue length and scrubbing completion, then recommends the
+shortest idle wait whose foreground penalty stays under a budget.
+
+Run:  python examples/scrubbing_policy.py
+"""
+
+from repro import FgBgModel, workloads
+
+#: Scrubbing intensity: fraction of requests that trigger a scrub job.
+SCRUB_PROBABILITY = 0.6
+
+#: Acceptable relative foreground queue-length increase over the most
+#: foreground-friendly setting in the sweep.
+FG_PENALTY_BUDGET = 0.05
+
+IDLE_WAIT_MULTIPLES = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+def main() -> None:
+    service_rate = workloads.SERVICE_RATE_PER_MS
+    base = FgBgModel(
+        arrival=workloads.email().scaled_to_utilization(0.2, service_rate),
+        service_rate=service_rate,
+        bg_probability=SCRUB_PROBABILITY,
+    )
+
+    rows = []
+    for mult in IDLE_WAIT_MULTIPLES:
+        s = base.with_idle_wait_multiple(mult).solve()
+        rows.append((mult, s.fg_queue_length, s.bg_completion_rate))
+
+    best_fg = min(r[1] for r in rows)
+    print("E-mail workload at 20% load, scrub probability "
+          f"{SCRUB_PROBABILITY:.0%}\n")
+    print(f"{'idle wait (x service)':>22} {'FG qlen':>9} {'FG penalty':>11} "
+          f"{'scrub completion':>17}")
+    recommended = None
+    for mult, qlen, comp in rows:
+        penalty = qlen / best_fg - 1.0
+        print(f"{mult:>22.1f} {qlen:>9.4f} {penalty:>11.2%} {comp:>17.2%}")
+        if recommended is None and penalty <= FG_PENALTY_BUDGET:
+            recommended = (mult, comp)
+
+    mult, comp = recommended
+    print(
+        f"\nRecommendation: idle wait = {mult:.1f}x the mean service time "
+        f"(foreground penalty <= {FG_PENALTY_BUDGET:.0%}, scrub completion "
+        f"{comp:.0%}).\nStretching the idle wait further buys almost no "
+        "foreground performance but keeps losing scrubbing throughput -- "
+        "the paper's 'keep the idle wait near one service time' guidance."
+    )
+
+
+if __name__ == "__main__":
+    main()

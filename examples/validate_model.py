@@ -1,0 +1,73 @@
+"""Validate the analytic model against the discrete-event simulator.
+
+Solves the QBD and simulates the identical system side by side for a few
+configurations (Poisson and correlated arrivals, both scheduling modes)
+and prints every shared metric with its relative deviation.
+
+Run:  python examples/validate_model.py           (~1 minute)
+      python examples/validate_model.py --fast    (noisier, ~10 s)
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import FgBgModel, workloads
+from repro.core import BgServiceMode
+from repro.processes import PoissonProcess
+from repro.sim import FgBgSimulator
+
+METRICS = (
+    "fg_queue_length",
+    "bg_queue_length",
+    "fg_delayed_fraction",
+    "bg_completion_rate",
+    "fg_server_share",
+    "bg_server_share",
+    "fg_response_time",
+)
+
+
+def cases(service_rate: float) -> dict[str, FgBgModel]:
+    email = workloads.email()
+    return {
+        "Poisson, p=0.3, 40% load": FgBgModel(
+            arrival=PoissonProcess(0.4 * service_rate),
+            service_rate=service_rate,
+            bg_probability=0.3,
+        ),
+        "E-mail MMPP, p=0.6, 30% load": FgBgModel(
+            arrival=email.scaled_to_utilization(0.3, service_rate),
+            service_rate=service_rate,
+            bg_probability=0.6,
+        ),
+        "Poisson, p=0.9, rewait mode": FgBgModel(
+            arrival=PoissonProcess(0.5 * service_rate),
+            service_rate=service_rate,
+            bg_probability=0.9,
+            bg_mode=BgServiceMode.REWAIT,
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="shorter simulations")
+    args = parser.parse_args()
+    horizon = 400_000.0 if args.fast else 3_000_000.0
+
+    service_rate = workloads.SERVICE_RATE_PER_MS
+    for name, model in cases(service_rate).items():
+        analytic = model.solve()
+        simulated = FgBgSimulator(model).run(horizon, np.random.default_rng(2006))
+        print(f"\n=== {name} (horizon {horizon:g} ms) ===")
+        print(f"{'metric':<24} {'analytic':>12} {'simulated':>12} {'rel.dev':>9}")
+        for metric in METRICS:
+            a = getattr(analytic, metric)
+            s = getattr(simulated, metric)
+            dev = abs(s - a) / a if a else 0.0
+            print(f"{metric:<24} {a:>12.5f} {s:>12.5f} {dev:>9.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""WRITE verification sizing: how much verification can a disk sustain?
+
+The paper's motivating background task is READ-after-WRITE verification:
+every verified WRITE spawns a background job with the same service demand.
+Given a workload's WRITE fraction (the spawn probability ``p``), this
+example finds the highest foreground utilization at which the disk still
+verifies a target fraction of writes (background completion rate), and
+shows how strongly the answer depends on the arrival dependence structure.
+
+Run:  python examples/write_verification.py
+"""
+
+from repro import FgBgModel, workloads
+
+#: Fraction of requests that are WRITEs needing verification.
+WRITE_FRACTION = 0.3
+
+#: Required verification coverage (admitted/spawned background jobs).
+COVERAGE_TARGET = 0.90
+
+
+def max_sustainable_load(arrival, service_rate: float, coverage: float) -> float:
+    """Largest utilization (to 1%) with bg_completion_rate >= coverage."""
+    best = 0.0
+    for util_pct in range(1, 100):
+        util = util_pct / 100.0
+        model = FgBgModel(
+            arrival=arrival.scaled_to_utilization(util, service_rate),
+            service_rate=service_rate,
+            bg_probability=WRITE_FRACTION,
+        )
+        if model.solve().bg_completion_rate >= coverage:
+            best = util
+        else:
+            break
+    return best
+
+
+def main() -> None:
+    service_rate = workloads.SERVICE_RATE_PER_MS
+    print(
+        f"WRITE fraction p = {WRITE_FRACTION:.0%}, coverage target "
+        f">= {COVERAGE_TARGET:.0%} of writes verified\n"
+    )
+    print(f"{'workload':<24} {'max sustainable load':>20}")
+    cases = {
+        "E-mail (high ACF)": workloads.email(),
+        "User Accounts": workloads.user_accounts(),
+        "Software Dev (low ACF)": workloads.software_development(),
+    }
+    for name, arrival in cases.items():
+        load = max_sustainable_load(arrival, service_rate, COVERAGE_TARGET)
+        print(f"{name:<24} {load:>20.0%}")
+
+    print(
+        "\nThe strongly correlated E-mail arrivals force a much lower load "
+        "ceiling: burstiness, not just mean load, dictates how much "
+        "verification the disk can absorb (the paper's Section 5.4 message)."
+    )
+
+
+if __name__ == "__main__":
+    main()

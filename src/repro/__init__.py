@@ -1,0 +1,58 @@
+"""repro -- performability analysis of systems with background jobs.
+
+A from-scratch reproduction of Zhang, Riska, Mi, Riedel, Smirni,
+*Evaluating the Performability of Systems with Background Jobs* (DSN 2006):
+an analytic Quasi-Birth-Death model of a storage system that serves
+foreground user requests and best-effort background jobs (e.g. WRITE
+verification), plus every substrate it needs -- Markovian arrival processes,
+a matrix-geometric QBD solver, a discrete-event simulator, vacation-model
+baselines, and a harness regenerating every figure of the paper.
+
+Quickstart::
+
+    from repro import FgBgModel, workloads
+
+    model = FgBgModel(
+        arrival=workloads.email().scaled_to_utilization(0.3, service_rate=1 / 6.0),
+        service_rate=1 / 6.0,
+        bg_probability=0.3,
+    )
+    solution = model.solve()
+    print(solution.fg_queue_length, solution.bg_completion_rate)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose the public API without importing heavy modules eagerly."""
+    import importlib
+
+    top_level = {
+        "FgBgModel": ("repro.core.model", "FgBgModel"),
+        "FgBgSolution": ("repro.core.result", "FgBgSolution"),
+        "MarkovianArrivalProcess": ("repro.processes", "MarkovianArrivalProcess"),
+        "MMPP": ("repro.processes", "MMPP"),
+        "PoissonProcess": ("repro.processes", "PoissonProcess"),
+        "InterruptedPoissonProcess": ("repro.processes", "InterruptedPoissonProcess"),
+        "PhaseType": ("repro.processes", "PhaseType"),
+        "FgBgSimulator": ("repro.sim.fgbg", "FgBgSimulator"),
+    }
+    if name in top_level:
+        module_name, attr = top_level[name]
+        return getattr(importlib.import_module(module_name), attr)
+    subpackages = {
+        "processes",
+        "markov",
+        "qbd",
+        "core",
+        "sim",
+        "vacation",
+        "workloads",
+        "experiments",
+    }
+    if name in subpackages:
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

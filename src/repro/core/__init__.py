@@ -1,0 +1,43 @@
+"""The paper's contribution: the foreground/background performability model.
+
+* :mod:`~repro.core.states` -- enumeration of the Markov chain of the
+  paper's Figure 3 (boundary levels ``0..X`` plus the repeating level).
+* :mod:`~repro.core.blocks` -- QBD generator blocks, including the MMPP/MAP
+  lifting of Figure 4 (matrices F, B, W, L of the paper's Eq. 6).
+* :mod:`~repro.core.model` -- :class:`FgBgModel`, the user-facing model.
+* :mod:`~repro.core.metrics` -- the paper's performance metrics.
+* :mod:`~repro.core.result` -- :class:`FgBgSolution`, the solved metrics.
+* :mod:`~repro.core.multiclass` -- extension: several background classes.
+"""
+
+from repro.core.batch import BatchFgBgModel, BatchFgBgSolution
+from repro.core.distributions import (
+    bg_queue_length_pmf,
+    fg_queue_length_pmf,
+    fg_queue_length_quantile,
+)
+from repro.core.idle_period import IdlePeriodAnalysis, analyze_idle_periods
+from repro.core.model import BgServiceMode, FgBgModel
+from repro.core.multiclass import MulticlassFgBgModel, MulticlassSolution
+from repro.core.ph_service import PhServiceFgBgModel, PhServiceSolution
+from repro.core.result import FgBgSolution
+from repro.core.states import StateKind, StateSpace
+
+__all__ = [
+    "BatchFgBgModel",
+    "BatchFgBgSolution",
+    "BgServiceMode",
+    "FgBgModel",
+    "FgBgSolution",
+    "IdlePeriodAnalysis",
+    "analyze_idle_periods",
+    "MulticlassFgBgModel",
+    "MulticlassSolution",
+    "PhServiceFgBgModel",
+    "PhServiceSolution",
+    "StateKind",
+    "StateSpace",
+    "bg_queue_length_pmf",
+    "fg_queue_length_pmf",
+    "fg_queue_length_quantile",
+]

@@ -1,0 +1,305 @@
+"""Extension: batch foreground arrivals (an M/G/1-type model).
+
+Storage workloads often issue requests in bursts of several I/Os (striped
+writes, read-ahead); modelling each MAP arrival event as a *batch* of
+foreground jobs turns the paper's QBD into an M/G/1-type chain -- the level
+can jump up by the batch size -- solved with
+:mod:`repro.qbd.mg1` (Ramaswami's formula).
+
+With a batch-size distribution degenerate at 1 the model coincides with
+:class:`~repro.core.model.FgBgModel` (verified in the test-suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.blocks import BgServiceMode
+from repro.core.states import StateKind, StateSpace
+from repro.processes.map_process import MarkovianArrivalProcess
+from repro.qbd.mg1 import MG1Process, MG1StationaryDistribution, solve_mg1
+
+__all__ = ["BatchFgBgModel", "BatchFgBgSolution"]
+
+
+@dataclass(frozen=True)
+class BatchFgBgSolution:
+    """Stationary metrics of the batch-arrival model."""
+
+    #: Mean number of foreground jobs in system.
+    fg_queue_length: float
+    #: Mean number of background jobs in system.
+    bg_queue_length: float
+    #: P(background job in service | foreground present).
+    fg_delayed_fraction: float
+    #: Fraction of spawned background jobs admitted.
+    bg_completion_rate: float
+    #: Fraction of time the server works on foreground jobs.
+    fg_server_share: float
+    #: Fraction of time the server works on background jobs.
+    bg_server_share: float
+    #: Mean foreground response time (Little's law over jobs).
+    fg_response_time: float
+    #: The underlying M/G/1-type solution.
+    mg1_solution: MG1StationaryDistribution
+
+
+@dataclass(frozen=True)
+class BatchFgBgModel:
+    """FG/BG model whose arrival events carry a random batch of jobs.
+
+    Parameters
+    ----------
+    arrival:
+        MAP of arrival *events* (each event delivers one batch).
+    batch_probabilities:
+        ``(q_1, ..., q_B)``: probability that an event carries ``b`` jobs;
+        must sum to 1.
+    service_rate:
+        Exponential service rate shared by all jobs.
+    bg_probability:
+        Probability that a completing foreground job spawns a background
+        job.
+    bg_buffer:
+        Background buffer size ``X >= 1``.
+    idle_wait_rate:
+        Idle-wait rate; ``None`` uses the service rate.
+    bg_mode:
+        Background scheduling within an idle period.
+    """
+
+    arrival: MarkovianArrivalProcess
+    batch_probabilities: tuple[float, ...]
+    service_rate: float
+    bg_probability: float
+    bg_buffer: int = 5
+    idle_wait_rate: float | None = None
+    bg_mode: BgServiceMode = BgServiceMode.BACK_TO_BACK
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.arrival, MarkovianArrivalProcess):
+            raise TypeError(
+                f"arrival must be a MarkovianArrivalProcess, got {type(self.arrival).__name__}"
+            )
+        probs = tuple(float(q) for q in self.batch_probabilities)
+        if not probs:
+            raise ValueError("need at least one batch-size probability")
+        if any(q < 0 for q in probs) or abs(sum(probs) - 1.0) > 1e-9:
+            raise ValueError(
+                f"batch probabilities must be non-negative and sum to 1, got {probs}"
+            )
+        object.__setattr__(self, "batch_probabilities", probs)
+        if self.service_rate <= 0:
+            raise ValueError(f"service_rate must be positive, got {self.service_rate}")
+        if not 0 < self.bg_probability <= 1:
+            raise ValueError(
+                "bg_probability must lie in (0, 1] (use FgBgModel for p = 0), "
+                f"got {self.bg_probability}"
+            )
+        if self.bg_buffer < 1:
+            raise ValueError(f"bg_buffer must be >= 1, got {self.bg_buffer}")
+        if self.idle_wait_rate is not None and self.idle_wait_rate <= 0:
+            raise ValueError(
+                f"idle_wait_rate must be positive, got {self.idle_wait_rate}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        """Expected jobs per arrival event."""
+        return float(
+            sum(b * q for b, q in enumerate(self.batch_probabilities, start=1))
+        )
+
+    @property
+    def effective_idle_wait_rate(self) -> float:
+        """The idle-wait rate actually used (defaults to ``service_rate``)."""
+        return self.service_rate if self.idle_wait_rate is None else self.idle_wait_rate
+
+    @property
+    def fg_utilization(self) -> float:
+        """Offered load: event rate x mean batch size / service rate."""
+        return self.arrival.mean_rate * self.mean_batch_size / self.service_rate
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def _space(self) -> StateSpace:
+        return StateSpace(self.bg_buffer, self.arrival.order)
+
+    @cached_property
+    def _process(self) -> MG1Process:
+        space = self._space
+        a = self.arrival.order
+        d0, d1 = self.arrival.d0, self.arrival.d1
+        eye = np.eye(a)
+        mu = self.service_rate
+        p = self.bg_probability
+        alpha = self.effective_idle_wait_rate
+        x_max = space.bg_buffer
+        back_to_back = self.bg_mode is BgServiceMode.BACK_TO_BACK
+        batches = self.batch_probabilities
+        b_max = len(batches)
+
+        n_b = space.boundary_state_count
+        m = space.repeating_state_count
+        m_g = space.repeating_group_count
+
+        def bsl(kind: StateKind, bg: int, fg: int) -> slice:
+            i = space.boundary_group_index(kind, bg, fg)
+            return slice(i * a, (i + 1) * a)
+
+        def rsl(kind: StateKind, bg: int) -> slice:
+            i = space.repeating_group_index(kind, bg)
+            return slice(i * a, (i + 1) * a)
+
+        b0 = np.zeros((n_b, n_b))
+        b_up = [np.zeros((n_b, m)) for _ in range(b_max)]  # to level 1..b_max
+        c = np.zeros((m, n_b))
+        a_local = np.zeros((m, m))
+        a_down = np.zeros((m, m))
+        a_up = [np.zeros((m, m)) for _ in range(b_max)]  # up 1..b_max levels
+
+        def add_boundary_arrival(src: slice, kind: StateKind, bg: int, fg_now: int, level: int):
+            """Arrival of each batch size from a boundary state."""
+            for b, q in enumerate(batches, start=1):
+                if q == 0:
+                    continue
+                target_level = level + b
+                rate = q * d1
+                if target_level <= x_max:
+                    b0[src, bsl(kind, bg, fg_now + b)] += rate
+                else:
+                    b_up[target_level - x_max - 1][src, rsl(kind, bg)] += rate
+
+        # ---- boundary (levels 0..X) -----------------------------------
+        for g in space.boundary_groups:
+            s = bsl(g.kind, g.bg, g.fg)
+            b0[s, s] += d0
+            if g.kind is StateKind.IDLE:
+                if g.bg >= 1:
+                    b0[s, s] -= alpha * eye
+                    b0[s, bsl(StateKind.BG, g.bg, 0)] += alpha * eye
+                # An arrival starts FG service at once: fg goes 0 -> b.
+                for b, q in enumerate(batches, start=1):
+                    if q == 0:
+                        continue
+                    target_level = g.level + b
+                    rate = q * d1
+                    if target_level <= x_max:
+                        b0[s, bsl(StateKind.FG, g.bg, b)] += rate
+                    else:
+                        b_up[target_level - x_max - 1][s, rsl(StateKind.FG, g.bg)] += rate
+            elif g.kind is StateKind.FG:
+                b0[s, s] -= mu * eye
+                add_boundary_arrival(s, StateKind.FG, g.bg, g.fg, g.level)
+                x_up = min(g.bg + 1, x_max)
+                if g.fg >= 2:
+                    b0[s, bsl(StateKind.FG, g.bg, g.fg - 1)] += mu * (1 - p) * eye
+                    b0[s, bsl(StateKind.FG, x_up, g.fg - 1)] += mu * p * eye
+                else:
+                    b0[s, bsl(StateKind.IDLE, g.bg, 0)] += mu * (1 - p) * eye
+                    b0[s, bsl(StateKind.IDLE, x_up, 0)] += mu * p * eye
+            else:
+                b0[s, s] -= mu * eye
+                add_boundary_arrival(s, StateKind.BG, g.bg, g.fg, g.level)
+                if g.fg >= 1:
+                    b0[s, bsl(StateKind.FG, g.bg - 1, g.fg)] += mu * eye
+                elif back_to_back and g.bg >= 2:
+                    b0[s, bsl(StateKind.BG, g.bg - 1, 0)] += mu * eye
+                else:
+                    b0[s, bsl(StateKind.IDLE, g.bg - 1, 0)] += mu * eye
+
+        # ---- repeating levels ------------------------------------------
+        for g in space.repeating_groups:
+            s = rsl(g.kind, g.bg)
+            a_local[s, s] += d0 - mu * eye
+            for b, q in enumerate(batches, start=1):
+                if q > 0:
+                    a_up[b - 1][s, s] += q * d1
+            if g.kind is StateKind.FG:
+                if g.bg < x_max:
+                    a_local[s, rsl(StateKind.FG, g.bg + 1)] += mu * p * eye
+                    a_down[s, rsl(StateKind.FG, g.bg)] += mu * (1 - p) * eye
+                else:
+                    a_down[s, rsl(StateKind.FG, g.bg)] += mu * eye
+            else:
+                a_down[s, rsl(StateKind.FG, g.bg - 1)] += mu * eye
+
+        # ---- level X+1 down into the boundary --------------------------
+        for g in space.repeating_groups:
+            s = rsl(g.kind, g.bg)
+            y = x_max + 1 - g.bg
+            if g.kind is StateKind.FG:
+                if g.bg < x_max:
+                    c[s, bsl(StateKind.FG, g.bg, y - 1)] += mu * (1 - p) * eye
+                else:
+                    c[s, bsl(StateKind.IDLE, x_max, 0)] += mu * eye
+            else:
+                c[s, bsl(StateKind.FG, g.bg - 1, y)] += mu * eye
+
+        return MG1Process(
+            boundary_blocks=tuple([b0] + b_up),
+            down_block=c,
+            repeating_blocks=tuple([a_down, a_local] + a_up),
+        )
+
+    # ------------------------------------------------------------------
+    def solve(self, tail_tol: float = 1e-14) -> BatchFgBgSolution:
+        """Solve the batch-arrival model and return its metrics."""
+        if self.fg_utilization >= 1.0:
+            raise ValueError(
+                f"model is unstable: foreground utilization "
+                f"{self.fg_utilization:.4g} >= 1"
+            )
+        sol = solve_mg1(self._process, tail_tol=tail_tol)
+        return self._metrics(sol)
+
+    def _metrics(self, sol: MG1StationaryDistribution) -> BatchFgBgSolution:
+        space = self._space
+        a = space.phases
+        x_max = space.bg_buffer
+        mu = self.service_rate
+        p = self.bg_probability
+        job_rate = self.arrival.mean_rate * self.mean_batch_size
+
+        pi_b = sol.boundary
+        fg_mask_b = space.boundary_kind_mask(StateKind.FG)
+        bg_mask_b = space.boundary_kind_mask(StateKind.BG)
+        blocked_b = space.boundary_bg_busy_fg_waiting_mask
+        fg_mask_r = space.repeating_kind_mask(StateKind.FG)
+        bg_mask_r = space.repeating_kind_mask(StateKind.BG)
+        full_r = space.repeating_bg_full_fg_mask
+        x_r = space.repeating_bg_counts
+
+        prob_fg = float(pi_b @ fg_mask_b)
+        prob_bg = float(pi_b @ bg_mask_b)
+        prob_full = 0.0
+        fg_qlen = float(pi_b @ space.boundary_fg_counts)
+        bg_qlen = float(pi_b @ space.boundary_bg_counts)
+        delayed = float(pi_b @ blocked_b)
+        fg_present = float(pi_b @ (fg_mask_b + blocked_b))
+        for k in range(1, sol.computed_levels + 1):
+            level = sol.level(k)
+            prob_fg += float(level @ fg_mask_r)
+            prob_bg += float(level @ bg_mask_r)
+            prob_full += float(level @ full_r)
+            fg_qlen += float(level @ (x_max + k - x_r))
+            bg_qlen += float(level @ x_r)
+            delayed += float(level @ bg_mask_r)
+            fg_present += float(level.sum())
+
+        return BatchFgBgSolution(
+            fg_queue_length=fg_qlen,
+            bg_queue_length=bg_qlen,
+            fg_delayed_fraction=delayed / fg_present if fg_present > 0 else 0.0,
+            bg_completion_rate=(
+                1.0 - prob_full / prob_fg if prob_fg > 0 else float("nan")
+            ),
+            fg_server_share=prob_fg,
+            bg_server_share=prob_bg,
+            fg_response_time=fg_qlen / job_rate,
+            mg1_solution=sol,
+        )

@@ -1,0 +1,190 @@
+"""QBD generator blocks of the foreground/background model.
+
+Implements the chain of the paper's Figure 3, lifted to MAP arrivals as in
+Figure 4 / Eq. (6): the scalar arrival rate ``lambda`` becomes the matrix
+``F = D1``, local phase moves come from ``L`` (the off-diagonal of ``D0``,
+whose diagonal is carried inside each group's local block), service is
+``B = mu * I`` and the idle-wait timer ``W = alpha * I``.
+
+Transitions (``X`` = background buffer, ``x+ = min(x+1, X)``):
+
+=================  ===========================================================
+state              transitions
+=================  ===========================================================
+``I(0)``           ``D1 -> F(0, 1)``
+``I(x), x >= 1``   ``D1 -> F(x, 1)``; ``alpha -> B(x, 0)``
+``F(x, y)``        ``D1 -> F(x, y+1)``;
+                   ``mu(1-p) -> F(x, y-1)`` or ``I(x)`` when ``y = 1``;
+                   ``mu p -> F(x+, y-1)`` or ``I(x+)`` when ``y = 1``
+``B(x, y)``        ``D1 -> B(x, y+1)``;
+                   ``mu -> F(x-1, y)`` when ``y >= 1``; when ``y = 0``:
+                   ``back_to_back``: ``B(x-1, 0)`` (or ``I(0)`` if ``x = 1``);
+                   ``rewait``: ``I(x-1)``
+=================  ===========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.states import StateKind, StateSpace
+from repro.processes.map_process import MarkovianArrivalProcess
+from repro.qbd.structure import QBDProcess
+
+__all__ = ["BgServiceMode", "build_qbd"]
+
+
+class BgServiceMode(enum.Enum):
+    """How background jobs are scheduled within an idle period.
+
+    ``BACK_TO_BACK``
+        Once the idle wait has expired, queued background jobs are served
+        consecutively until a foreground job arrives or the queue drains
+        (the common disk-firmware behaviour; the default).
+    ``REWAIT``
+        Every background job requires a fresh idle-wait grant; after each
+        background completion with no foreground work present the system
+        returns to the idle-wait state.
+    """
+
+    BACK_TO_BACK = "back_to_back"
+    REWAIT = "rewait"
+
+
+def build_qbd(
+    arrival: MarkovianArrivalProcess,
+    service_rate: float,
+    bg_probability: float,
+    bg_buffer: int,
+    idle_wait_rate: float,
+    bg_mode: BgServiceMode = BgServiceMode.BACK_TO_BACK,
+) -> tuple[QBDProcess, StateSpace]:
+    """Assemble the QBD blocks of the FG/BG chain.
+
+    Returns the validated :class:`~repro.qbd.structure.QBDProcess` together
+    with the :class:`~repro.core.states.StateSpace` that indexes it.
+    """
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be positive, got {service_rate}")
+    if not 0 <= bg_probability <= 1:
+        raise ValueError(f"bg_probability must lie in [0, 1], got {bg_probability}")
+    if idle_wait_rate <= 0:
+        raise ValueError(f"idle_wait_rate must be positive, got {idle_wait_rate}")
+    if not isinstance(bg_mode, BgServiceMode):
+        raise TypeError(f"bg_mode must be a BgServiceMode, got {bg_mode!r}")
+
+    space = StateSpace(bg_buffer, arrival.order)
+    a = arrival.order
+    d0, d1 = arrival.d0, arrival.d1
+    eye = np.eye(a)
+    mu = float(service_rate)
+    p = float(bg_probability)
+    alpha = float(idle_wait_rate)
+    x_max = space.bg_buffer
+
+    n_b = space.boundary_state_count
+    m = space.repeating_state_count
+    b00 = np.zeros((n_b, n_b))
+    b01 = np.zeros((n_b, m))
+    b10 = np.zeros((m, n_b))
+
+    def bsl(kind: StateKind, bg: int, fg: int) -> slice:
+        i = space.boundary_group_index(kind, bg, fg)
+        return slice(i * a, (i + 1) * a)
+
+    def rsl(kind: StateKind, bg: int) -> slice:
+        i = space.repeating_group_index(kind, bg)
+        return slice(i * a, (i + 1) * a)
+
+    # ------------------------------------------------------------------
+    # Boundary (levels 0..X) and its up-transitions into level X+1
+    # ------------------------------------------------------------------
+    for g in space.boundary_groups:
+        s = bsl(g.kind, g.bg, g.fg)
+        b00[s, s] += d0
+        if g.kind is StateKind.IDLE:
+            if g.bg >= 1:
+                b00[s, s] -= alpha * eye
+                b00[s, bsl(StateKind.BG, g.bg, 0)] += alpha * eye
+            if g.level + 1 <= x_max:
+                b00[s, bsl(StateKind.FG, g.bg, 1)] += d1
+            else:  # only I(X) reaches the repeating portion on an arrival
+                b01[s, rsl(StateKind.FG, g.bg)] += d1
+        elif g.kind is StateKind.FG:
+            b00[s, s] -= mu * eye
+            if g.level + 1 <= x_max:
+                b00[s, bsl(StateKind.FG, g.bg, g.fg + 1)] += d1
+            else:
+                b01[s, rsl(StateKind.FG, g.bg)] += d1
+            # Completion without a spawned background job.
+            if g.fg >= 2:
+                b00[s, bsl(StateKind.FG, g.bg, g.fg - 1)] += mu * (1 - p) * eye
+            else:
+                b00[s, bsl(StateKind.IDLE, g.bg, 0)] += mu * (1 - p) * eye
+            # Completion that spawns a background job (boundary FG states
+            # always have bg <= X-1, so the spawn is never dropped here).
+            if p > 0:
+                x_up = min(g.bg + 1, x_max)
+                if g.fg >= 2:
+                    b00[s, bsl(StateKind.FG, x_up, g.fg - 1)] += mu * p * eye
+                else:
+                    b00[s, bsl(StateKind.IDLE, x_up, 0)] += mu * p * eye
+        else:  # BG in service
+            b00[s, s] -= mu * eye
+            if g.level + 1 <= x_max:
+                b00[s, bsl(StateKind.BG, g.bg, g.fg + 1)] += d1
+            else:
+                b01[s, rsl(StateKind.BG, g.bg)] += d1
+            if g.fg >= 1:
+                b00[s, bsl(StateKind.FG, g.bg - 1, g.fg)] += mu * eye
+            elif bg_mode is BgServiceMode.BACK_TO_BACK and g.bg >= 2:
+                b00[s, bsl(StateKind.BG, g.bg - 1, 0)] += mu * eye
+            else:
+                b00[s, bsl(StateKind.IDLE, g.bg - 1, 0)] += mu * eye
+
+    # ------------------------------------------------------------------
+    # Repeating blocks (levels j >= X+1); at level j the FG count of group
+    # (kind, x) is j - x >= 1.
+    # ------------------------------------------------------------------
+    m_g = space.repeating_group_count
+    a0 = np.kron(np.eye(m_g), d1)
+    a1 = np.zeros((m, m))
+    a2 = np.zeros((m, m))
+    for g in space.repeating_groups:
+        s = rsl(g.kind, g.bg)
+        a1[s, s] += d0 - mu * eye
+        if g.kind is StateKind.FG:
+            if g.bg < x_max:
+                if p > 0:
+                    a1[s, rsl(StateKind.FG, g.bg + 1)] += mu * p * eye
+                a2[s, rsl(StateKind.FG, g.bg)] += mu * (1 - p) * eye
+            else:
+                # Full buffer: a spawned background job is dropped, so every
+                # completion simply steps the level down.
+                a2[s, rsl(StateKind.FG, g.bg)] += mu * eye
+        else:
+            a2[s, rsl(StateKind.FG, g.bg - 1)] += mu * eye
+
+    # ------------------------------------------------------------------
+    # Special down-block from level X+1 into the boundary level X: the
+    # FG completions with y = 1 land on idle-wait states.
+    # ------------------------------------------------------------------
+    for g in space.repeating_groups:
+        s = rsl(g.kind, g.bg)
+        y = x_max + 1 - g.bg  # FG count at level X+1
+        if g.kind is StateKind.FG:
+            if g.bg < x_max:
+                b10[s, bsl(StateKind.FG, g.bg, y - 1)] += mu * (1 - p) * eye
+                # The mu*p spawn stays within level X+1 (handled in a1),
+                # because y - 1 >= 1 here.
+            else:
+                # F(X, 1): whether or not a (dropped) spawn occurs, the
+                # system empties of FG work and starts an idle wait.
+                b10[s, bsl(StateKind.IDLE, x_max, 0)] += mu * eye
+        else:
+            b10[s, bsl(StateKind.FG, g.bg - 1, y)] += mu * eye
+
+    qbd = QBDProcess(b00=b00, b01=b01, b10=b10, a0=a0, a1=a1, a2=a2)
+    return qbd, space

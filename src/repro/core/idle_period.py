@@ -1,0 +1,176 @@
+"""Idle-period analysis of the FG/BG model.
+
+The paper reasons about idle periods qualitatively ("a background job will
+get served only ... during idle periods", "background tasks do not start
+service immediately after the end of a foreground busy period").  This
+module makes that reasoning quantitative: an *idle period* is a maximal
+interval with no foreground job in the system; during it the chain moves
+through the idle-wait states ``I(x)`` and background-serving states
+``B(x, 0)``, and it ends at the next foreground arrival.
+
+Treating the arrival as absorption yields closed forms via the fundamental
+matrix ``(-T)^{-1}``:
+
+* the mean idle-period length (equals the mean time to the next arrival
+  from the phase mix at busy-period ends -- independent of background
+  dynamics, a useful consistency check);
+* the expected number of background completions *within* an idle period
+  (a background job cut short by an arrival finishes during the following
+  busy period, outside the idle window);
+* the probability that no background job even starts during an idle
+  period (the idle wait outlives it).
+
+Consistency: (background completions per idle period) x (idle-period rate)
+equals ``mu * P(background serving, no foreground present)``, and
+``rate * mean_length`` equals ``P(no foreground in system)``; the
+test-suite verifies both against the stationary solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import BgServiceMode
+from repro.core.model import FgBgModel
+from repro.core.result import FgBgSolution
+from repro.core.states import StateKind
+from repro.markov.deviation import fundamental_matrix
+
+__all__ = ["IdlePeriodAnalysis", "analyze_idle_periods"]
+
+
+@dataclass(frozen=True)
+class IdlePeriodAnalysis:
+    """Closed-form descriptors of the model's idle periods."""
+
+    #: Idle periods started per unit time.
+    rate: float
+    #: Mean length of an idle period.
+    mean_length: float
+    #: Expected background completions within an idle period.
+    mean_bg_completions: float
+    #: Probability that no background job starts during an idle period
+    #: (the next foreground arrival beats the idle-wait timer, or no
+    #: background work is buffered at all).
+    prob_no_bg_service: float
+    #: Long-run fraction of time the system is idle of foreground work.
+    idle_fraction: float
+
+
+def analyze_idle_periods(
+    model: FgBgModel, solution: FgBgSolution | None = None
+) -> IdlePeriodAnalysis:
+    """Analyze the idle periods of a (stable) FG/BG model.
+
+    Parameters
+    ----------
+    model:
+        The model to analyze.
+    solution:
+        An existing solve of the same model, to avoid recomputing it.
+    """
+    if solution is None:
+        solution = model.solve()
+    space = model.state_space
+    arrival = model.arrival
+    a = arrival.order
+    d0, d1 = arrival.d0, arrival.d1
+    eye = np.eye(a)
+    mu = model.service_rate
+    p = model.bg_probability
+    alpha = model.effective_idle_wait_rate
+    x_max = space.bg_buffer
+    back_to_back = model.bg_mode is BgServiceMode.BACK_TO_BACK
+
+    # --- absorbing chain over the idle states -------------------------
+    # Order: I(0..X), then B(1..X) (the y = 0 background-serving states).
+    idle_states = [(StateKind.IDLE, x) for x in range(x_max + 1)] + [
+        (StateKind.BG, x) for x in range(1, x_max + 1)
+    ]
+    index = {s: i for i, s in enumerate(idle_states)}
+    n = len(idle_states) * a
+
+    def sl(kind: StateKind, x: int) -> slice:
+        i = index[(kind, x)]
+        return slice(i * a, (i + 1) * a)
+
+    t = np.zeros((n, n))
+    bg_completion_rates = np.zeros(n)
+    for kind, x in idle_states:
+        s = sl(kind, x)
+        t[s, s] += d0  # arrivals (D1) absorb: only D0 stays internal
+        if kind is StateKind.IDLE:
+            if x >= 1:
+                t[s, s] -= alpha * eye
+                t[s, sl(StateKind.BG, x)] += alpha * eye
+        else:
+            t[s, s] -= mu * eye
+            bg_completion_rates[s] = mu
+            if back_to_back and x >= 2:
+                t[s, sl(StateKind.BG, x - 1)] += mu * eye
+            else:
+                t[s, sl(StateKind.IDLE, x - 1)] += mu * eye
+
+    # --- entry distribution: flows into I(x) at busy-period ends ------
+    # A foreground completion with y = 1 in F(x, 1) enters I(x) at rate
+    # mu(1-p) and I(min(x+1, X)) at rate mu*p, carrying its arrival phase.
+    qbd_solution = solution.qbd_solution
+    pi_b = qbd_solution.boundary
+    entry = np.zeros(n)
+    for g in space.boundary_groups:
+        if g.kind is not StateKind.FG or g.fg != 1:
+            continue
+        i = space.boundary_group_index(g.kind, g.bg, g.fg)
+        mass = pi_b[i * a : (i + 1) * a]
+        entry[sl(StateKind.IDLE, g.bg)] += mu * (1 - p) * mass
+        if p > 0:
+            entry[sl(StateKind.IDLE, min(g.bg + 1, x_max))] += mu * p * mass
+    # F(X, 1) lives in the first repeating level and drops its spawn.
+    level1 = qbd_solution.level(1)
+    i = space.repeating_group_index(StateKind.FG, x_max)
+    entry[sl(StateKind.IDLE, x_max)] += mu * level1[i * a : (i + 1) * a]
+
+    rate = float(entry.sum())
+    if rate <= 0:
+        raise ValueError(
+            "no idle periods occur (is the model saturated or degenerate?)"
+        )
+    entry_dist = entry / rate
+
+    # --- fundamental-matrix metrics ------------------------------------
+    fundamental = fundamental_matrix(t)
+    mean_length = float(entry_dist @ fundamental @ np.ones(n))
+    mean_bg = float(entry_dist @ fundamental @ bg_completion_rates)
+
+    # P(no background job even starts): restrict to the idle-wait states
+    # I(x) with two absorbing exits -- the foreground arrival (rates D1 e)
+    # vs the idle-wait expiry (rate alpha, only when work is buffered).
+    # An entry at I(0) can never start a background job (nothing is
+    # buffered, and none arrives while the system is idle of FG work).
+    n_i = (x_max + 1) * a
+    t_wait = np.zeros((n_i, n_i))
+    wait_rates = np.zeros(n_i)
+    for x in range(x_max + 1):
+        s = slice(x * a, (x + 1) * a)
+        t_wait[s, s] += d0
+        if x >= 1:
+            t_wait[s, s] -= alpha * eye
+            wait_rates[s] = alpha
+    arrival_rates = np.tile(d1 @ np.ones(a), x_max + 1)
+    from repro.markov.deviation import absorption_probabilities
+
+    absorb = absorption_probabilities(
+        t_wait, np.column_stack([arrival_rates, wait_rates])
+    )
+    entry_i = entry_dist[:n_i]  # idle states precede B states in the layout
+    prob_no_bg = float(entry_i @ absorb[:, 0])
+
+    return IdlePeriodAnalysis(
+        rate=rate,
+        mean_length=mean_length,
+        mean_bg_completions=mean_bg,
+        prob_no_bg_service=prob_no_bg,
+        idle_fraction=rate * mean_length,
+    )

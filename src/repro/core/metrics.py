@@ -1,0 +1,125 @@
+"""Computation of the paper's metrics from the QBD stationary distribution.
+
+The closed-form tail sums of the matrix-geometric solution make every metric
+exact: with ``pi_k = pi_1 R^{k-1}``,
+
+* ``sum_k pi_k = pi_1 (I-R)^{-1}`` and
+* ``sum_k k pi_k = pi_1 (I-R)^{-2}``
+
+give queue lengths; restriction masks over the state space give the
+conditional probabilities behind ``WaitP_FG`` and ``Comp_BG``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import FgBgSolution
+from repro.core.states import StateKind, StateSpace
+from repro.processes.map_process import MarkovianArrivalProcess
+from repro.qbd.stationary import QBDStationaryDistribution
+
+__all__ = ["compute_metrics"]
+
+
+def _phase_rate_mass(
+    pi: np.ndarray, mask: np.ndarray, d1: np.ndarray, phases: int
+) -> float:
+    """``sum over masked states of pi D1 e``, i.e. the arrival rate
+    experienced while the chain sits in the masked states."""
+    rate_per_phase = d1 @ np.ones(phases)
+    return float((pi * mask) @ np.tile(rate_per_phase, pi.shape[0] // phases))
+
+
+def compute_metrics(
+    space: StateSpace,
+    qbd_solution: QBDStationaryDistribution,
+    arrival: MarkovianArrivalProcess,
+    service_rate: float,
+    bg_probability: float,
+) -> FgBgSolution:
+    """Evaluate all model metrics from a solved QBD."""
+    pi_b = qbd_solution.boundary
+    rep_mass = qbd_solution.repeating_mass
+    rep_weighted = qbd_solution.repeating_level_weighted
+    x_max = space.bg_buffer
+    mu = float(service_rate)
+    p = float(bg_probability)
+    lam = arrival.mean_rate
+
+    fg_mask_b = space.boundary_kind_mask(StateKind.FG)
+    bg_mask_b = space.boundary_kind_mask(StateKind.BG)
+    idle_mask_b = space.boundary_kind_mask(StateKind.IDLE)
+    fg_mask_r = space.repeating_kind_mask(StateKind.FG)
+    bg_mask_r = space.repeating_kind_mask(StateKind.BG)
+
+    prob_fg_serving = float(pi_b @ fg_mask_b + rep_mass @ fg_mask_r)
+    prob_bg_serving = float(pi_b @ bg_mask_b + rep_mass @ bg_mask_r)
+    prob_idle = float(pi_b @ idle_mask_b)
+
+    # Mean queue lengths.  In a repeating level k (physical level X + k) a
+    # state of group bg-count x holds y = X + k - x foreground jobs.
+    x_r = space.repeating_bg_counts
+    fg_qlen = float(
+        pi_b @ space.boundary_fg_counts
+        + rep_mass @ (x_max - x_r)
+        + rep_weighted.sum()
+    )
+    bg_qlen = float(pi_b @ space.boundary_bg_counts + rep_mass @ x_r)
+
+    # WaitP_FG: P(BG holds the server | FG present).  In the repeating
+    # portion every state has y >= 1.
+    delayed_num = float(
+        pi_b @ space.boundary_bg_busy_fg_waiting_mask + rep_mass @ bg_mask_r
+    )
+    fg_present = float(
+        pi_b @ (fg_mask_b + space.boundary_bg_busy_fg_waiting_mask)
+        + rep_mass.sum()
+    )
+    fg_delayed_fraction = delayed_num / fg_present if fg_present > 0 else 0.0
+
+    # Arrival-average variant: fraction of FG arrivals that occur while a
+    # background job holds the server (those arrivals must wait behind it).
+    d1 = arrival.d1
+    a = space.phases
+    arrivals_into_bg = _phase_rate_mass(pi_b, bg_mask_b, d1, a) + _phase_rate_mass(
+        rep_mass, bg_mask_r, d1, a
+    )
+    fg_arrival_delayed_fraction = arrivals_into_bg / lam
+
+    # Comp_BG: background jobs are spawned at rate mu*p in every FG-serving
+    # state and dropped exactly in the FG states with a full buffer (which
+    # exist only in the repeating portion).
+    prob_fg_full = float(rep_mass @ space.repeating_bg_full_fg_mask)
+    if p > 0 and prob_fg_serving > 0:
+        bg_completion_rate = 1.0 - prob_fg_full / prob_fg_serving
+    else:
+        bg_completion_rate = float("nan")
+
+    bg_spawn_rate = mu * p * prob_fg_serving
+    bg_drop_rate = mu * p * prob_fg_full
+    bg_throughput = mu * prob_bg_serving
+    fg_throughput = mu * prob_fg_serving
+
+    fg_response_time = fg_qlen / lam
+    bg_accept_rate = bg_spawn_rate - bg_drop_rate
+    bg_response_time = bg_qlen / bg_accept_rate if bg_accept_rate > 0 else float("nan")
+
+    return FgBgSolution(
+        fg_queue_length=fg_qlen,
+        bg_queue_length=bg_qlen,
+        fg_delayed_fraction=fg_delayed_fraction,
+        fg_arrival_delayed_fraction=fg_arrival_delayed_fraction,
+        bg_completion_rate=bg_completion_rate,
+        fg_server_share=prob_fg_serving,
+        bg_server_share=prob_bg_serving,
+        idle_probability=prob_idle,
+        fg_throughput=fg_throughput,
+        bg_throughput=bg_throughput,
+        bg_spawn_rate=bg_spawn_rate,
+        bg_drop_rate=bg_drop_rate,
+        fg_response_time=fg_response_time,
+        bg_response_time=bg_response_time,
+        fg_utilization=lam / mu,
+        qbd_solution=qbd_solution,
+    )

@@ -1,0 +1,47 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each ``figN`` function in :mod:`~repro.experiments.figures` reproduces one
+figure of the paper's evaluation (Section 5) and returns an
+:class:`~repro.experiments.result.ExperimentResult` whose series carry the
+same x-axis and the same one-curve-per-parameter structure as the original
+plot.  :mod:`~repro.experiments.render` prints them as ASCII tables/charts,
+and ``python -m repro.experiments <fig1|...|fig13|all>`` runs them from the
+command line.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    fig1_trace_acf,
+    fig2_mmpp_acf,
+    fig5_fg_queue_length,
+    fig6_fg_delayed,
+    fig7_bg_completion,
+    fig8_bg_queue_length,
+    fig9_idle_wait_fg,
+    fig10_idle_wait_bg,
+    fig11_dependence_fg_qlen,
+    fig12_dependence_bg_completion,
+    fig13_dependence_fg_delayed,
+)
+from repro.experiments.render import render_result
+from repro.experiments.tables import figure1_table, figure2_table
+
+__all__ = [
+    "ExperimentResult",
+    "ALL_FIGURES",
+    "fig1_trace_acf",
+    "fig2_mmpp_acf",
+    "fig5_fg_queue_length",
+    "fig6_fg_delayed",
+    "fig7_bg_completion",
+    "fig8_bg_queue_length",
+    "fig9_idle_wait_fg",
+    "fig10_idle_wait_bg",
+    "fig11_dependence_fg_qlen",
+    "fig12_dependence_bg_completion",
+    "fig13_dependence_fg_delayed",
+    "render_result",
+    "figure1_table",
+    "figure2_table",
+]

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+Since the harness runs in terminals and CI logs, figures are rendered as
+aligned value tables (one column per series, rows over the x grid) plus the
+embedded parameter tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["render_result", "render_table"]
+
+
+def render_table(rows: tuple[tuple[str, ...], ...]) -> str:
+    """Align a header-plus-rows table into fixed-width columns."""
+    if not rows:
+        return ""
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = []
+    for idx, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _format_value(v: float) -> str:
+    if math.isnan(v):
+        return "nan"
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 1e-3:
+        return f"{v:.3e}"
+    return f"{v:.4f}"
+
+
+def render_result(result: ExperimentResult, max_rows: int = 30) -> str:
+    """Render one experiment as text: title, tables, and series values."""
+    out = [f"== {result.experiment_id}: {result.title} =="]
+    if result.notes:
+        out.append(f"   ({result.notes})")
+    if result.table:
+        out.append("")
+        out.append(render_table(result.table))
+    if result.series:
+        # Group series that share an x grid into one table each.
+        remaining = list(result.series)
+        while remaining:
+            x = remaining[0].x
+            group = [s for s in remaining if np.array_equal(s.x, x)]
+            remaining = [s for s in remaining if not np.array_equal(s.x, x)]
+            header = (result.x_label, *(s.label for s in group))
+            stride = max(1, len(x) // max_rows)
+            rows = [header]
+            for i in range(0, len(x), stride):
+                rows.append(
+                    (
+                        _format_value(float(x[i])),
+                        *(_format_value(float(s.y[i])) for s in group),
+                    )
+                )
+            out.append("")
+            out.append(f"[{result.y_label}]")
+            out.append(render_table(tuple(rows)))
+    return "\n".join(out)

@@ -1,0 +1,63 @@
+"""Container for one reproduced figure/table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "Series"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One curve of a figure: matched x and y arrays."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError(
+                f"series {self.label!r}: x and y must be equal-length 1-D "
+                f"arrays, got {x.shape} and {y.shape}"
+            )
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A reproduced figure: labelled series over a shared x-axis meaning."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    notes: str = ""
+    #: Optional preformatted table rows (e.g. the Figure 1/2 parameter
+    #: tables): a header tuple followed by value tuples.
+    table: tuple[tuple[str, ...], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.series and not self.table:
+            raise ValueError(f"experiment {self.experiment_id}: no data")
+
+    def series_by_label(self, label: str) -> Series:
+        """Look up one curve by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r} in {self.experiment_id}; "
+            f"have {[s.label for s in self.series]}"
+        )
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Labels of all series, in display order."""
+        return tuple(s.label for s in self.series)

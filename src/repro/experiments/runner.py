@@ -1,0 +1,57 @@
+"""Command-line entry point: regenerate paper figures from the terminal."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.render import render_result
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run ``python -m repro.experiments <figure...|all>``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Regenerate the tables and figures of 'Evaluating the "
+            "Performability of Systems with Background Jobs' (DSN 2006)."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        metavar="FIGURE",
+        help=f"figure ids ({', '.join(ALL_FIGURES)}) or 'all'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use a smaller sample size for the trace-based Figure 1",
+    )
+    args = parser.parse_args(argv)
+
+    requested = list(ALL_FIGURES) if "all" in args.figures else args.figures
+    unknown = [f for f in requested if f not in ALL_FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(ALL_FIGURES)} or 'all'"
+        )
+
+    for name in requested:
+        func = ALL_FIGURES[name]
+        if name == "fig1" and args.fast:
+            result = func(samples=20_000)
+        else:
+            result = func()
+        print(render_result(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

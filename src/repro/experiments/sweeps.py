@@ -1,0 +1,70 @@
+"""Parameter-sweep helpers shared by the figure reproductions."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.model import FgBgModel
+from repro.core.result import FgBgSolution
+from repro.experiments.result import Series
+from repro.processes.map_process import MarkovianArrivalProcess
+from repro.workloads.paper import SERVICE_RATE_PER_MS
+
+__all__ = ["load_sweep_series", "idle_wait_sweep_series", "BG_PROBABILITIES"]
+
+#: The background loads the paper sweeps (Figures 5-8 legends).
+BG_PROBABILITIES = (0.0, 0.1, 0.3, 0.6, 0.9)
+
+
+def load_sweep_series(
+    arrival: MarkovianArrivalProcess,
+    utilizations: Sequence[float],
+    bg_probabilities: Sequence[float],
+    metric: Callable[[FgBgSolution], float],
+    service_rate: float = SERVICE_RATE_PER_MS,
+    **model_kwargs,
+) -> list[Series]:
+    """One curve per background probability; x = foreground utilization."""
+    out: list[Series] = []
+    utils = np.asarray(list(utilizations), dtype=float)
+    for p in bg_probabilities:
+        values = np.empty_like(utils)
+        for i, util in enumerate(utils):
+            model = FgBgModel(
+                arrival=arrival.scaled_to_utilization(util, service_rate),
+                service_rate=service_rate,
+                bg_probability=p,
+                **model_kwargs,
+            )
+            values[i] = metric(model.solve())
+        out.append(Series(label=f"p = {p:g}", x=utils.copy(), y=values))
+    return out
+
+
+def idle_wait_sweep_series(
+    arrival: MarkovianArrivalProcess,
+    idle_wait_multiples: Sequence[float],
+    bg_probabilities: Sequence[float],
+    metric: Callable[[FgBgSolution], float],
+    service_rate: float = SERVICE_RATE_PER_MS,
+    **model_kwargs,
+) -> list[Series]:
+    """One curve per background probability; x = idle wait in multiples of
+    the mean service time (Figures 9-10)."""
+    out: list[Series] = []
+    multiples = np.asarray(list(idle_wait_multiples), dtype=float)
+    for p in bg_probabilities:
+        values = np.empty_like(multiples)
+        for i, mult in enumerate(multiples):
+            model = FgBgModel(
+                arrival=arrival,
+                service_rate=service_rate,
+                bg_probability=p,
+                idle_wait_rate=service_rate / mult,
+                **model_kwargs,
+            )
+            values[i] = metric(model.solve())
+        out.append(Series(label=f"p = {p:g}", x=multiples.copy(), y=values))
+    return out

@@ -1,0 +1,67 @@
+"""Closed-form stationary analysis of finite birth-death chains.
+
+These closed forms serve as independent oracles for the generic stationary
+solvers and for M/M/1-type sanity checks in the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["birth_death_stationary", "birth_death_generator"]
+
+
+def birth_death_stationary(
+    birth_rates: Sequence[float], death_rates: Sequence[float]
+) -> np.ndarray:
+    """Stationary distribution of a finite birth-death chain.
+
+    Parameters
+    ----------
+    birth_rates:
+        ``lambda_0 .. lambda_{n-1}`` -- rate from state i to i+1.
+    death_rates:
+        ``mu_1 .. mu_n`` -- rate from state i to i-1.
+
+    Returns
+    -------
+    numpy.ndarray
+        Stationary probabilities over states ``0..n``.
+    """
+    birth = np.asarray(birth_rates, dtype=float)
+    death = np.asarray(death_rates, dtype=float)
+    if birth.shape != death.shape:
+        raise ValueError(
+            f"need as many death as birth rates, got {birth.shape} and {death.shape}"
+        )
+    if np.any(birth < 0) or np.any(death <= 0):
+        raise ValueError("birth rates must be >= 0 and death rates > 0")
+    # pi_k proportional to prod_{i<k} birth_i / death_{i+1}; computed in log
+    # space to survive long chains with extreme rate ratios.
+    with np.errstate(divide="ignore"):
+        log_ratios = np.log(birth) - np.log(death)
+    log_pi = np.concatenate([[0.0], np.cumsum(log_ratios)])
+    log_pi -= log_pi.max()
+    pi = np.exp(log_pi)
+    return pi / pi.sum()
+
+
+def birth_death_generator(
+    birth_rates: Sequence[float], death_rates: Sequence[float]
+) -> np.ndarray:
+    """Dense generator matrix of the finite birth-death chain."""
+    birth = np.asarray(birth_rates, dtype=float)
+    death = np.asarray(death_rates, dtype=float)
+    if birth.shape != death.shape:
+        raise ValueError(
+            f"need as many death as birth rates, got {birth.shape} and {death.shape}"
+        )
+    n = birth.shape[0] + 1
+    q = np.zeros((n, n))
+    for i in range(n - 1):
+        q[i, i + 1] = birth[i]
+        q[i + 1, i] = death[i]
+    np.fill_diagonal(q, -q.sum(axis=1))
+    return q

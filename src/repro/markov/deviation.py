@@ -1,0 +1,80 @@
+"""Deviation matrix and absorbing-chain utilities of finite CTMCs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.generator import validate_generator
+from repro.markov.stationary import stationary_distribution
+
+__all__ = [
+    "deviation_matrix",
+    "fundamental_matrix",
+    "mean_absorption_times",
+    "absorption_probabilities",
+]
+
+
+def deviation_matrix(q: np.ndarray) -> np.ndarray:
+    """Deviation matrix ``D = integral_0^inf (e^{Qt} - e pi) dt``.
+
+    Equals ``(e pi - Q)^{-1} - e pi`` for an irreducible generator ``Q``
+    with stationary vector ``pi``.  Central to counting-process second
+    moments and asymptotic variance formulas.
+    """
+    q = validate_generator(q)
+    pi = stationary_distribution(q)
+    e_pi = np.outer(np.ones(q.shape[0]), pi)
+    return np.linalg.inv(e_pi - q) - e_pi
+
+
+def fundamental_matrix(t: np.ndarray) -> np.ndarray:
+    """Fundamental matrix ``(-T)^{-1}`` of a transient generator ``T``.
+
+    Entry ``(i, j)`` is the expected total time spent in transient state
+    ``j`` before absorption, starting from ``i``.
+    """
+    t = np.asarray(t, dtype=float)
+    if t.ndim != 2 or t.shape[0] != t.shape[1]:
+        raise ValueError(f"T must be square, got shape {t.shape}")
+    try:
+        return np.linalg.inv(-t)
+    except np.linalg.LinAlgError as exc:
+        raise ValueError("T is singular: absorption is not certain") from exc
+
+
+def mean_absorption_times(t: np.ndarray) -> np.ndarray:
+    """Expected time to absorption from each transient state."""
+    n = fundamental_matrix(t)
+    return n @ np.ones(n.shape[0])
+
+
+def absorption_probabilities(t: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Probability of absorbing into each absorbing state.
+
+    Parameters
+    ----------
+    t:
+        Transient generator (``n x n``).
+    r:
+        Rates from transient states into the absorbing states
+        (``n x k``); together each row of ``[T | R]`` must sum to zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``n x k`` matrix whose rows are probability vectors.
+    """
+    t = np.asarray(t, dtype=float)
+    r = np.asarray(r, dtype=float)
+    if r.ndim != 2 or r.shape[0] != t.shape[0]:
+        raise ValueError(
+            f"R must have one row per transient state, got {r.shape} for order {t.shape[0]}"
+        )
+    if np.any(r < 0):
+        raise ValueError("absorption rates must be non-negative")
+    rows = t.sum(axis=1) + r.sum(axis=1)
+    if np.any(np.abs(rows) > 1e-8 * max(1.0, float(np.abs(t).max()))):
+        raise ValueError("rows of [T | R] must sum to zero")
+    b = fundamental_matrix(t) @ r
+    return b

@@ -1,0 +1,85 @@
+"""Validation and elementary transforms of CTMC generator matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "validate_generator",
+    "is_generator",
+    "embedded_dtmc",
+    "uniformization_rate",
+]
+
+#: Default absolute tolerance for row sums and sign checks.
+DEFAULT_ATOL = 1e-9
+
+
+def validate_generator(q: np.ndarray, atol: float = DEFAULT_ATOL) -> np.ndarray:
+    """Check that ``q`` is a CTMC generator and return it as a float array.
+
+    A generator has non-negative off-diagonal entries, non-positive diagonal
+    entries and (numerically) zero row sums.
+
+    Raises
+    ------
+    ValueError
+        With a description of the first violated property.
+    """
+    q = np.asarray(q, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise ValueError(f"generator must be a square matrix, got shape {q.shape}")
+    off = q - np.diag(np.diag(q))
+    if np.any(off < -atol):
+        i, j = np.unravel_index(np.argmin(off), off.shape)
+        raise ValueError(f"negative off-diagonal rate q[{i},{j}] = {q[i, j]}")
+    if np.any(np.diag(q) > atol):
+        i = int(np.argmax(np.diag(q)))
+        raise ValueError(f"positive diagonal entry q[{i},{i}] = {q[i, i]}")
+    # Row-sum tolerance scales with the magnitude of the rates involved so
+    # that chains with very large rates (fast modulation) still validate.
+    scale = np.maximum(np.abs(np.diag(q)), 1.0)
+    row_sums = q.sum(axis=1)
+    if np.any(np.abs(row_sums) > atol * scale * q.shape[0]):
+        i = int(np.argmax(np.abs(row_sums) / scale))
+        raise ValueError(f"row {i} of generator sums to {row_sums[i]}, expected 0")
+    return q
+
+
+def is_generator(q: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return True when ``q`` is a valid CTMC generator."""
+    try:
+        validate_generator(q, atol=atol)
+    except ValueError:
+        return False
+    return True
+
+
+def embedded_dtmc(q: np.ndarray) -> np.ndarray:
+    """Jump-chain transition matrix of the CTMC with generator ``q``.
+
+    Absorbing states (zero exit rate) become self-loops.
+    """
+    q = validate_generator(q)
+    exit_rates = -np.diag(q)
+    p = np.zeros_like(q)
+    for i in range(q.shape[0]):
+        if exit_rates[i] > 0:
+            p[i] = q[i] / exit_rates[i]
+            p[i, i] = 0.0
+        else:
+            p[i, i] = 1.0
+    return p
+
+
+def uniformization_rate(q: np.ndarray, slack: float = 1.02) -> float:
+    """A uniformization constant ``Lambda >= max_i |q_ii|``.
+
+    ``slack`` > 1 keeps the uniformized DTMC aperiodic even for chains whose
+    jump chain is periodic.
+    """
+    q = validate_generator(q)
+    lam = float(np.max(-np.diag(q)))
+    if lam == 0.0:
+        return 1.0
+    return lam * slack

@@ -1,0 +1,69 @@
+"""Markovian arrival processes and phase-type distributions.
+
+This package provides the stochastic-process substrate of the library:
+
+* :class:`~repro.processes.map_process.MarkovianArrivalProcess` -- the MAP
+  base class, characterised by two matrices ``(D0, D1)``.
+* :class:`~repro.processes.mmpp.MMPP` -- Markov-Modulated Poisson Processes,
+  the arrival model used throughout the paper.
+* :class:`~repro.processes.poisson.PoissonProcess` and
+  :class:`~repro.processes.ipp.InterruptedPoissonProcess` -- the comparator
+  processes of the paper's Section 5.4.
+* :class:`~repro.processes.ph.PhaseType` -- phase-type distributions used by
+  the simulator and the PH-service model extension.
+* :mod:`~repro.processes.fitting` -- moment/autocorrelation matching.
+* :mod:`~repro.processes.statistics` -- empirical estimators (ACF, CV).
+* :mod:`~repro.processes.sampling` -- random sample-path generation.
+"""
+
+from repro.processes.map_process import MarkovianArrivalProcess
+from repro.processes.mmpp import MMPP
+from repro.processes.poisson import PoissonProcess
+from repro.processes.ipp import InterruptedPoissonProcess
+from repro.processes.ph import PhaseType
+from repro.processes.fitting import (
+    fit_h2_balanced,
+    fit_ipp,
+    fit_mmpp2,
+    fit_mmpp2_acf,
+    fit_mmpp2_from_trace,
+    fit_mmpp2_paper,
+    max_acf1_slow_switching,
+)
+from repro.processes.statistics import (
+    autocorrelation,
+    coefficient_of_variation,
+    describe_sample,
+)
+from repro.processes.sampling import MAPSampler
+from repro.processes.counting import (
+    counting_mean,
+    counting_variance,
+    empirical_idc,
+    idc_limit,
+    index_of_dispersion,
+)
+
+__all__ = [
+    "MarkovianArrivalProcess",
+    "MMPP",
+    "PoissonProcess",
+    "InterruptedPoissonProcess",
+    "PhaseType",
+    "fit_h2_balanced",
+    "fit_ipp",
+    "fit_mmpp2",
+    "fit_mmpp2_acf",
+    "fit_mmpp2_from_trace",
+    "fit_mmpp2_paper",
+    "max_acf1_slow_switching",
+    "autocorrelation",
+    "coefficient_of_variation",
+    "describe_sample",
+    "MAPSampler",
+    "counting_mean",
+    "counting_variance",
+    "empirical_idc",
+    "idc_limit",
+    "index_of_dispersion",
+]

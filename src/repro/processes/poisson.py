@@ -1,0 +1,36 @@
+"""The Poisson process as a degenerate (order-1) MAP."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.processes.map_process import MarkovianArrivalProcess
+
+__all__ = ["PoissonProcess"]
+
+
+class PoissonProcess(MarkovianArrivalProcess):
+    """Poisson process with the given rate, as a MAP of order 1.
+
+    Used as the independent-arrivals comparator in the paper's Section 5.4
+    (labelled "Expo") and as the sanity-check case in which the full
+    foreground/background model must collapse to M/M/1 results.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        super().__init__(np.array([[-rate]]), np.array([[rate]]))
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        """Arrival rate."""
+        return self._rate
+
+    @classmethod
+    def _from_matrices(cls, d0: np.ndarray, d1: np.ndarray) -> "PoissonProcess":
+        return cls(float(d1[0, 0]))
+
+    def __repr__(self) -> str:
+        return f"PoissonProcess(rate={self._rate:.6g})"

@@ -1,0 +1,92 @@
+"""Random sample-path generation for MAPs.
+
+Generates arrival streams by simulating the underlying phase process.  Used
+to create the synthetic traces behind Figure 1 and to drive the
+discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.processes.map_process import MarkovianArrivalProcess
+
+__all__ = ["MAPSampler"]
+
+
+class MAPSampler:
+    """Stateful generator of arrivals from a MAP.
+
+    Parameters
+    ----------
+    process:
+        The MAP to sample from.
+    rng:
+        A numpy random generator.
+    initial_phase:
+        Starting phase; by default drawn from the embedded (post-arrival)
+        stationary distribution so that the generated inter-arrival sequence
+        is stationary from the first sample.
+    """
+
+    def __init__(
+        self,
+        process: MarkovianArrivalProcess,
+        rng: np.random.Generator,
+        initial_phase: int | None = None,
+    ) -> None:
+        self._process = process
+        self._rng = rng
+        order = process.order
+        d0 = process.d0
+        d1 = process.d1
+        self._exit_rates = -np.diag(d0)
+        if np.any(self._exit_rates <= 0):
+            raise ValueError("every phase must have a positive total event rate")
+        # Event kind/target distribution per phase. Events are encoded as
+        # columns [0, order): phase change without arrival (to that phase),
+        # [order, 2*order): arrival moving to phase (column - order).
+        probs = np.empty((order, 2 * order))
+        hidden = d0 - np.diag(np.diag(d0))
+        probs[:, :order] = hidden / self._exit_rates[:, None]
+        probs[:, order:] = d1 / self._exit_rates[:, None]
+        # Normalize defensively against round-off.
+        probs /= probs.sum(axis=1, keepdims=True)
+        self._event_probs = probs
+        if initial_phase is None:
+            self._phase = int(rng.choice(order, p=process.embedded_stationary))
+        else:
+            if not 0 <= initial_phase < order:
+                raise ValueError(f"initial_phase {initial_phase} out of range 0..{order - 1}")
+            self._phase = initial_phase
+
+    @property
+    def phase(self) -> int:
+        """Current phase of the modulating chain."""
+        return self._phase
+
+    def next_interarrival(self) -> float:
+        """Time until the next arrival from the current state."""
+        elapsed = 0.0
+        order = self._process.order
+        while True:
+            elapsed += self._rng.exponential(1.0 / self._exit_rates[self._phase])
+            event = int(self._rng.choice(2 * order, p=self._event_probs[self._phase]))
+            if event < order:
+                self._phase = event
+            else:
+                self._phase = event - order
+                return elapsed
+
+    def interarrival_times(self, n: int) -> np.ndarray:
+        """Generate ``n`` consecutive inter-arrival times."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        out = np.empty(n)
+        for i in range(n):
+            out[i] = self.next_interarrival()
+        return out
+
+    def arrival_times(self, n: int) -> np.ndarray:
+        """Generate the first ``n`` absolute arrival epochs (starting at 0)."""
+        return np.cumsum(self.interarrival_times(n))

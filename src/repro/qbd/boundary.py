@@ -1,0 +1,71 @@
+"""Boundary linear system of a QBD.
+
+Given R, the unknowns are the boundary vector ``pi_0`` and the first
+repeating-level vector ``pi_1``; they satisfy
+
+* ``pi_0 B00 + pi_1 B10 = 0``
+* ``pi_0 B01 + pi_1 (A1 + R A2) = 0``
+* ``pi_0 e + pi_1 (I - R)^{-1} e = 1``
+
+(the higher levels follow geometrically and their balance equations hold by
+construction of R).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qbd.structure import QBDProcess
+
+__all__ = ["solve_boundary"]
+
+
+def solve_boundary(
+    qbd: QBDProcess, r: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve for ``(pi_0, pi_1)`` given the rate matrix ``R``.
+
+    Returns
+    -------
+    tuple
+        ``pi_0`` of length ``qbd.boundary_size`` and ``pi_1`` of length
+        ``qbd.phase_count``, jointly normalized with the geometric tail.
+    """
+    n_b, m = qbd.boundary_size, qbd.phase_count
+    r = np.asarray(r, dtype=float)
+    if r.shape != (m, m):
+        raise ValueError(f"R must have shape {(m, m)}, got {r.shape}")
+
+    # Balance equations, written column-wise: unknown row vector
+    # x = [pi_0, pi_1] satisfies x M = 0 with
+    #     M = [[B00, B01], [B10, A1 + R A2]].
+    big = np.zeros((n_b + m, n_b + m))
+    big[:n_b, :n_b] = qbd.b00
+    big[:n_b, n_b:] = qbd.b01
+    big[n_b:, :n_b] = qbd.b10
+    big[n_b:, n_b:] = qbd.a1 + r @ qbd.a2
+
+    tail_weights = np.linalg.solve(np.eye(m) - r, np.ones(m))
+    norm_row = np.concatenate([np.ones(n_b), tail_weights])
+
+    a = big.T.copy()
+    # Replace the balance equation with the largest diagonal magnitude --
+    # dropping one equation keeps the system determined and well scaled.
+    drop = int(np.argmax(np.abs(np.diag(big))))
+    a[drop, :] = norm_row
+    rhs = np.zeros(n_b + m)
+    rhs[drop] = 1.0
+    try:
+        x = np.linalg.solve(a, rhs)
+    except np.linalg.LinAlgError:
+        x, *_ = np.linalg.lstsq(a, rhs, rcond=None)
+
+    if np.any(x < -1e-8 * max(1.0, float(np.abs(x).max()))):
+        raise ValueError(
+            f"boundary solve produced a significantly negative probability "
+            f"({x.min():.3g}); the QBD blocks are likely inconsistent"
+        )
+    x = np.clip(x, 0.0, None)
+    total = x[:n_b].sum() + x[n_b:] @ tail_weights
+    x /= total
+    return x[:n_b], x[n_b:]

@@ -1,0 +1,291 @@
+"""R- and G-matrix algorithms for QBD processes.
+
+``R`` is the minimal non-negative solution of ``A0 + R A1 + R^2 A2 = 0``;
+``G`` the minimal non-negative solution of ``A2 + A1 G + A0 G^2 = 0``.
+Three algorithms are provided:
+
+* functional iteration on R (Neuts' classic fixed point) -- simple,
+  linearly convergent;
+* "natural" U-based iteration on G -- linearly convergent with better
+  constants;
+* logarithmic reduction on G (Latouche & Ramaswami 1993) -- quadratically
+  convergent, the default.
+
+All operate on the CTMC (generator) form of the blocks.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.markov.stationary import stationary_distribution
+
+__all__ = [
+    "drift",
+    "is_stable",
+    "r_matrix",
+    "r_matrix_functional_iteration",
+    "r_matrix_natural_iteration",
+    "r_matrix_logarithmic_reduction",
+    "r_matrix_from_g",
+    "g_matrix_logarithmic_reduction",
+]
+
+DEFAULT_TOL = 1e-12
+DEFAULT_MAX_ITER = 2_000_000
+
+
+class QBDConvergenceError(RuntimeError):
+    """Raised when an R/G iteration fails to converge."""
+
+
+def _closed_classes(a: np.ndarray) -> list[np.ndarray]:
+    """Indices of the closed communicating classes of generator ``a``.
+
+    A closed class is a strongly connected component with no transition
+    leaving it; the long-run phase process lives on these classes only.
+    """
+    scale = max(float(np.max(np.abs(np.diag(a)))), 1.0)
+    adjacency = (a > 1e-14 * scale)
+    np.fill_diagonal(adjacency, False)
+    graph = nx.from_numpy_array(adjacency, create_using=nx.DiGraph)
+    closed = []
+    for component in nx.strongly_connected_components(graph):
+        indices = np.fromiter(component, dtype=int)
+        outside = np.setdiff1d(np.arange(a.shape[0]), indices)
+        if outside.size == 0 or not np.any(adjacency[np.ix_(indices, outside)]):
+            closed.append(np.sort(indices))
+    return closed
+
+
+def drift(a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> float:
+    """Mean drift of the repeating portion: ``theta A0 e - theta A2 e``.
+
+    ``theta`` is the stationary vector of the phase generator
+    ``A = A0 + A1 + A2``.  Negative drift means the level process tends
+    down, i.e. the QBD is positive recurrent (stable).
+
+    The phase generator may be *reducible* (in the FG/BG model the
+    background-serving groups are transient within a level, and with
+    several background classes every full-buffer occupancy forms its own
+    closed class).  The drift is then evaluated per closed communicating
+    class and the worst (largest) value is returned: the QBD is stable iff
+    the level process drifts down from every class the phases can settle
+    into.
+    """
+    a0 = np.asarray(a0, float)
+    a2 = np.asarray(a2, float)
+    a = a0 + np.asarray(a1, float) + a2
+    classes = _closed_classes(a)
+    if not classes:
+        raise ValueError("phase process A0+A1+A2 has no closed class")
+    e = np.ones(a.shape[0])
+    up = a0 @ e
+    down = a2 @ e
+    worst = -np.inf
+    for indices in classes:
+        sub = a[np.ix_(indices, indices)]
+        theta = stationary_distribution(sub, method="gth" if sub.shape[0] > 1 else "dense")
+        value = float(theta @ up[indices] - theta @ down[indices])
+        worst = max(worst, value)
+    return worst
+
+
+def is_stable(a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> bool:
+    """True when the QBD with these repeating blocks is positive recurrent."""
+    return drift(a0, a1, a2) < 0.0
+
+
+def r_matrix_functional_iteration(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> np.ndarray:
+    """Neuts' fixed-point iteration ``R <- -(A0 + R^2 A2) A1^{-1}``.
+
+    Converges monotonically from ``R = 0`` to the minimal solution.
+    """
+    a0 = np.asarray(a0, float)
+    a1 = np.asarray(a1, float)
+    a2 = np.asarray(a2, float)
+    inv_neg_a1 = np.linalg.inv(-a1)
+    r = np.zeros_like(a0)
+    for _ in range(max_iter):
+        r_next = (a0 + r @ r @ a2) @ inv_neg_a1
+        delta = float(np.max(np.abs(r_next - r)))
+        r = r_next
+        if delta < tol:
+            return r
+    raise QBDConvergenceError(
+        f"functional iteration did not converge in {max_iter} iterations "
+        f"(last delta {delta:.3g}); is the QBD stable?"
+    )
+
+
+def g_matrix_natural_iteration(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> np.ndarray:
+    """U-based iteration ``G <- (-(A1 + A0 G))^{-1} A2``."""
+    a0 = np.asarray(a0, float)
+    a1 = np.asarray(a1, float)
+    a2 = np.asarray(a2, float)
+    g = np.zeros_like(a0)
+    for _ in range(max_iter):
+        g_next = np.linalg.solve(-(a1 + a0 @ g), a2)
+        delta = float(np.max(np.abs(g_next - g)))
+        g = g_next
+        if delta < tol:
+            return g
+    raise QBDConvergenceError(
+        f"natural iteration did not converge in {max_iter} iterations "
+        f"(last delta {delta:.3g}); is the QBD stable?"
+    )
+
+
+def g_matrix_logarithmic_reduction(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = 64,
+) -> np.ndarray:
+    """Logarithmic reduction (Latouche & Ramaswami), quadratic convergence.
+
+    Operates on the uniformized/probabilistic form: with
+    ``H = (-A1)^{-1} A0`` (up) and ``L = (-A1)^{-1} A2`` (down),
+
+    iterate ``U = H L + L H``; ``H <- (I-U)^{-1} H^2``;
+    ``L <- (I-U)^{-1} L^2``; accumulating ``G += T L`` with ``T`` the
+    product of the successive ``H`` factors.
+    """
+    a0 = np.asarray(a0, float)
+    a1 = np.asarray(a1, float)
+    a2 = np.asarray(a2, float)
+    m = a0.shape[0]
+    inv_neg_a1 = np.linalg.inv(-a1)
+    h = inv_neg_a1 @ a0
+    low = inv_neg_a1 @ a2
+    g = low.copy()
+    t = h.copy()
+    ones = np.ones(m)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for _ in range(max_iter):
+            u = h @ low + low @ h
+            m_inv = np.linalg.inv(np.eye(m) - u)
+            h = m_inv @ (h @ h)
+            low = m_inv @ (low @ low)
+            g += t @ low
+            t = t @ h
+            if not np.all(np.isfinite(g)):
+                raise QBDConvergenceError(
+                    "logarithmic reduction overflowed (nearly decomposable "
+                    "phase process); use the natural or functional iteration"
+                )
+            if float(np.max(np.abs(ones - g @ ones))) < tol:
+                return g
+    raise QBDConvergenceError(
+        f"logarithmic reduction did not converge in {max_iter} doublings; "
+        "is the QBD stable and irreducible?"
+    )
+
+
+def r_matrix_from_g(
+    a0: np.ndarray, a1: np.ndarray, a2: np.ndarray, g: np.ndarray
+) -> np.ndarray:
+    """Recover ``R = A0 (-(A1 + A0 G))^{-1}`` from the G matrix."""
+    a0 = np.asarray(a0, float)
+    u = np.asarray(a1, float) + a0 @ np.asarray(g, float)
+    return a0 @ np.linalg.inv(-u)
+
+
+def r_matrix_logarithmic_reduction(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = DEFAULT_TOL,
+) -> np.ndarray:
+    """R via logarithmic reduction of G (the recommended default)."""
+    g = g_matrix_logarithmic_reduction(a0, a1, a2, tol=tol)
+    return r_matrix_from_g(a0, a1, a2, g)
+
+
+def r_matrix_natural_iteration(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = DEFAULT_TOL,
+) -> np.ndarray:
+    """R via the U-based natural iteration on G."""
+    g = g_matrix_natural_iteration(a0, a1, a2, tol=tol)
+    return r_matrix_from_g(a0, a1, a2, g)
+
+
+_ALGORITHMS = {
+    "logarithmic-reduction": r_matrix_logarithmic_reduction,
+    "natural": r_matrix_natural_iteration,
+    "functional": r_matrix_functional_iteration,
+}
+
+
+def r_matrix(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    algorithm: str = "logarithmic-reduction",
+    tol: float = DEFAULT_TOL,
+) -> np.ndarray:
+    """Minimal non-negative solution of ``A0 + R A1 + R^2 A2 = 0``.
+
+    Parameters
+    ----------
+    algorithm:
+        One of ``"logarithmic-reduction"`` (default, quadratic),
+        ``"natural"`` or ``"functional"``.
+
+    Raises
+    ------
+    ValueError
+        For an unknown algorithm name or an unstable QBD.
+    QBDConvergenceError
+        If the iteration fails to converge.
+    """
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
+        )
+    if not is_stable(a0, a1, a2):
+        raise ValueError(
+            f"QBD is not positive recurrent (drift {drift(a0, a1, a2):.6g} >= 0); "
+            "the stationary distribution does not exist"
+        )
+    try:
+        r = _ALGORITHMS[algorithm](a0, a1, a2, tol=tol)
+    except QBDConvergenceError:
+        # Nearly decomposable phase processes can overflow logarithmic
+        # reduction; the linearly convergent iterations are slower but
+        # unconditionally monotone, so fall back before giving up.
+        # Functional iteration first: cheapest per step and monotone.
+        order = ["functional", "natural", "logarithmic-reduction"]
+        fallbacks = [_ALGORITHMS[n] for n in order if n != algorithm]
+        r = None
+        for fallback in fallbacks:
+            try:
+                r = fallback(a0, a1, a2, tol=tol)
+                break
+            except QBDConvergenceError:
+                continue
+        if r is None:
+            raise
+    # Clip round-off negatives; R must be entrywise non-negative.
+    if np.any(r < -1e-9):
+        raise QBDConvergenceError(
+            f"computed R has a significantly negative entry ({r.min():.3g})"
+        )
+    return np.clip(r, 0.0, None)

@@ -1,0 +1,117 @@
+"""Stationary distribution of a QBD with closed-form level sums."""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.qbd.boundary import solve_boundary
+from repro.qbd.rmatrix import r_matrix
+from repro.qbd.structure import QBDProcess
+
+__all__ = ["QBDStationaryDistribution", "solve_qbd"]
+
+
+class QBDStationaryDistribution:
+    """Stationary distribution ``(pi_0, pi_1 R^{k-1})`` of a QBD.
+
+    Provides the closed-form sums used by all model metrics:
+
+    * total repeating mass ``sum_{k>=1} pi_k = pi_1 (I-R)^{-1}``,
+    * level-weighted mass ``sum_{k>=1} k pi_k = pi_1 (I-R)^{-2}``,
+
+    plus per-level access and tail sums for diagnostics.
+    """
+
+    def __init__(self, qbd: QBDProcess, r: np.ndarray, pi_boundary: np.ndarray, pi_first: np.ndarray) -> None:
+        self._qbd = qbd
+        self._r = np.asarray(r, dtype=float)
+        self._pi_boundary = np.asarray(pi_boundary, dtype=float)
+        self._pi_first = np.asarray(pi_first, dtype=float)
+
+    @property
+    def qbd(self) -> QBDProcess:
+        """The process this distribution solves."""
+        return self._qbd
+
+    @property
+    def r(self) -> np.ndarray:
+        """The rate matrix R."""
+        return self._r
+
+    @property
+    def boundary(self) -> np.ndarray:
+        """Stationary probabilities of the boundary states."""
+        return self._pi_boundary
+
+    @cached_property
+    def _inv_i_minus_r(self) -> np.ndarray:
+        return np.linalg.inv(np.eye(self._r.shape[0]) - self._r)
+
+    def level(self, k: int) -> np.ndarray:
+        """Stationary probabilities of repeating level ``k`` (k >= 1)."""
+        if k < 1:
+            raise ValueError(f"repeating levels are numbered from 1, got {k}")
+        return self._pi_first @ np.linalg.matrix_power(self._r, k - 1)
+
+    @cached_property
+    def repeating_mass(self) -> np.ndarray:
+        """``sum_{k>=1} pi_k`` -- total phase mass of the repeating portion."""
+        return self._pi_first @ self._inv_i_minus_r
+
+    @cached_property
+    def repeating_level_weighted(self) -> np.ndarray:
+        """``sum_{k>=1} k pi_k = pi_1 (I-R)^{-2}``."""
+        return self._pi_first @ self._inv_i_minus_r @ self._inv_i_minus_r
+
+    def tail_mass(self, from_level: int) -> np.ndarray:
+        """``sum_{k>=from_level} pi_k`` for ``from_level >= 1``."""
+        if from_level < 1:
+            raise ValueError(f"from_level must be >= 1, got {from_level}")
+        power = np.linalg.matrix_power(self._r, from_level - 1)
+        return self._pi_first @ power @ self._inv_i_minus_r
+
+    @cached_property
+    def total_mass(self) -> float:
+        """Should equal 1; exposed for diagnostics."""
+        return float(self._pi_boundary.sum() + self.repeating_mass.sum())
+
+    @cached_property
+    def spectral_radius(self) -> float:
+        """Spectral radius of R (the geometric tail decay rate)."""
+        return float(np.max(np.abs(np.linalg.eigvals(self._r))))
+
+    def residual(self, levels: int = 6) -> float:
+        """Max balance-equation residual over the boundary and the first
+        ``levels`` repeating levels -- a solution-quality diagnostic."""
+        qbd = self._qbd
+        res = self._pi_boundary @ qbd.b00 + self.level(1) @ qbd.b10
+        worst = float(np.max(np.abs(res)))
+        res = self._pi_boundary @ qbd.b01 + self.level(1) @ qbd.a1 + self.level(2) @ qbd.a2
+        worst = max(worst, float(np.max(np.abs(res))))
+        for k in range(2, levels + 1):
+            res = (
+                self.level(k - 1) @ qbd.a0
+                + self.level(k) @ qbd.a1
+                + self.level(k + 1) @ qbd.a2
+            )
+            worst = max(worst, float(np.max(np.abs(res))))
+        return worst
+
+    def __repr__(self) -> str:
+        return (
+            f"QBDStationaryDistribution(boundary_mass={self._pi_boundary.sum():.6g}, "
+            f"spectral_radius={self.spectral_radius:.6g})"
+        )
+
+
+def solve_qbd(
+    qbd: QBDProcess,
+    algorithm: str = "logarithmic-reduction",
+    tol: float = 1e-12,
+) -> QBDStationaryDistribution:
+    """Solve a QBD end to end: R matrix, boundary system, stationary object."""
+    r = r_matrix(qbd.a0, qbd.a1, qbd.a2, algorithm=algorithm, tol=tol)
+    pi_boundary, pi_first = solve_boundary(qbd, r)
+    return QBDStationaryDistribution(qbd, r, pi_boundary, pi_first)

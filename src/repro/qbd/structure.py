@@ -1,0 +1,163 @@
+"""Block structure of a QBD process with a general finite boundary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["QBDProcess"]
+
+_ATOL = 1e-8
+
+
+@dataclass(frozen=True)
+class QBDProcess:
+    """A QBD defined by its repeating blocks and boundary blocks.
+
+    The boundary portion may aggregate several "physical" levels into one
+    block of ``boundary_size`` states (as the foreground/background model
+    does with its tree-like levels ``0..X``); the repeating portion has
+    ``phase_count`` states per level.
+
+    Attributes
+    ----------
+    b00:
+        Transitions within the boundary (``n_b x n_b``), including its
+        diagonal.
+    b01:
+        Transitions from the boundary up into the first repeating level
+        (``n_b x m``).
+    b10:
+        Transitions from the first repeating level down into the boundary
+        (``m x n_b``).  May differ from ``a2`` (in the paper's model the
+        first down-step lands on idle-wait states that exist only in the
+        boundary).
+    a0:
+        Level-up transitions within the repeating portion (``m x m``).
+    a1:
+        Within-level transitions of the repeating portion, including the
+        diagonal (``m x m``).
+    a2:
+        Level-down transitions within the repeating portion (``m x m``).
+    """
+
+    b00: np.ndarray
+    b01: np.ndarray
+    b10: np.ndarray
+    a0: np.ndarray
+    a1: np.ndarray
+    a2: np.ndarray
+
+    def __post_init__(self) -> None:
+        b00 = np.asarray(self.b00, dtype=float)
+        b01 = np.asarray(self.b01, dtype=float)
+        b10 = np.asarray(self.b10, dtype=float)
+        a0 = np.asarray(self.a0, dtype=float)
+        a1 = np.asarray(self.a1, dtype=float)
+        a2 = np.asarray(self.a2, dtype=float)
+        for name, block in (("b00", b00), ("a1", a1)):
+            if block.ndim != 2 or block.shape[0] != block.shape[1]:
+                raise ValueError(f"{name} must be square, got shape {block.shape}")
+        n_b = b00.shape[0]
+        m = a1.shape[0]
+        expected = {"b01": (n_b, m), "b10": (m, n_b), "a0": (m, m), "a2": (m, m)}
+        for name, shape in expected.items():
+            block = {"b01": b01, "b10": b10, "a0": a0, "a2": a2}[name]
+            if block.shape != shape:
+                raise ValueError(f"{name} must have shape {shape}, got {block.shape}")
+        for name, block in (
+            ("b01", b01),
+            ("b10", b10),
+            ("a0", a0),
+            ("a2", a2),
+        ):
+            if np.any(block < 0):
+                raise ValueError(f"{name} must be entrywise non-negative")
+        for name, block in (("b00", b00), ("a1", a1)):
+            off = block - np.diag(np.diag(block))
+            if np.any(off < 0):
+                raise ValueError(f"off-diagonal entries of {name} must be non-negative")
+        scale = max(float(np.max(np.abs(np.diag(b00)))), float(np.max(np.abs(np.diag(a1)))), 1.0)
+        boundary_sums = b00.sum(axis=1) + b01.sum(axis=1)
+        if np.any(np.abs(boundary_sums) > _ATOL * scale):
+            i = int(np.argmax(np.abs(boundary_sums)))
+            raise ValueError(
+                f"boundary row {i} sums to {boundary_sums[i]}, expected 0"
+            )
+        first_sums = b10.sum(axis=1) + a1.sum(axis=1) + a0.sum(axis=1)
+        if np.any(np.abs(first_sums) > _ATOL * scale):
+            i = int(np.argmax(np.abs(first_sums)))
+            raise ValueError(
+                f"first repeating-level row {i} sums to {first_sums[i]}, expected 0"
+            )
+        repeat_sums = a2.sum(axis=1) + a1.sum(axis=1) + a0.sum(axis=1)
+        if np.any(np.abs(repeat_sums) > _ATOL * scale):
+            i = int(np.argmax(np.abs(repeat_sums)))
+            raise ValueError(
+                f"repeating-level row {i} sums to {repeat_sums[i]}, expected 0"
+            )
+        object.__setattr__(self, "b00", b00)
+        object.__setattr__(self, "b01", b01)
+        object.__setattr__(self, "b10", b10)
+        object.__setattr__(self, "a0", a0)
+        object.__setattr__(self, "a1", a1)
+        object.__setattr__(self, "a2", a2)
+
+    @classmethod
+    def homogeneous(cls, a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> "QBDProcess":
+        """QBD whose level 0 behaves like any other level except that
+        down-transitions are folded into the diagonal-free local block.
+
+        Suitable for simple queues (e.g. M/M/1 as a 1-phase QBD): the
+        boundary is a single copy of the phase space with ``b00 = a1 + a2``
+        folded so that rows still sum to zero with ``b01 = a0``.
+        """
+        a1 = np.asarray(a1, dtype=float)
+        a2 = np.asarray(a2, dtype=float)
+        b00 = a1 + np.diag(np.asarray(a2, dtype=float).sum(axis=1))
+        return cls(b00=b00, b01=np.asarray(a0, float), b10=a2, a0=a0, a1=a1, a2=a2)
+
+    @cached_property
+    def boundary_size(self) -> int:
+        """Number of boundary states."""
+        return self.b00.shape[0]
+
+    @cached_property
+    def phase_count(self) -> int:
+        """Number of states per repeating level."""
+        return self.a1.shape[0]
+
+    def truncated_generator(self, levels: int) -> np.ndarray:
+        """Dense generator truncated after ``levels`` repeating levels.
+
+        The last level's up-transitions are reflected into its diagonal so
+        the truncated matrix is a proper generator.  Used as an independent
+        oracle: for a stable QBD the truncated solve converges to the
+        matrix-geometric solution as ``levels`` grows.
+        """
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        n_b, m = self.boundary_size, self.phase_count
+        n = n_b + levels * m
+        q = np.zeros((n, n))
+        q[:n_b, :n_b] = self.b00
+        q[:n_b, n_b : n_b + m] = self.b01
+        q[n_b : n_b + m, :n_b] = self.b10
+        for k in range(levels):
+            lo = n_b + k * m
+            q[lo : lo + m, lo : lo + m] = self.a1
+            if k + 1 < levels:
+                q[lo : lo + m, lo + m : lo + 2 * m] = self.a0
+                q[lo + m : lo + 2 * m, lo : lo + m] = self.a2
+        # Reflect the lost up-transitions of the last level into its diagonal.
+        lo = n_b + (levels - 1) * m
+        q[lo : lo + m, lo : lo + m] += np.diag(self.a0.sum(axis=1))
+        return q
+
+    def __repr__(self) -> str:
+        return (
+            f"QBDProcess(boundary_size={self.boundary_size}, "
+            f"phase_count={self.phase_count})"
+        )

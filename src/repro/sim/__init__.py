@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+An independent implementation of the paper's system used to cross-validate
+every analytic metric:
+
+* :mod:`~repro.sim.engine` -- a minimal event-calendar simulator core.
+* :mod:`~repro.sim.fgbg` -- the foreground/background queue simulator.
+* :mod:`~repro.sim.stats` -- time-weighted accumulators and batch-means
+  confidence intervals.
+* :mod:`~repro.sim.disk` -- a seek/rotation/transfer disk service-time
+  model (the physical justification for the paper's non-preemptive
+  exponential service assumption).
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.fgbg import FgBgSimulationResult, FgBgSimulator
+from repro.sim.multiclass import MulticlassSimulationResult, MulticlassSimulator
+from repro.sim.stats import BatchMeans, TimeWeightedAverage, confidence_interval
+from repro.sim.disk import DiskModel
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "FgBgSimulationResult",
+    "FgBgSimulator",
+    "MulticlassSimulationResult",
+    "MulticlassSimulator",
+    "BatchMeans",
+    "TimeWeightedAverage",
+    "confidence_interval",
+    "DiskModel",
+]

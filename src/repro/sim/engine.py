@@ -1,0 +1,95 @@
+"""A minimal discrete-event simulation engine.
+
+Events are callbacks scheduled at absolute times on a binary-heap calendar.
+Cancellation is supported through :class:`EventHandle` (lazy deletion: the
+heap entry stays but is skipped when popped).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("callback", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-calendar simulator with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events."""
+        return sum(1 for e in self._heap if not e.handle.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        handle = EventHandle(self._now + delay, callback)
+        heapq.heappush(self._heap, _HeapEntry(handle.time, next(self._counter), handle))
+        return handle
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            entry.handle.callback()
+            return True
+        return False
+
+    def run_until(self, t: float) -> None:
+        """Fire events in order until the clock would pass ``t``.
+
+        The clock is left exactly at ``t``; events scheduled at times
+        ``> t`` stay pending.
+        """
+        if t < self._now:
+            raise ValueError(f"cannot run backwards: now={self._now}, t={t}")
+        while self._heap:
+            entry = self._heap[0]
+            if entry.handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if entry.time > t:
+                break
+            heapq.heappop(self._heap)
+            self._now = entry.time
+            entry.handle.callback()
+        self._now = t

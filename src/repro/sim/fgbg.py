@@ -1,0 +1,430 @@
+"""Discrete-event simulator of the foreground/background queue.
+
+This is an *independent* implementation of the system of the paper's
+Section 3.2 -- same semantics as the analytic chain, but built on an event
+calendar and random variates.  It exists to validate the analytic model and
+to measure quantities the chain does not expose (e.g. per-job response-time
+distributions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import BgServiceMode
+from repro.core.model import FgBgModel
+from repro.processes.ph import PhaseType
+from repro.processes.sampling import MAPSampler
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.stats import TimeWeightedAverage
+
+__all__ = ["FgBgSimulator", "FgBgSimulationResult"]
+
+
+@dataclass(frozen=True)
+class FgBgSimulationResult:
+    """Point estimates from one simulation run (post warm-up)."""
+
+    #: Time-average number of foreground jobs in system.
+    fg_queue_length: float
+    #: Time-average number of background jobs in system.
+    bg_queue_length: float
+    #: P(background job in service | >= 1 foreground job present).
+    fg_delayed_fraction: float
+    #: Fraction of foreground arrivals that found a background job serving.
+    fg_arrival_delayed_fraction: float
+    #: Fraction of spawned background jobs that were admitted.
+    bg_completion_rate: float
+    #: Fraction of time the server held a foreground job.
+    fg_server_share: float
+    #: Fraction of time the server held a background job.
+    bg_server_share: float
+    #: Mean foreground response time (arrival to departure).
+    fg_response_time: float
+    #: Foreground jobs completed per unit time.
+    fg_throughput: float
+    #: Number of foreground completions observed.
+    fg_completions: int
+    #: Number of background jobs spawned.
+    bg_spawned: int
+    #: Number of background jobs dropped (buffer full).
+    bg_dropped: int
+    #: Number of background jobs completed.
+    bg_completions: int
+    #: Measurement horizon (post warm-up).
+    horizon: float
+    #: Per-job foreground response times (arrival to departure), only when
+    #: the run was started with ``collect_response_times=True``; else None.
+    fg_response_samples: np.ndarray | None = None
+
+    def fg_response_quantile(self, q: float) -> float:
+        """Empirical quantile of the foreground response time.
+
+        Requires the run to have collected samples.
+        """
+        if self.fg_response_samples is None:
+            raise ValueError(
+                "run the simulation with collect_response_times=True to "
+                "query response-time quantiles"
+            )
+        if not 0 < q < 1:
+            raise ValueError(f"q must lie in (0, 1), got {q}")
+        return float(np.quantile(self.fg_response_samples, q))
+
+
+class FgBgSimulator:
+    """Simulates the exact system of an :class:`~repro.core.model.FgBgModel`.
+
+    Parameters
+    ----------
+    model:
+        The analytic model whose system should be simulated.  All its
+        parameters (arrival MAP, service rate, spawn probability, buffer,
+        idle-wait rate, scheduling mode) are honoured.
+    service:
+        Optional phase-type service-time distribution overriding the
+        model's exponential service (used to validate the
+        :class:`~repro.core.ph_service.PhServiceFgBgModel` extension).  Its
+        mean need not equal ``1 / model.service_rate``; whatever is passed
+        is simulated.
+    arrival_trace:
+        Optional 1-D array of inter-arrival times replayed instead of
+        sampling the model's arrival MAP (trace-driven simulation).  The
+        requested horizon must fit inside the trace's total duration.
+    batch_probabilities:
+        Optional batch-size distribution ``(q_1, ..., q_B)``: each arrival
+        event then delivers ``b`` foreground jobs with probability ``q_b``
+        (used to validate the :class:`~repro.core.batch.BatchFgBgModel`
+        extension).
+    idle_wait:
+        Optional phase-type idle-wait distribution overriding the model's
+        exponential timer (used to validate the PH-idle-wait extension).
+    """
+
+    def __init__(
+        self,
+        model: FgBgModel,
+        service: PhaseType | None = None,
+        arrival_trace: np.ndarray | None = None,
+        batch_probabilities: tuple[float, ...] | None = None,
+        idle_wait: PhaseType | None = None,
+    ) -> None:
+        self._idle_wait = idle_wait
+        self._model = model
+        self._service = service
+        if batch_probabilities is not None:
+            probs = tuple(float(q) for q in batch_probabilities)
+            if not probs or any(q < 0 for q in probs) or abs(sum(probs) - 1.0) > 1e-9:
+                raise ValueError(
+                    "batch probabilities must be non-negative and sum to 1, "
+                    f"got {batch_probabilities}"
+                )
+            batch_probabilities = probs
+        self._batch_probabilities = batch_probabilities
+        if arrival_trace is not None:
+            arrival_trace = np.asarray(arrival_trace, dtype=float)
+            if arrival_trace.ndim != 1 or arrival_trace.shape[0] < 1:
+                raise ValueError("arrival_trace must be a non-empty 1-D array")
+            if np.any(arrival_trace < 0):
+                raise ValueError("inter-arrival times must be non-negative")
+        self._arrival_trace = arrival_trace
+
+    @property
+    def model(self) -> FgBgModel:
+        """The model being simulated."""
+        return self._model
+
+    def run(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        warmup_fraction: float = 0.2,
+        collect_response_times: bool = False,
+    ) -> FgBgSimulationResult:
+        """Run one replication.
+
+        Parameters
+        ----------
+        horizon:
+            Total simulated time, including warm-up.
+        rng:
+            Random generator (pass distinct seeds for replications).
+        warmup_fraction:
+            Leading fraction of the horizon discarded before measuring.
+        collect_response_times:
+            Record every foreground job's response time so the result can
+            report empirical quantiles (costs memory proportional to the
+            number of completions).
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError(
+                f"warmup_fraction must lie in [0, 1), got {warmup_fraction}"
+            )
+        if self._arrival_trace is not None and float(self._arrival_trace.sum()) < horizon:
+            raise ValueError(
+                f"horizon {horizon} exceeds the trace duration "
+                f"{float(self._arrival_trace.sum()):g}"
+            )
+        run = _Run(
+            self._model, rng, self._service, self._arrival_trace,
+            self._batch_probabilities, self._idle_wait,
+        )
+        run.collect_response_times = collect_response_times
+        return run.execute(horizon, warmup_fraction)
+
+    def run_replications(
+        self,
+        horizon: float,
+        replications: int,
+        seed: int,
+        warmup_fraction: float = 0.2,
+    ) -> list[FgBgSimulationResult]:
+        """Run several independent replications with derived seeds."""
+        if replications < 1:
+            raise ValueError(f"replications must be >= 1, got {replications}")
+        seeds = np.random.SeedSequence(seed).spawn(replications)
+        return [
+            self.run(horizon, np.random.default_rng(s), warmup_fraction)
+            for s in seeds
+        ]
+
+
+class _Run:
+    """State of a single simulation replication."""
+
+    def __init__(
+        self,
+        model: FgBgModel,
+        rng: np.random.Generator,
+        service: PhaseType | None = None,
+        arrival_trace: np.ndarray | None = None,
+        batch_probabilities: tuple[float, ...] | None = None,
+        idle_wait: PhaseType | None = None,
+    ) -> None:
+        self.batch_thresholds = (
+            np.cumsum(batch_probabilities) if batch_probabilities is not None else None
+        )
+        if idle_wait is None:
+            self.draw_idle_wait = lambda: rng.exponential(
+                1.0 / model.effective_idle_wait_rate
+            )
+        else:
+            self.draw_idle_wait = lambda: float(idle_wait.sample(rng, size=1)[0])
+        self.model = model
+        self.rng = rng
+        if service is None:
+            self.draw_service = lambda: rng.exponential(1.0 / model.service_rate)
+        else:
+            self.draw_service = lambda: float(service.sample(rng, size=1)[0])
+        self.sim = Simulator()
+        if arrival_trace is None:
+            self.arrivals = MAPSampler(model.arrival, rng)
+        else:
+            self.arrivals = _TraceReplay(arrival_trace)
+        self.mu = model.service_rate
+        self.p = model.bg_probability
+        self.x_max = model.bg_buffer if model.bg_probability > 0 else 0
+        self.alpha = model.effective_idle_wait_rate
+        self.back_to_back = model.bg_mode is BgServiceMode.BACK_TO_BACK
+
+        self.fg_queue: deque[float] = deque()  # arrival times of waiting FG
+        self.bg_queue = 0
+        self.serving: str | None = None  # None | "fg" | "bg"
+        self.serving_fg_arrival_time = 0.0
+        self.idle_wait: EventHandle | None = None
+
+        # Accumulators (reset at end of warm-up).
+        self.fg_count_avg = TimeWeightedAverage()
+        self.bg_count_avg = TimeWeightedAverage()
+        self.fg_share_avg = TimeWeightedAverage()
+        self.bg_share_avg = TimeWeightedAverage()
+        self.blocked_avg = TimeWeightedAverage()  # BG serving and FG waiting
+        self.fg_present_avg = TimeWeightedAverage()
+        self.fg_arrivals = 0
+        self.fg_arrivals_delayed = 0
+        self.fg_completions = 0
+        self.fg_response_total = 0.0
+        self.bg_spawned = 0
+        self.bg_dropped = 0
+        self.bg_completions = 0
+        self.collect_response_times = False
+        self.response_samples: list[float] = []
+
+    # -- bookkeeping ----------------------------------------------------
+    def _fg_in_system(self) -> int:
+        return len(self.fg_queue) + (1 if self.serving == "fg" else 0)
+
+    def _bg_in_system(self) -> int:
+        return self.bg_queue + (1 if self.serving == "bg" else 0)
+
+    def _record_state(self) -> None:
+        now = self.sim.now
+        fg = self._fg_in_system()
+        self.fg_count_avg.update(now, fg)
+        self.bg_count_avg.update(now, self._bg_in_system())
+        self.fg_share_avg.update(now, 1.0 if self.serving == "fg" else 0.0)
+        self.bg_share_avg.update(now, 1.0 if self.serving == "bg" else 0.0)
+        self.blocked_avg.update(now, 1.0 if (self.serving == "bg" and fg >= 1) else 0.0)
+        self.fg_present_avg.update(now, 1.0 if fg >= 1 else 0.0)
+
+    # -- event handlers ---------------------------------------------------
+    def _schedule_arrival(self) -> None:
+        try:
+            delay = self.arrivals.next_interarrival()
+        except StopIteration:
+            return  # trace exhausted: no further arrivals
+        self.sim.schedule(delay, self._on_arrival)
+
+    def _start_fg_service(self) -> None:
+        self.serving = "fg"
+        self.serving_fg_arrival_time = self.fg_queue.popleft()
+        self.sim.schedule(self.draw_service(), self._on_fg_completion)
+
+    def _start_bg_service(self) -> None:
+        self.serving = "bg"
+        self.bg_queue -= 1
+        self.sim.schedule(self.draw_service(), self._on_bg_completion)
+
+    def _start_idle_wait(self) -> None:
+        self.idle_wait = self.sim.schedule(
+            self.draw_idle_wait(), self._on_idle_wait_expired
+        )
+
+    def _on_arrival(self) -> None:
+        batch = 1
+        if self.batch_thresholds is not None:
+            batch = int(np.searchsorted(self.batch_thresholds, self.rng.random(), side="right")) + 1
+        self.fg_arrivals += batch
+        if self.serving == "bg":
+            self.fg_arrivals_delayed += batch
+        for _ in range(batch):
+            self.fg_queue.append(self.sim.now)
+        if self.serving is None:
+            if self.idle_wait is not None:
+                self.idle_wait.cancel()
+                self.idle_wait = None
+            self._start_fg_service()
+        self._record_state()
+        self._schedule_arrival()
+
+    def _on_fg_completion(self) -> None:
+        self.fg_completions += 1
+        response = self.sim.now - self.serving_fg_arrival_time
+        self.fg_response_total += response
+        if self.collect_response_times:
+            self.response_samples.append(response)
+        self.serving = None
+        if self.p > 0 and self.rng.random() < self.p:
+            self.bg_spawned += 1
+            if self.bg_queue < self.x_max:
+                self.bg_queue += 1
+            else:
+                self.bg_dropped += 1
+        if self.fg_queue:
+            self._start_fg_service()
+        elif self.bg_queue > 0:
+            self._start_idle_wait()
+        self._record_state()
+
+    def _on_bg_completion(self) -> None:
+        self.bg_completions += 1
+        self.serving = None
+        if self.fg_queue:
+            self._start_fg_service()
+        elif self.bg_queue > 0:
+            if self.back_to_back:
+                self._start_bg_service()
+            else:
+                self._start_idle_wait()
+        self._record_state()
+
+    def _on_idle_wait_expired(self) -> None:
+        self.idle_wait = None
+        # An arrival would have cancelled this event, so the server is idle
+        # and at least one background job is queued.
+        self._start_bg_service()
+        self._record_state()
+
+    # -- driver -----------------------------------------------------------
+    def execute(self, horizon: float, warmup_fraction: float) -> FgBgSimulationResult:
+        self._schedule_arrival()
+        warmup = horizon * warmup_fraction
+        if warmup > 0:
+            self.sim.run_until(warmup)
+            self._record_state()
+            for avg in (
+                self.fg_count_avg,
+                self.bg_count_avg,
+                self.fg_share_avg,
+                self.bg_share_avg,
+                self.blocked_avg,
+                self.fg_present_avg,
+            ):
+                avg.reset(warmup)
+            self.fg_arrivals = 0
+            self.fg_arrivals_delayed = 0
+            self.fg_completions = 0
+            self.fg_response_total = 0.0
+            self.bg_spawned = 0
+            self.bg_dropped = 0
+            self.bg_completions = 0
+            self.response_samples.clear()
+        self.sim.run_until(horizon)
+        now = self.sim.now
+        measured = now - warmup
+        fg_present = self.fg_present_avg.mean(now)
+        return FgBgSimulationResult(
+            fg_queue_length=self.fg_count_avg.mean(now),
+            bg_queue_length=self.bg_count_avg.mean(now),
+            fg_delayed_fraction=(
+                self.blocked_avg.mean(now) / fg_present if fg_present > 0 else 0.0
+            ),
+            fg_arrival_delayed_fraction=(
+                self.fg_arrivals_delayed / self.fg_arrivals
+                if self.fg_arrivals
+                else 0.0
+            ),
+            bg_completion_rate=(
+                1.0 - self.bg_dropped / self.bg_spawned
+                if self.bg_spawned
+                else float("nan")
+            ),
+            fg_server_share=self.fg_share_avg.mean(now),
+            bg_server_share=self.bg_share_avg.mean(now),
+            fg_response_time=(
+                self.fg_response_total / self.fg_completions
+                if self.fg_completions
+                else float("nan")
+            ),
+            fg_throughput=self.fg_completions / measured if measured > 0 else 0.0,
+            fg_completions=self.fg_completions,
+            bg_spawned=self.bg_spawned,
+            bg_dropped=self.bg_dropped,
+            bg_completions=self.bg_completions,
+            horizon=measured,
+            fg_response_samples=(
+                np.asarray(self.response_samples)
+                if self.collect_response_times
+                else None
+            ),
+        )
+
+
+class _TraceReplay:
+    """Arrival source replaying a recorded inter-arrival sequence."""
+
+    def __init__(self, interarrivals: np.ndarray) -> None:
+        self._trace = interarrivals
+        self._index = 0
+
+    def next_interarrival(self) -> float:
+        if self._index >= self._trace.shape[0]:
+            raise StopIteration("arrival trace exhausted")
+        value = float(self._trace[self._index])
+        self._index += 1
+        return value

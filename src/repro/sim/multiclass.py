@@ -1,0 +1,243 @@
+"""Discrete-event simulator of the multiclass FG/BG queue.
+
+Independent validation of
+:class:`~repro.core.multiclass.MulticlassFgBgModel`: a shared background
+buffer, one FIFO queue per class, class 1 served first whenever background
+work is granted the server.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import BgServiceMode
+from repro.core.multiclass import MulticlassFgBgModel
+from repro.processes.sampling import MAPSampler
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.stats import TimeWeightedAverage
+
+__all__ = ["MulticlassSimulator", "MulticlassSimulationResult"]
+
+
+@dataclass(frozen=True)
+class MulticlassSimulationResult:
+    """Point estimates from one multiclass simulation run (post warm-up)."""
+
+    #: Time-average number of foreground jobs in system.
+    fg_queue_length: float
+    #: Time-average number of background jobs in system, per class.
+    bg_queue_lengths: tuple[float, ...]
+    #: P(any background job in service | foreground present).
+    fg_delayed_fraction: float
+    #: Fraction of spawned background jobs admitted (all classes).
+    bg_completion_rate: float
+    #: Background completions per unit time, per class.
+    bg_throughputs: tuple[float, ...]
+    #: Mean background response time (admission to completion), per class.
+    bg_response_times: tuple[float, ...]
+    #: Fraction of time the server held a foreground job.
+    fg_server_share: float
+    #: Number of background jobs spawned (all classes).
+    bg_spawned: int
+    #: Number of background jobs dropped (buffer full).
+    bg_dropped: int
+
+    @property
+    def bg_queue_length(self) -> float:
+        """Total background queue length over all classes."""
+        return float(sum(self.bg_queue_lengths))
+
+
+class MulticlassSimulator:
+    """Simulates the system of a :class:`MulticlassFgBgModel`."""
+
+    def __init__(self, model: MulticlassFgBgModel) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> MulticlassFgBgModel:
+        """The model being simulated."""
+        return self._model
+
+    def run(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        warmup_fraction: float = 0.2,
+    ) -> MulticlassSimulationResult:
+        """Run one replication over ``horizon`` time units."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError(
+                f"warmup_fraction must lie in [0, 1), got {warmup_fraction}"
+            )
+        return _MulticlassRun(self._model, rng).execute(horizon, warmup_fraction)
+
+
+class _MulticlassRun:
+    """State of a single multiclass replication."""
+
+    FG = -1
+
+    def __init__(self, model: MulticlassFgBgModel, rng: np.random.Generator) -> None:
+        self.model = model
+        self.rng = rng
+        self.sim = Simulator()
+        self.arrivals = MAPSampler(model.arrival, rng)
+        self.k = model.classes
+        self.mu = model.service_rate
+        self.spawn_thresholds = np.cumsum(model.bg_probabilities)
+        self.alpha = model.effective_idle_wait_rate
+        self.x_max = model.bg_buffer
+        self.back_to_back = model.bg_mode is BgServiceMode.BACK_TO_BACK
+
+        self.fg_queue = 0
+        self.bg_queues: list[deque[float]] = [deque() for _ in range(self.k)]
+        self.serving: int | None = None  # FG (-1) or a class index
+        self.bg_service_started_from = 0.0
+        self.idle_wait: EventHandle | None = None
+
+        self.fg_avg = TimeWeightedAverage()
+        self.bg_avgs = [TimeWeightedAverage() for _ in range(self.k)]
+        self.blocked_avg = TimeWeightedAverage()
+        self.fg_present_avg = TimeWeightedAverage()
+        self.fg_share_avg = TimeWeightedAverage()
+        self.bg_spawned = 0
+        self.bg_dropped = 0
+        self.bg_completions = [0] * self.k
+        self.bg_response_totals = [0.0] * self.k
+
+    # -- bookkeeping ------------------------------------------------------
+    def _record(self) -> None:
+        now = self.sim.now
+        fg = self.fg_queue + (1 if self.serving == self.FG else 0)
+        self.fg_avg.update(now, fg)
+        for c in range(self.k):
+            in_service = 1 if self.serving == c else 0
+            self.bg_avgs[c].update(now, len(self.bg_queues[c]) + in_service)
+        bg_busy = self.serving is not None and self.serving >= 0
+        self.blocked_avg.update(now, 1.0 if (bg_busy and fg >= 1) else 0.0)
+        self.fg_present_avg.update(now, 1.0 if fg >= 1 else 0.0)
+        self.fg_share_avg.update(now, 1.0 if self.serving == self.FG else 0.0)
+
+    def _bg_buffered(self) -> int:
+        return sum(len(q) for q in self.bg_queues)
+
+    # -- events -------------------------------------------------------------
+    def _schedule_arrival(self) -> None:
+        self.sim.schedule(self.arrivals.next_interarrival(), self._on_arrival)
+
+    def _start_fg(self) -> None:
+        self.serving = self.FG
+        self.fg_queue -= 1
+        self.sim.schedule(self.rng.exponential(1.0 / self.mu), self._on_fg_done)
+
+    def _start_bg(self) -> None:
+        for c in range(self.k):
+            if self.bg_queues[c]:
+                self.serving = c
+                self.bg_service_started_from = self.bg_queues[c].popleft()
+                self.sim.schedule(
+                    self.rng.exponential(1.0 / self.mu), self._on_bg_done
+                )
+                return
+        raise RuntimeError("_start_bg called with empty background queues")
+
+    def _start_idle_wait(self) -> None:
+        self.idle_wait = self.sim.schedule(
+            self.rng.exponential(1.0 / self.alpha), self._on_idle_expired
+        )
+
+    def _on_arrival(self) -> None:
+        self.fg_queue += 1
+        if self.serving is None:
+            if self.idle_wait is not None:
+                self.idle_wait.cancel()
+                self.idle_wait = None
+            self._start_fg()
+        self._record()
+        self._schedule_arrival()
+
+    def _on_fg_done(self) -> None:
+        self.serving = None
+        u = self.rng.random()
+        for c in range(self.k):
+            if u < self.spawn_thresholds[c]:
+                self.bg_spawned += 1
+                if self._bg_buffered() < self.x_max:
+                    self.bg_queues[c].append(self.sim.now)
+                else:
+                    self.bg_dropped += 1
+                break
+        if self.fg_queue > 0:
+            self._start_fg()
+        elif self._bg_buffered() > 0:
+            self._start_idle_wait()
+        self._record()
+
+    def _on_bg_done(self) -> None:
+        c = self.serving
+        self.serving = None
+        self.bg_completions[c] += 1
+        self.bg_response_totals[c] += self.sim.now - self.bg_service_started_from
+        if self.fg_queue > 0:
+            self._start_fg()
+        elif self._bg_buffered() > 0:
+            if self.back_to_back:
+                self._start_bg()
+            else:
+                self._start_idle_wait()
+        self._record()
+
+    def _on_idle_expired(self) -> None:
+        self.idle_wait = None
+        self._start_bg()
+        self._record()
+
+    # -- driver -------------------------------------------------------------
+    def execute(self, horizon: float, warmup_fraction: float) -> MulticlassSimulationResult:
+        self._schedule_arrival()
+        warmup = horizon * warmup_fraction
+        if warmup > 0:
+            self.sim.run_until(warmup)
+            self._record()
+            for avg in (
+                self.fg_avg,
+                self.blocked_avg,
+                self.fg_present_avg,
+                self.fg_share_avg,
+                *self.bg_avgs,
+            ):
+                avg.reset(warmup)
+            self.bg_spawned = 0
+            self.bg_dropped = 0
+            self.bg_completions = [0] * self.k
+            self.bg_response_totals = [0.0] * self.k
+        self.sim.run_until(horizon)
+        now = self.sim.now
+        measured = now - warmup
+        fg_present = self.fg_present_avg.mean(now)
+        return MulticlassSimulationResult(
+            fg_queue_length=self.fg_avg.mean(now),
+            bg_queue_lengths=tuple(avg.mean(now) for avg in self.bg_avgs),
+            fg_delayed_fraction=(
+                self.blocked_avg.mean(now) / fg_present if fg_present > 0 else 0.0
+            ),
+            bg_completion_rate=(
+                1.0 - self.bg_dropped / self.bg_spawned
+                if self.bg_spawned
+                else float("nan")
+            ),
+            bg_throughputs=tuple(c / measured for c in self.bg_completions),
+            bg_response_times=tuple(
+                total / count if count else float("nan")
+                for total, count in zip(self.bg_response_totals, self.bg_completions)
+            ),
+            fg_server_share=self.fg_share_avg.mean(now),
+            bg_spawned=self.bg_spawned,
+            bg_dropped=self.bg_dropped,
+        )

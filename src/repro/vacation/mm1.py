@@ -1,0 +1,65 @@
+"""Closed-form M/M/1 results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MM1Queue"]
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """The M/M/1 queue with arrival rate ``lam`` and service rate ``mu``.
+
+    The degenerate baseline of the paper's model: Poisson arrivals and no
+    background work (``p = 0``).
+    """
+
+    lam: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0 or self.mu <= 0:
+            raise ValueError(
+                f"rates must be positive, got lam={self.lam}, mu={self.mu}"
+            )
+        if self.lam >= self.mu:
+            raise ValueError(
+                f"queue is unstable: lam={self.lam} >= mu={self.mu}"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """Traffic intensity ``rho = lam / mu``."""
+        return self.lam / self.mu
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system: ``rho / (1 - rho)``."""
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue (excluding service)."""
+        return self.utilization / (self.mu - self.lam)
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean time in system: ``1 / (mu - lam)``."""
+        return 1.0 / (self.mu - self.lam)
+
+    def queue_length_pmf(self, n: int) -> np.ndarray:
+        """P(N = 0..n): the geometric distribution ``(1-rho) rho^k``."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        rho = self.utilization
+        return (1.0 - rho) * rho ** np.arange(n + 1)
+
+    def response_time_quantile(self, q: float) -> float:
+        """Quantile of the exponential response-time distribution."""
+        if not 0 < q < 1:
+            raise ValueError(f"q must lie in (0, 1), got {q}")
+        return -np.log(1.0 - q) * self.mean_response_time

@@ -1,0 +1,80 @@
+"""M/M/1 with multiple exponential vacations.
+
+When the queue empties, the server leaves for an exponentially distributed
+vacation; if the queue is still empty on return it leaves again ("multiple
+vacations").  The classical decomposition result (Takagi, *Queueing
+Analysis* Vol. 1) states that the stationary waiting time is the M/G/1
+waiting time plus an independent term distributed as the equilibrium
+residual vacation:
+
+``E[W] = lam E[S^2] / (2 (1 - rho)) + E[V^2] / (2 E[V])``.
+
+This is the classical model closest to the paper's system when background
+work is abundant (the server "vacations" into background jobs); the paper's
+chain differs by its finite background buffer and the idle-wait timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MM1MultipleVacations"]
+
+
+@dataclass(frozen=True)
+class MM1MultipleVacations:
+    """M/M/1 queue with multiple exponential vacations.
+
+    Parameters
+    ----------
+    lam:
+        Poisson arrival rate.
+    mu:
+        Exponential service rate.
+    vacation_rate:
+        Rate of the exponential vacation length ``V`` (``E[V]`` is its
+        inverse).
+    """
+
+    lam: float
+    mu: float
+    vacation_rate: float
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0 or self.mu <= 0 or self.vacation_rate <= 0:
+            raise ValueError(
+                "rates must be positive, got "
+                f"lam={self.lam}, mu={self.mu}, vacation_rate={self.vacation_rate}"
+            )
+        if self.lam >= self.mu:
+            raise ValueError(f"queue is unstable: lam={self.lam} >= mu={self.mu}")
+
+    @property
+    def utilization(self) -> float:
+        """Traffic intensity ``rho = lam / mu``."""
+        return self.lam / self.mu
+
+    @property
+    def mean_vacation(self) -> float:
+        """Mean vacation length ``E[V]``."""
+        return 1.0 / self.vacation_rate
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Decomposition: M/M/1 waiting time plus residual vacation.
+
+        For exponential S and V: ``rho / (mu - lam) + 1 / vacation_rate``.
+        """
+        mm1_wait = self.utilization / (self.mu - self.lam)
+        residual_vacation = self.mean_vacation  # exponential: E[V^2]/2E[V] = E[V]
+        return mm1_wait + residual_vacation
+
+    @property
+    def mean_response_time(self) -> float:
+        """Waiting time plus one service."""
+        return self.mean_waiting_time + 1.0 / self.mu
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system (Little's law)."""
+        return self.lam * self.mean_response_time

@@ -1,0 +1,102 @@
+"""Non-preemptive two-class M/M/1 priority queue (Cobham's formula).
+
+The strict-priority alternative to the paper's idle-wait design: low-
+priority (background-like) work is admitted unconditionally and served
+whenever no high-priority job waits, with services never preempted.
+Cobham (1954) gives the per-class waiting times:
+
+``W_q(1) = R / (1 - rho_1)``
+``W_q(2) = R / ((1 - rho_1)(1 - rho_1 - rho_2))``
+
+where ``R = (lam_1 + lam_2) E[S^2] / 2`` is the mean residual service seen
+on arrival (``E[S^2] = 2 / mu^2`` for exponential service).
+
+Contrast with the paper's model: there the low-priority stream is *not*
+independent (spawned by completions), is buffer-limited, and waits out an
+idle timer -- this baseline shows what unconditional admission would cost
+the foreground class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NonPreemptivePriorityQueue"]
+
+
+@dataclass(frozen=True)
+class NonPreemptivePriorityQueue:
+    """M/M/1 with two Poisson classes under non-preemptive priority.
+
+    Parameters
+    ----------
+    lam_high:
+        Arrival rate of the high-priority (foreground) class.
+    lam_low:
+        Arrival rate of the low-priority (background) class.
+    mu:
+        Exponential service rate shared by both classes.
+    """
+
+    lam_high: float
+    lam_low: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        if self.lam_high <= 0 or self.lam_low < 0 or self.mu <= 0:
+            raise ValueError(
+                "need lam_high > 0, lam_low >= 0, mu > 0; got "
+                f"{self.lam_high}, {self.lam_low}, {self.mu}"
+            )
+        if self.lam_high + self.lam_low >= self.mu:
+            raise ValueError(
+                f"queue is unstable: total load "
+                f"{(self.lam_high + self.lam_low) / self.mu:.4g} >= 1"
+            )
+
+    @property
+    def rho_high(self) -> float:
+        """High-priority utilization."""
+        return self.lam_high / self.mu
+
+    @property
+    def rho_low(self) -> float:
+        """Low-priority utilization."""
+        return self.lam_low / self.mu
+
+    @property
+    def _mean_residual(self) -> float:
+        # R = (lam_1 + lam_2) E[S^2] / 2 with E[S^2] = 2 / mu^2.
+        return (self.lam_high + self.lam_low) / self.mu**2
+
+    @property
+    def high_waiting_time(self) -> float:
+        """Mean queueing delay of the high-priority class."""
+        return self._mean_residual / (1.0 - self.rho_high)
+
+    @property
+    def low_waiting_time(self) -> float:
+        """Mean queueing delay of the low-priority class."""
+        return self._mean_residual / (
+            (1.0 - self.rho_high) * (1.0 - self.rho_high - self.rho_low)
+        )
+
+    @property
+    def high_response_time(self) -> float:
+        """Waiting plus one service for the high-priority class."""
+        return self.high_waiting_time + 1.0 / self.mu
+
+    @property
+    def low_response_time(self) -> float:
+        """Waiting plus one service for the low-priority class."""
+        return self.low_waiting_time + 1.0 / self.mu
+
+    @property
+    def high_queue_length(self) -> float:
+        """Mean high-priority jobs in system (Little's law)."""
+        return self.lam_high * self.high_response_time
+
+    @property
+    def low_queue_length(self) -> float:
+        """Mean low-priority jobs in system (Little's law)."""
+        return self.lam_low * self.low_response_time

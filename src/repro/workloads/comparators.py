@@ -1,0 +1,54 @@
+"""The Section 5.4 arrival-process comparators.
+
+To isolate the effect of *dependence* from *variability*, the paper
+compares four processes that share the E-mail workload's mean rate:
+
+* ``high_acf`` -- the E-mail MMPP itself (strong, slowly decaying ACF);
+* ``low_acf``  -- an MMPP with the same mean and CV but a fast-decaying ACF;
+* ``ipp``      -- an interrupted Poisson process with the same mean and CV
+  but *zero* autocorrelation (renewal);
+* ``expo``     -- a Poisson process with the same mean only.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.processes.fitting import fit_ipp, fit_mmpp2
+from repro.processes.map_process import MarkovianArrivalProcess
+from repro.processes.poisson import PoissonProcess
+from repro.workloads.paper import WORKLOADS
+
+__all__ = ["COMPARATOR_NAMES", "dependence_comparators"]
+
+#: Display order of the four processes, matching the paper's legends.
+COMPARATOR_NAMES = ("high_acf", "low_acf", "ipp", "expo")
+
+#: Decay factor used for the fast-decaying ("Low ACF") comparator.
+LOW_ACF_DECAY = 0.85
+
+
+@lru_cache(maxsize=None)
+def dependence_comparators(
+    reference: str = "email",
+) -> dict[str, MarkovianArrivalProcess]:
+    """The four comparator processes, keyed by :data:`COMPARATOR_NAMES`.
+
+    Parameters
+    ----------
+    reference:
+        Key into :data:`repro.workloads.paper.WORKLOADS` whose mean rate
+        (and, except for ``expo``, SCV) the comparators match.
+    """
+    if reference not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {reference!r}; choose from {sorted(WORKLOADS)}"
+        )
+    spec = WORKLOADS[reference]
+    rate = spec.base_rate
+    return {
+        "high_acf": fit_mmpp2(rate=rate, scv=spec.scv, decay=spec.acf_decay),
+        "low_acf": fit_mmpp2(rate=rate, scv=spec.scv, decay=LOW_ACF_DECAY),
+        "ipp": fit_ipp(mean=1.0 / rate, scv=spec.scv),
+        "expo": PoissonProcess(rate),
+    }

@@ -1,0 +1,39 @@
+"""Utilization sweeps over arrival processes.
+
+The paper sweeps foreground load by rescaling the MMPP mean rate ("we scale
+the mean of the two MMPPs ... to obtain different foreground utilizations"),
+which leaves the CV and the lag-k ACF untouched.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.processes.map_process import MarkovianArrivalProcess
+
+__all__ = ["utilization_sweep"]
+
+
+def utilization_sweep(
+    arrival: MarkovianArrivalProcess,
+    utilizations: Iterable[float],
+    service_rate: float,
+) -> Iterator[tuple[float, MarkovianArrivalProcess]]:
+    """Yield ``(utilization, rescaled process)`` pairs.
+
+    Parameters
+    ----------
+    arrival:
+        Template process whose dependence structure is preserved.
+    utilizations:
+        Target values of ``lambda / service_rate``; each must lie in (0, 1)
+        for the resulting model to be stable.
+    service_rate:
+        Service rate that defines utilization.
+    """
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be positive, got {service_rate}")
+    for util in utilizations:
+        if util <= 0:
+            raise ValueError(f"utilizations must be positive, got {util}")
+        yield util, arrival.scaled_to_utilization(util, service_rate)

@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.processes import MMPP, PoissonProcess
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for reproducible tests."""
+    return np.random.default_rng(20060101)
+
+
+@pytest.fixture
+def poisson() -> PoissonProcess:
+    """A plain Poisson process at rate 0.1/ms."""
+    return PoissonProcess(0.1)
+
+
+@pytest.fixture
+def mmpp_bursty() -> MMPP:
+    """A small bursty MMPP(2) with visible autocorrelation."""
+    return MMPP.two_state(v1=2e-4, v2=2e-5, l1=8e-2, l2=7e-3)
+
+
+def assert_distribution(pi: np.ndarray, atol: float = 1e-9) -> None:
+    """Assert that ``pi`` is a probability vector."""
+    assert np.all(pi >= -atol), f"negative probabilities: min={pi.min()}"
+    np.testing.assert_allclose(pi.sum(), 1.0, atol=1e-8)

@@ -1,0 +1,149 @@
+"""Tests for the batch-arrival extension (M/G/1-type model)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FgBgModel
+from repro.core.batch import BatchFgBgModel
+from repro.processes import PoissonProcess, fit_mmpp2
+from repro.sim import FgBgSimulator
+
+MU = 1 / 6.0
+
+SHARED_METRICS = (
+    "fg_queue_length",
+    "bg_queue_length",
+    "fg_delayed_fraction",
+    "bg_completion_rate",
+    "fg_server_share",
+    "bg_server_share",
+)
+
+
+def batch_model(batches=(0.5, 0.3, 0.2), event_rate=0.2 * MU, p=0.6, **kwargs):
+    return BatchFgBgModel(
+        arrival=PoissonProcess(event_rate),
+        batch_probabilities=batches,
+        service_rate=MU,
+        bg_probability=p,
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_batch_probabilities(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            batch_model(batches=(0.5, 0.2))
+
+    def test_rejects_negative_batch_probability(self):
+        with pytest.raises(ValueError, match="non-negative|sum to 1"):
+            batch_model(batches=(1.5, -0.5))
+
+    def test_rejects_empty_batches(self):
+        with pytest.raises(ValueError, match="at least one"):
+            batch_model(batches=())
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError, match="unstable"):
+            batch_model(event_rate=0.6 * MU, batches=(0.0, 1.0)).solve()
+
+    def test_mean_batch_size(self):
+        assert batch_model().mean_batch_size == pytest.approx(1.7)
+
+    def test_utilization_accounts_for_batches(self):
+        m = batch_model(batches=(0.0, 1.0), event_rate=0.2 * MU)
+        assert m.fg_utilization == pytest.approx(0.4)
+
+
+class TestUnitBatchEquivalence:
+    """Batch size identically 1 must equal the base QBD model exactly."""
+
+    @pytest.mark.parametrize("rho,p", [(0.3, 0.3), (0.6, 0.9)])
+    def test_poisson(self, rho, p):
+        base = FgBgModel(
+            arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p
+        ).solve()
+        batch = BatchFgBgModel(
+            arrival=PoissonProcess(rho * MU),
+            batch_probabilities=(1.0,),
+            service_rate=MU,
+            bg_probability=p,
+        ).solve()
+        for name in SHARED_METRICS:
+            assert getattr(batch, name) == pytest.approx(
+                getattr(base, name), rel=1e-8
+            ), name
+
+    def test_mmpp(self):
+        arrival = fit_mmpp2(rate=0.4 * MU, scv=2.0, decay=0.9)
+        base = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6).solve()
+        batch = BatchFgBgModel(
+            arrival=arrival,
+            batch_probabilities=(1.0,),
+            service_rate=MU,
+            bg_probability=0.6,
+        ).solve()
+        assert batch.fg_queue_length == pytest.approx(base.fg_queue_length, rel=1e-8)
+        assert batch.bg_completion_rate == pytest.approx(
+            base.bg_completion_rate, rel=1e-8
+        )
+
+
+class TestBatchEffects:
+    def test_batching_inflates_queue_at_equal_load(self):
+        # Same offered job load, bigger batches -> burstier -> longer queue.
+        single = BatchFgBgModel(
+            arrival=PoissonProcess(0.4 * MU),
+            batch_probabilities=(1.0,),
+            service_rate=MU,
+            bg_probability=0.6,
+        ).solve()
+        double = BatchFgBgModel(
+            arrival=PoissonProcess(0.2 * MU),
+            batch_probabilities=(0.0, 1.0),
+            service_rate=MU,
+            bg_probability=0.6,
+        ).solve()
+        assert double.fg_queue_length > single.fg_queue_length
+
+    def test_batching_hurts_bg_completion(self):
+        single = BatchFgBgModel(
+            arrival=PoissonProcess(0.4 * MU),
+            batch_probabilities=(1.0,),
+            service_rate=MU,
+            bg_probability=0.6,
+        ).solve()
+        triple = BatchFgBgModel(
+            arrival=PoissonProcess(0.4 * MU / 3.0),
+            batch_probabilities=(0.0, 0.0, 1.0),
+            service_rate=MU,
+            bg_probability=0.6,
+        ).solve()
+        assert triple.bg_completion_rate < single.bg_completion_rate
+
+    def test_server_share_matches_load(self):
+        s = batch_model().solve()
+        assert s.fg_server_share == pytest.approx(0.34, rel=1e-6)
+
+
+class TestAgainstSimulation:
+    def test_geometric_like_batches(self):
+        batches = (0.5, 0.3, 0.2)
+        analytic = batch_model(batches=batches).solve()
+        proxy = FgBgModel(
+            arrival=PoissonProcess(0.2 * MU), service_rate=MU, bg_probability=0.6
+        )
+        sim = FgBgSimulator(proxy, batch_probabilities=batches).run(
+            800_000.0, np.random.default_rng(3)
+        )
+        for name in SHARED_METRICS:
+            assert getattr(sim, name) == pytest.approx(
+                getattr(analytic, name), rel=0.08, abs=0.01
+            ), name
+
+    def test_simulator_validates_batch_probabilities(self):
+        proxy = FgBgModel(
+            arrival=PoissonProcess(0.05), service_rate=MU, bg_probability=0.3
+        )
+        with pytest.raises(ValueError, match="sum to 1"):
+            FgBgSimulator(proxy, batch_probabilities=(0.4, 0.4))

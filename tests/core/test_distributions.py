@@ -1,0 +1,113 @@
+"""Tests for the queue-length distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core import FgBgModel
+from repro.core.distributions import (
+    bg_queue_length_pmf,
+    fg_queue_length_pmf,
+    fg_queue_length_quantile,
+)
+from repro.processes import PoissonProcess, fit_mmpp2
+
+MU = 1 / 6.0
+
+
+def solve(rho=0.4, p=0.6, **kwargs):
+    return FgBgModel(
+        arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p, **kwargs
+    ).solve()
+
+
+class TestFgQueueLengthPmf:
+    def test_mm1_geometric(self):
+        rho = 0.5
+        s = solve(rho=rho, p=0.0)
+        pmf = fg_queue_length_pmf(s, 20)
+        expected = (1 - rho) * rho ** np.arange(21)
+        np.testing.assert_allclose(pmf, expected, atol=1e-10)
+
+    def test_sums_to_one_in_the_limit(self):
+        s = solve()
+        pmf = fg_queue_length_pmf(s, 200)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_mean_matches_metric(self):
+        s = solve(rho=0.5, p=0.9)
+        pmf = fg_queue_length_pmf(s, 400)
+        mean = float(np.arange(401) @ pmf)
+        assert mean == pytest.approx(s.fg_queue_length, abs=1e-6)
+
+    def test_works_with_mmpp(self):
+        m = FgBgModel(
+            arrival=fit_mmpp2(rate=0.4 * MU, scv=2.0, decay=0.9),
+            service_rate=MU,
+            bg_probability=0.6,
+        )
+        s = m.solve()
+        pmf = fg_queue_length_pmf(s, 300)
+        assert np.all(pmf >= 0)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+        mean = float(np.arange(301) @ pmf)
+        assert mean == pytest.approx(s.fg_queue_length, rel=1e-4)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            fg_queue_length_pmf(solve(), -1)
+
+
+class TestBgQueueLengthPmf:
+    def test_bounded_support_sums_to_one(self):
+        s = solve(p=0.9)
+        pmf = bg_queue_length_pmf(s)
+        assert pmf.shape == (6,)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_mean_matches_metric(self):
+        s = solve(rho=0.6, p=0.9)
+        pmf = bg_queue_length_pmf(s)
+        mean = float(np.arange(6) @ pmf)
+        assert mean == pytest.approx(s.bg_queue_length, abs=1e-9)
+
+    def test_p_zero_all_mass_at_zero(self):
+        s = solve(p=0.0)
+        pmf = bg_queue_length_pmf(s)
+        assert pmf[0] == pytest.approx(1.0)
+
+    def test_custom_buffer_size(self):
+        s = solve(p=0.9, bg_buffer=3)
+        assert bg_queue_length_pmf(s).shape == (4,)
+
+
+class TestQuantile:
+    def test_mm1_quantile(self):
+        rho = 0.5
+        s = solve(rho=rho, p=0.0)
+        # P(N <= k) = 1 - rho^{k+1}; the 0.9 quantile is the smallest k
+        # with rho^{k+1} <= 0.1, i.e. k = 3 for rho = 0.5.
+        assert fg_queue_length_quantile(s, 0.9) == 3
+
+    def test_monotone_in_q(self):
+        s = solve(rho=0.6, p=0.6)
+        q50 = fg_queue_length_quantile(s, 0.5)
+        q99 = fg_queue_length_quantile(s, 0.99)
+        assert q50 <= q99
+
+    def test_matches_pmf_cumsum(self):
+        s = solve(rho=0.5, p=0.3)
+        pmf = fg_queue_length_pmf(s, 100)
+        cdf = np.cumsum(pmf)
+        k = fg_queue_length_quantile(s, 0.95)
+        assert cdf[k] >= 0.95
+        if k > 0:
+            assert cdf[k - 1] < 0.95
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError, match="q must"):
+            fg_queue_length_quantile(solve(), 1.5)
+
+    def test_cap_reported(self):
+        s = solve(rho=0.95, p=0.3)
+        with pytest.raises(RuntimeError, match="close to saturation"):
+            fg_queue_length_quantile(s, 0.999999, n_max=5)

@@ -1,0 +1,98 @@
+"""Tests for the idle-period analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import BgServiceMode, FgBgModel
+from repro.core.idle_period import analyze_idle_periods
+from repro.core.states import StateKind
+from repro.processes import PoissonProcess, fit_mmpp2
+
+MU = 1 / 6.0
+
+
+def make_model(rho=0.4, p=0.6, **kwargs) -> FgBgModel:
+    return FgBgModel(
+        arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p, **kwargs
+    )
+
+
+def prob_bg_serving_no_fg(model, solution) -> float:
+    space = model.state_space
+    a = space.phases
+    pi_b = solution.qbd_solution.boundary
+    return sum(
+        float(pi_b[i * a : (i + 1) * a].sum())
+        for i, g in enumerate(space.boundary_groups)
+        if g.kind is StateKind.BG and g.fg == 0
+    )
+
+
+class TestConsistencyIdentities:
+    @pytest.mark.parametrize("p", [0.1, 0.6, 1.0])
+    def test_idle_fraction_matches_stationary(self, p):
+        model = make_model(p=p)
+        solution = model.solve()
+        analysis = analyze_idle_periods(model, solution)
+        expected = solution.idle_probability + prob_bg_serving_no_fg(model, solution)
+        assert analysis.idle_fraction == pytest.approx(expected, rel=1e-9)
+
+    def test_bg_completions_match_stationary_rate(self):
+        model = make_model()
+        solution = model.solve()
+        analysis = analyze_idle_periods(model, solution)
+        expected = MU * prob_bg_serving_no_fg(model, solution)
+        assert analysis.rate * analysis.mean_bg_completions == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_poisson_idle_length_is_memoryless(self):
+        # With Poisson arrivals the idle period is exactly Exp(lambda).
+        model = make_model(rho=0.3)
+        analysis = analyze_idle_periods(model)
+        assert analysis.mean_length == pytest.approx(1.0 / (0.3 * MU), rel=1e-9)
+
+    def test_mmpp_idle_length_differs_from_mean_interarrival(self):
+        arrival = fit_mmpp2(rate=0.3 * MU, scv=2.4, decay=0.95)
+        model = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6)
+        analysis = analyze_idle_periods(model)
+        # Bursty arrivals: busy periods end disproportionately inside
+        # bursts, so the conditional time to the next arrival is far from
+        # the unconditional mean.
+        assert analysis.mean_length != pytest.approx(
+            arrival.mean_interarrival, rel=0.05
+        )
+
+    def test_rewait_consistency(self):
+        model = make_model(bg_mode=BgServiceMode.REWAIT)
+        solution = model.solve()
+        analysis = analyze_idle_periods(model, solution)
+        expected = solution.idle_probability + prob_bg_serving_no_fg(model, solution)
+        assert analysis.idle_fraction == pytest.approx(expected, rel=1e-9)
+
+
+class TestQualitative:
+    def test_longer_idle_wait_raises_no_service_probability(self):
+        short = analyze_idle_periods(make_model().with_idle_wait_multiple(0.5))
+        long = analyze_idle_periods(make_model().with_idle_wait_multiple(4.0))
+        assert long.prob_no_bg_service > short.prob_no_bg_service
+
+    def test_longer_idle_wait_lowers_completions_per_period(self):
+        short = analyze_idle_periods(make_model().with_idle_wait_multiple(0.5))
+        long = analyze_idle_periods(make_model().with_idle_wait_multiple(4.0))
+        assert long.mean_bg_completions < short.mean_bg_completions
+
+    def test_higher_load_shortens_idle_periods(self):
+        light = analyze_idle_periods(make_model(rho=0.2))
+        heavy = analyze_idle_periods(make_model(rho=0.8))
+        assert heavy.mean_length < light.mean_length
+
+    def test_p_zero_serves_nothing(self):
+        analysis = analyze_idle_periods(make_model(p=0.0))
+        assert analysis.mean_bg_completions == pytest.approx(0.0, abs=1e-12)
+        assert analysis.prob_no_bg_service == pytest.approx(1.0)
+
+    def test_probabilities_in_unit_interval(self):
+        analysis = analyze_idle_periods(make_model(p=0.9, rho=0.7))
+        assert 0 <= analysis.prob_no_bg_service <= 1
+        assert 0 <= analysis.idle_fraction <= 1

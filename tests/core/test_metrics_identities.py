@@ -1,0 +1,72 @@
+"""Identity tests on the model metrics (PASTA, Little, flow balance)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FgBgModel
+from repro.processes import PoissonProcess, fit_ipp, fit_mmpp2
+
+MU = 1 / 6.0
+
+
+class TestPASTA:
+    """With Poisson arrivals, arrival averages equal time averages."""
+
+    @pytest.mark.parametrize("rho,p", [(0.3, 0.3), (0.6, 0.9)])
+    def test_arrival_delayed_equals_bg_share(self, rho, p):
+        s = FgBgModel(
+            arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p
+        ).solve()
+        assert s.fg_arrival_delayed_fraction == pytest.approx(
+            s.bg_server_share, rel=1e-9
+        )
+
+    def test_mmpp_breaks_pasta(self):
+        arrival = fit_mmpp2(rate=0.4 * MU, scv=2.4, decay=0.95)
+        s = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6).solve()
+        # Bursty arrivals see the system in a different state than a random
+        # time instant does.
+        assert s.fg_arrival_delayed_fraction != pytest.approx(
+            s.bg_server_share, rel=0.01
+        )
+
+    def test_ipp_renewal_also_breaks_pasta(self):
+        arrival = fit_ipp(mean=1.0 / (0.4 * MU), scv=4.0)
+        s = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6).solve()
+        assert s.fg_arrival_delayed_fraction != pytest.approx(
+            s.bg_server_share, rel=0.01
+        )
+
+
+class TestStructuralIdentities:
+    def test_fg_server_share_equals_utilization(self):
+        # The server must spend exactly lambda/mu of its time on FG work.
+        arrival = fit_mmpp2(rate=0.55 * MU, scv=2.0, decay=0.9)
+        s = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6).solve()
+        assert s.fg_server_share == pytest.approx(0.55, rel=1e-8)
+
+    def test_bg_share_equals_accepted_work(self):
+        s = FgBgModel(
+            arrival=PoissonProcess(0.4 * MU), service_rate=MU, bg_probability=0.6
+        ).solve()
+        # Each accepted BG job brings 1/mu expected work.
+        assert s.bg_server_share == pytest.approx(
+            (s.bg_spawn_rate - s.bg_drop_rate) / MU, rel=1e-8
+        )
+
+    def test_completion_rate_consistent_with_rates(self):
+        s = FgBgModel(
+            arrival=PoissonProcess(0.5 * MU), service_rate=MU, bg_probability=0.9
+        ).solve()
+        assert s.bg_completion_rate == pytest.approx(
+            1.0 - s.bg_drop_rate / s.bg_spawn_rate, rel=1e-9
+        )
+
+    def test_delayed_fraction_bounded_by_share_ratio(self):
+        # delayed = P(BG serving, FG waiting) / P(FG present); the numerator
+        # is at most P(BG serving) and the denominator at least P(FG
+        # serving), so delayed <= bg_share / fg_share.
+        s = FgBgModel(
+            arrival=PoissonProcess(0.4 * MU), service_rate=MU, bg_probability=0.9
+        ).solve()
+        assert s.fg_delayed_fraction <= s.bg_server_share / s.fg_server_share + 1e-9

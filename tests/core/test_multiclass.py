@@ -1,0 +1,156 @@
+"""Tests for the multiclass background extension (paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BgServiceMode, FgBgModel
+from repro.core.multiclass import MulticlassFgBgModel
+from repro.processes import PoissonProcess, fit_mmpp2
+
+MU = 1 / 6.0
+
+
+def single(rho=0.4, p=0.6, **kwargs) -> FgBgModel:
+    return FgBgModel(
+        arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p, **kwargs
+    )
+
+
+def multi(rho=0.4, probs=(0.6,), **kwargs) -> MulticlassFgBgModel:
+    return MulticlassFgBgModel(
+        arrival=PoissonProcess(rho * MU),
+        service_rate=MU,
+        bg_probabilities=probs,
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_requires_map(self):
+        with pytest.raises(TypeError, match="MarkovianArrivalProcess"):
+            MulticlassFgBgModel(arrival=1.0, service_rate=MU, bg_probabilities=(0.1,))
+
+    def test_rejects_empty_classes(self):
+        with pytest.raises(ValueError, match="at least one"):
+            multi(probs=())
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            multi(probs=(0.3, -0.1))
+
+    def test_rejects_probabilities_over_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            multi(probs=(0.6, 0.6))
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError, match="unstable"):
+            multi(rho=1.1).solve()
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ValueError, match="bg_buffer"):
+            multi(bg_buffer=0)
+
+
+class TestSingleClassEquivalence:
+    """With K = 1 the multiclass chain must equal FgBgModel exactly."""
+
+    @pytest.mark.parametrize("rho,p", [(0.3, 0.3), (0.6, 0.9), (0.8, 0.1)])
+    def test_poisson(self, rho, p):
+        a = single(rho=rho, p=p).solve()
+        b = multi(rho=rho, probs=(p,)).solve()
+        assert b.fg_queue_length == pytest.approx(a.fg_queue_length, rel=1e-9)
+        assert b.bg_queue_length == pytest.approx(a.bg_queue_length, rel=1e-9)
+        assert b.fg_delayed_fraction == pytest.approx(a.fg_delayed_fraction, rel=1e-9)
+        assert b.bg_completion_rate == pytest.approx(a.bg_completion_rate, rel=1e-9)
+        assert b.bg_throughputs[0] == pytest.approx(a.bg_throughput, rel=1e-9)
+
+    def test_mmpp(self):
+        arrival = fit_mmpp2(rate=0.4 * MU, scv=2.0, decay=0.9)
+        a = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6).solve()
+        b = MulticlassFgBgModel(
+            arrival=arrival, service_rate=MU, bg_probabilities=(0.6,)
+        ).solve()
+        assert b.fg_queue_length == pytest.approx(a.fg_queue_length, rel=1e-9)
+        assert b.bg_completion_rate == pytest.approx(a.bg_completion_rate, rel=1e-9)
+
+    def test_rewait_mode(self):
+        a = single(bg_mode=BgServiceMode.REWAIT).solve()
+        b = multi(bg_mode=BgServiceMode.REWAIT).solve()
+        assert b.fg_queue_length == pytest.approx(a.fg_queue_length, rel=1e-9)
+
+
+class TestAggregation:
+    """Splitting one class into several with the same total probability must
+    leave every class-aggregate metric unchanged (identical service)."""
+
+    def test_two_way_split(self):
+        whole = single(rho=0.5, p=0.6).solve()
+        split = multi(rho=0.5, probs=(0.3, 0.3)).solve()
+        assert split.fg_queue_length == pytest.approx(whole.fg_queue_length, rel=1e-9)
+        assert split.bg_queue_length == pytest.approx(whole.bg_queue_length, rel=1e-9)
+        assert split.bg_completion_rate == pytest.approx(
+            whole.bg_completion_rate, rel=1e-9
+        )
+        assert sum(split.bg_throughputs) == pytest.approx(
+            whole.bg_throughput, rel=1e-9
+        )
+
+    def test_three_way_split(self):
+        whole = single(rho=0.4, p=0.6, bg_buffer=3).solve()
+        split = multi(rho=0.4, probs=(0.2, 0.2, 0.2), bg_buffer=3).solve()
+        assert split.fg_queue_length == pytest.approx(whole.fg_queue_length, rel=1e-8)
+        assert split.bg_queue_length == pytest.approx(whole.bg_queue_length, rel=1e-8)
+
+
+class TestPriorityEffects:
+    def test_symmetric_classes_have_equal_throughput(self):
+        s = multi(rho=0.5, probs=(0.3, 0.3)).solve()
+        assert s.bg_throughputs[0] == pytest.approx(s.bg_throughputs[1], rel=1e-9)
+
+    def test_higher_priority_has_shorter_response(self):
+        s = multi(rho=0.5, probs=(0.3, 0.3)).solve()
+        assert s.bg_response_times[0] < s.bg_response_times[1]
+
+    def test_response_times_ordered_across_three_classes(self):
+        s = multi(rho=0.5, probs=(0.2, 0.2, 0.2), bg_buffer=4).solve()
+        r = s.bg_response_times
+        assert r[0] < r[1] < r[2]
+
+    def test_higher_priority_has_shorter_queue(self):
+        s = multi(rho=0.5, probs=(0.3, 0.3)).solve()
+        assert s.bg_queue_lengths[0] < s.bg_queue_lengths[1]
+
+    def test_completion_rate_is_class_independent(self):
+        # The buffer is shared, so admission depends only on total
+        # occupancy at spawn time -- identical for both classes.
+        s = multi(rho=0.6, probs=(0.4, 0.2)).solve()
+        assert 0 < s.bg_completion_rate < 1
+
+    def test_class_zero_probability_is_inert(self):
+        with_zero = multi(rho=0.5, probs=(0.6, 0.0)).solve()
+        without = multi(rho=0.5, probs=(0.6,)).solve()
+        assert with_zero.fg_queue_length == pytest.approx(
+            without.fg_queue_length, rel=1e-9
+        )
+        assert with_zero.bg_queue_lengths[1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestConservation:
+    def test_server_time_partition(self):
+        s = multi(rho=0.5, probs=(0.3, 0.2)).solve()
+        busy = s.fg_server_share + sum(s.bg_server_shares)
+        assert busy < 1.0
+        assert s.fg_server_share == pytest.approx(0.5, rel=1e-8)
+
+    def test_throughput_proportional_to_spawn_probability(self):
+        s = multi(rho=0.4, probs=(0.4, 0.2)).solve()
+        # Same admission probability, so throughput ratio equals the
+        # spawn-probability ratio.
+        assert s.bg_throughputs[0] / s.bg_throughputs[1] == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    def test_total_mass_normalized(self):
+        s = multi(rho=0.5, probs=(0.3, 0.3)).solve()
+        assert s.qbd_solution.total_mass == pytest.approx(1.0, abs=1e-10)
+        assert s.qbd_solution.residual() < 1e-10

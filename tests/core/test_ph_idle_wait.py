@@ -1,0 +1,129 @@
+"""Tests for the phase-type idle-wait extension (footnote 3, wait process)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BgServiceMode, FgBgModel
+from repro.core.ph_service import PhServiceFgBgModel
+from repro.processes import PhaseType, PoissonProcess, fit_mmpp2
+from repro.sim import FgBgSimulator
+
+MU = 1 / 6.0
+
+SHARED_METRICS = (
+    "fg_queue_length",
+    "bg_queue_length",
+    "fg_delayed_fraction",
+    "bg_completion_rate",
+    "fg_server_share",
+    "bg_server_share",
+)
+
+
+def model_with_wait(wait, rho=0.4, p=0.6, **kwargs) -> PhServiceFgBgModel:
+    return PhServiceFgBgModel(
+        arrival=PoissonProcess(rho * MU),
+        service=PhaseType.exponential(MU),
+        bg_probability=p,
+        idle_wait=wait,
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_rejects_both_wait_specs(self):
+        with pytest.raises(ValueError, match="not both"):
+            PhServiceFgBgModel(
+                arrival=PoissonProcess(0.05),
+                service=PhaseType.exponential(MU),
+                bg_probability=0.3,
+                idle_wait_rate=MU,
+                idle_wait=PhaseType.exponential(MU),
+            )
+
+    def test_rejects_non_ph_wait(self):
+        with pytest.raises(TypeError, match="PhaseType"):
+            model_with_wait(wait=0.5)
+
+    def test_default_wait_is_exponential_service_mean(self):
+        m = PhServiceFgBgModel(
+            arrival=PoissonProcess(0.05),
+            service=PhaseType.exponential(MU),
+            bg_probability=0.3,
+        )
+        assert m.wait_distribution.mean == pytest.approx(6.0)
+        assert m.wait_distribution.order == 1
+
+
+class TestExponentialEquivalence:
+    @pytest.mark.parametrize("mode", list(BgServiceMode))
+    def test_exp_wait_matches_base_model(self, mode):
+        ph = model_with_wait(PhaseType.exponential(MU), bg_mode=mode).solve()
+        base = FgBgModel(
+            arrival=PoissonProcess(0.4 * MU),
+            service_rate=MU,
+            bg_probability=0.6,
+            bg_mode=mode,
+        ).solve()
+        for name in SHARED_METRICS:
+            assert getattr(ph, name) == pytest.approx(getattr(base, name), rel=1e-9), name
+
+    def test_exp_wait_with_mmpp_arrivals(self):
+        arrival = fit_mmpp2(rate=0.4 * MU, scv=2.0, decay=0.9)
+        ph = PhServiceFgBgModel(
+            arrival=arrival,
+            service=PhaseType.exponential(MU),
+            bg_probability=0.6,
+            idle_wait=PhaseType.exponential(MU / 2),
+        ).solve()
+        base = FgBgModel(
+            arrival=arrival,
+            service_rate=MU,
+            bg_probability=0.6,
+            idle_wait_rate=MU / 2,
+        ).solve()
+        assert ph.fg_queue_length == pytest.approx(base.fg_queue_length, rel=1e-9)
+        assert ph.bg_completion_rate == pytest.approx(base.bg_completion_rate, rel=1e-9)
+
+
+class TestDeterministicTimer:
+    def test_erlang_wait_solves_cleanly(self):
+        s = model_with_wait(PhaseType.erlang(8, 8 * MU)).solve()
+        assert s.qbd_solution.residual() < 1e-10
+        assert 0 < s.bg_completion_rate < 1
+
+    def test_timer_shape_changes_bg_admission(self):
+        exp_wait = model_with_wait(PhaseType.exponential(MU)).solve()
+        det_wait = model_with_wait(PhaseType.erlang(8, 8 * MU)).solve()
+        # Same mean wait, different shape: metrics must genuinely differ.
+        assert det_wait.bg_completion_rate != pytest.approx(
+            exp_wait.bg_completion_rate, rel=1e-3
+        )
+
+    def test_matches_simulation(self):
+        wait = PhaseType.erlang(4, 4 * MU)
+        analytic = model_with_wait(wait).solve()
+        proxy = FgBgModel(
+            arrival=PoissonProcess(0.4 * MU), service_rate=MU, bg_probability=0.6
+        )
+        sim = FgBgSimulator(proxy, idle_wait=wait).run(
+            500_000.0, np.random.default_rng(5)
+        )
+        for name in SHARED_METRICS:
+            assert getattr(sim, name) == pytest.approx(
+                getattr(analytic, name), rel=0.08, abs=0.01
+            ), name
+
+    def test_fg_mean_identity_still_holds(self):
+        # The Poisson-arrivals identity (FG response depends only on the
+        # accepted BG rate) holds for any wait distribution too.
+        from repro.vacation.priority import NonPreemptivePriorityQueue
+
+        s = model_with_wait(PhaseType.erlang(8, 8 * MU)).solve()
+        accepted = MU * s.bg_server_share
+        cobham = NonPreemptivePriorityQueue(
+            lam_high=0.4 * MU, lam_low=accepted, mu=MU
+        )
+        assert s.fg_response_time == pytest.approx(
+            cobham.high_response_time, rel=1e-8
+        )

@@ -1,0 +1,119 @@
+"""Tests for the phase-type service extension (paper footnote 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BgServiceMode, FgBgModel
+from repro.core.ph_service import PhServiceFgBgModel
+from repro.processes import PhaseType, PoissonProcess, fit_mmpp2
+from repro.sim import FgBgSimulator
+
+MU = 1 / 6.0
+
+SHARED_METRICS = (
+    "fg_queue_length",
+    "bg_queue_length",
+    "fg_delayed_fraction",
+    "bg_completion_rate",
+    "fg_server_share",
+    "bg_server_share",
+)
+
+
+def ph_model(service, rho=0.4, p=0.6, **kwargs) -> PhServiceFgBgModel:
+    return PhServiceFgBgModel(
+        arrival=PoissonProcess(rho * MU),
+        service=service,
+        bg_probability=p,
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_requires_phase_type(self):
+        with pytest.raises(TypeError, match="PhaseType"):
+            PhServiceFgBgModel(
+                arrival=PoissonProcess(0.05), service=MU, bg_probability=0.3
+            )
+
+    def test_requires_positive_p(self):
+        with pytest.raises(ValueError, match="bg_probability"):
+            ph_model(PhaseType.exponential(MU), p=0.0)
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError, match="unstable"):
+            ph_model(PhaseType.exponential(MU), rho=1.2).solve()
+
+    def test_default_idle_wait_is_mean_service(self):
+        m = ph_model(PhaseType.erlang(2, 2 * MU))
+        assert m.wait_distribution.mean == pytest.approx(1.0 / MU)
+
+
+class TestExponentialEquivalence:
+    """PH = Exp(mu) must reproduce the exponential model exactly."""
+
+    @pytest.mark.parametrize("rho,p", [(0.3, 0.3), (0.6, 0.9)])
+    def test_poisson_arrivals(self, rho, p):
+        a = FgBgModel(
+            arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p
+        ).solve()
+        b = ph_model(PhaseType.exponential(MU), rho=rho, p=p).solve()
+        for name in SHARED_METRICS:
+            assert getattr(b, name) == pytest.approx(getattr(a, name), rel=1e-9), name
+
+    def test_mmpp_arrivals(self):
+        arrival = fit_mmpp2(rate=0.4 * MU, scv=2.0, decay=0.9)
+        a = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6).solve()
+        b = PhServiceFgBgModel(
+            arrival=arrival, service=PhaseType.exponential(MU), bg_probability=0.6
+        ).solve()
+        for name in SHARED_METRICS:
+            assert getattr(b, name) == pytest.approx(getattr(a, name), rel=1e-9), name
+
+    def test_rewait_mode(self):
+        a = FgBgModel(
+            arrival=PoissonProcess(0.4 * MU),
+            service_rate=MU,
+            bg_probability=0.6,
+            bg_mode=BgServiceMode.REWAIT,
+        ).solve()
+        b = ph_model(
+            PhaseType.exponential(MU), bg_mode=BgServiceMode.REWAIT
+        ).solve()
+        assert b.fg_queue_length == pytest.approx(a.fg_queue_length, rel=1e-9)
+
+
+class TestServiceVariabilityEffects:
+    def test_erlang_reduces_fg_queue(self):
+        expo = ph_model(PhaseType.exponential(MU)).solve()
+        erlang = ph_model(PhaseType.erlang(4, 4 * MU)).solve()
+        assert erlang.fg_queue_length < expo.fg_queue_length
+
+    def test_hyperexponential_increases_fg_queue(self):
+        expo = ph_model(PhaseType.exponential(MU)).solve()
+        h2 = ph_model(PhaseType.h2_balanced(1 / MU, scv=4.0)).solve()
+        assert h2.fg_queue_length > expo.fg_queue_length
+
+    def test_utilization_unchanged_by_shape(self):
+        erlang = ph_model(PhaseType.erlang(4, 4 * MU)).solve()
+        assert erlang.fg_server_share == pytest.approx(0.4, rel=1e-8)
+
+    def test_residual_small(self):
+        s = ph_model(PhaseType.erlang(3, 3 * MU), rho=0.6).solve()
+        assert s.qbd_solution.residual() < 1e-10
+
+
+class TestAgainstSimulation:
+    def test_erlang_service_matches_simulation(self):
+        service = PhaseType.erlang(3, 3 * MU)
+        analytic = ph_model(service).solve()
+        proxy = FgBgModel(
+            arrival=PoissonProcess(0.4 * MU), service_rate=MU, bg_probability=0.6
+        )
+        sim = FgBgSimulator(proxy, service=service).run(
+            400_000.0, np.random.default_rng(5)
+        )
+        for name in SHARED_METRICS:
+            assert getattr(sim, name) == pytest.approx(
+                getattr(analytic, name), rel=0.08, abs=0.01
+            ), name

@@ -1,0 +1,55 @@
+"""Tests for the FgBgSolution container."""
+
+import math
+
+from repro.core import FgBgModel
+from repro.processes import PoissonProcess
+
+MU = 1 / 6.0
+
+
+def solution(p=0.3):
+    return FgBgModel(
+        arrival=PoissonProcess(0.3 * MU), service_rate=MU, bg_probability=p
+    ).solve()
+
+
+class TestAsDict:
+    def test_contains_all_scalar_metrics(self):
+        d = solution().as_dict()
+        expected = {
+            "fg_queue_length",
+            "bg_queue_length",
+            "fg_delayed_fraction",
+            "fg_arrival_delayed_fraction",
+            "bg_completion_rate",
+            "fg_server_share",
+            "bg_server_share",
+            "idle_probability",
+            "fg_throughput",
+            "bg_throughput",
+            "bg_spawn_rate",
+            "bg_drop_rate",
+            "fg_response_time",
+            "bg_response_time",
+            "fg_utilization",
+        }
+        assert set(d) == expected
+
+    def test_excludes_qbd_solution(self):
+        assert "qbd_solution" not in solution().as_dict()
+
+
+class TestSummary:
+    def test_one_line_per_metric(self):
+        s = solution()
+        lines = s.summary().splitlines()
+        assert len(lines) == len(s.as_dict()) + 1
+
+    def test_nan_rendered(self):
+        s = solution(p=0.0)
+        assert math.isnan(s.bg_completion_rate)
+        assert "nan" in s.summary()
+
+    def test_repr_compact(self):
+        assert "fg_queue_length=" in repr(solution())

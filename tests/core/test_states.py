@@ -1,0 +1,130 @@
+"""Tests for the FG/BG state-space enumeration (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import BoundaryGroup, RepeatingGroup, StateKind, StateSpace
+
+
+class TestCounts:
+    @pytest.mark.parametrize("x,expected", [(0, 1), (1, 4), (2, 9), (5, 36)])
+    def test_boundary_group_count_is_square(self, x, expected):
+        assert StateSpace(x, 1).boundary_group_count == expected
+
+    @pytest.mark.parametrize("x,expected", [(0, 1), (1, 3), (2, 5), (5, 11)])
+    def test_repeating_group_count(self, x, expected):
+        assert StateSpace(x, 1).repeating_group_count == expected
+
+    def test_phase_expansion(self):
+        space = StateSpace(2, 3)
+        assert space.boundary_state_count == 9 * 3
+        assert space.repeating_state_count == 5 * 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="bg_buffer"):
+            StateSpace(-1, 1)
+        with pytest.raises(ValueError, match="phases"):
+            StateSpace(1, 0)
+
+
+class TestFigure3Structure:
+    """The X=2 instance drawn in the paper's Figure 3."""
+
+    def test_level_contents(self):
+        space = StateSpace(2, 1)
+        by_level: dict[int, list[BoundaryGroup]] = {}
+        for g in space.boundary_groups:
+            by_level.setdefault(g.level, []).append(g)
+        # Level 0: only the empty state.
+        assert [(g.kind, g.bg, g.fg) for g in by_level[0]] == [(StateKind.IDLE, 0, 0)]
+        # Level 1: F(0,1), B(1,0), I(1).
+        assert [(g.kind, g.bg, g.fg) for g in by_level[1]] == [
+            (StateKind.FG, 0, 1),
+            (StateKind.BG, 1, 0),
+            (StateKind.IDLE, 1, 0),
+        ]
+        # Level 2: F(0,2), F(1,1), B(1,1), B(2,0), I(2).
+        assert [(g.kind, g.bg, g.fg) for g in by_level[2]] == [
+            (StateKind.FG, 0, 2),
+            (StateKind.FG, 1, 1),
+            (StateKind.BG, 1, 1),
+            (StateKind.BG, 2, 0),
+            (StateKind.IDLE, 2, 0),
+        ]
+
+    def test_repeating_groups_alternate_fg_bg(self):
+        space = StateSpace(2, 1)
+        assert [(g.kind, g.bg) for g in space.repeating_groups] == [
+            (StateKind.FG, 0),
+            (StateKind.FG, 1),
+            (StateKind.BG, 1),
+            (StateKind.FG, 2),
+            (StateKind.BG, 2),
+        ]
+
+    def test_level_invariant_enforced(self):
+        with pytest.raises(ValueError, match="level"):
+            BoundaryGroup(level=2, kind=StateKind.FG, bg=0, fg=1)
+
+
+class TestLookups:
+    def test_boundary_roundtrip(self):
+        space = StateSpace(3, 2)
+        for i, g in enumerate(space.boundary_groups):
+            assert space.boundary_group_index(g.kind, g.bg, g.fg) == i
+
+    def test_repeating_roundtrip(self):
+        space = StateSpace(3, 2)
+        for i, g in enumerate(space.repeating_groups):
+            assert space.repeating_group_index(g.kind, g.bg) == i
+
+    def test_missing_boundary_group(self):
+        with pytest.raises(KeyError, match="no boundary group"):
+            StateSpace(2, 1).boundary_group_index(StateKind.FG, 5, 1)
+
+    def test_missing_repeating_group(self):
+        with pytest.raises(KeyError, match="no repeating group"):
+            StateSpace(2, 1).repeating_group_index(StateKind.BG, 0)
+
+
+class TestMetricVectors:
+    def test_fg_counts(self):
+        space = StateSpace(1, 1)
+        # Groups: I(0) | F(0,1) B(1,0) I(1).
+        np.testing.assert_array_equal(space.boundary_fg_counts, [0, 1, 0, 0])
+        np.testing.assert_array_equal(space.boundary_bg_counts, [0, 0, 1, 1])
+
+    def test_phase_repetition(self):
+        space = StateSpace(1, 2)
+        np.testing.assert_array_equal(
+            space.boundary_fg_counts, [0, 0, 1, 1, 0, 0, 0, 0]
+        )
+
+    def test_kind_masks_partition(self):
+        space = StateSpace(3, 2)
+        total = (
+            space.boundary_kind_mask(StateKind.IDLE)
+            + space.boundary_kind_mask(StateKind.FG)
+            + space.boundary_kind_mask(StateKind.BG)
+        )
+        np.testing.assert_array_equal(total, np.ones(space.boundary_state_count))
+
+    def test_bg_busy_fg_waiting_mask(self):
+        space = StateSpace(2, 1)
+        mask = space.boundary_bg_busy_fg_waiting_mask
+        groups = space.boundary_groups
+        for i, g in enumerate(groups):
+            expected = 1.0 if (g.kind is StateKind.BG and g.fg >= 1) else 0.0
+            assert mask[i] == expected
+
+    def test_full_buffer_fg_mask(self):
+        space = StateSpace(2, 1)
+        mask = space.repeating_bg_full_fg_mask
+        expected = [
+            1.0 if (g.kind is StateKind.FG and g.bg == 2) else 0.0
+            for g in space.repeating_groups
+        ]
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_repr(self):
+        assert "bg_buffer=2" in repr(StateSpace(2, 1))

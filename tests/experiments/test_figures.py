@@ -1,0 +1,205 @@
+"""Tests that each reproduced figure exhibits the paper's findings.
+
+These are the headline qualitative claims of the paper's Section 5; each
+test pins one of them to the regenerated data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_trace_acf,
+    fig2_mmpp_acf,
+    fig5_fg_queue_length,
+    fig6_fg_delayed,
+    fig7_bg_completion,
+    fig8_bg_queue_length,
+    fig9_idle_wait_fg,
+    fig10_idle_wait_bg,
+    fig11_dependence_fg_qlen,
+    fig12_dependence_bg_completion,
+    fig13_dependence_fg_delayed,
+)
+
+# Module-scoped caches: the sweeps are pure functions of their defaults.
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_fg_queue_length()
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_fg_delayed()
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_bg_completion()
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return fig8_bg_queue_length()
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_dependence_fg_qlen()
+
+
+class TestFig1:
+    def test_synthetic_traces_show_expected_acf_levels(self):
+        r = fig1_trace_acf(samples=60_000, lags=50, seed=2)
+        email = r.series_by_label("E-mail")
+        softdev = r.series_by_label("Software Development")
+        assert email.y[:10].mean() > 0.15
+        assert softdev.y[:10].mean() < 0.15
+        assert email.y[:10].mean() > softdev.y[:10].mean()
+
+    def test_table_present(self):
+        r = fig1_trace_acf(samples=5_000, lags=20)
+        assert r.table[0][0] == "workload"
+        assert len(r.table) == 4
+
+
+class TestFig2:
+    def test_closed_form_acf_matches_workloads(self):
+        r = fig2_mmpp_acf(lags=60)
+        email = r.series_by_label("E-mail")
+        assert email.y[0] == pytest.approx(0.29, abs=0.01)
+        softdev = r.series_by_label("Software Development")
+        assert softdev.y[40] < 1e-3
+
+    def test_parameter_table_shape(self):
+        r = fig2_mmpp_acf(lags=5)
+        assert r.table[0] == ("workload", "v1", "v2", "l1", "l2")
+        assert len(r.table) == 4
+
+
+class TestFig5:
+    def test_queue_length_increases_sharply_with_load(self, fig5):
+        s = fig5.series_by_label("E-mail High ACF | p = 0.3")
+        assert np.all(np.diff(s.y) > 0)
+        assert s.y[-1] / s.y[0] > 50
+
+    def test_nearly_insensitive_to_p(self, fig5):
+        """Foreground load, not background load, determines FG performance."""
+        lo = fig5.series_by_label("E-mail High ACF | p = 0")
+        hi = fig5.series_by_label("E-mail High ACF | p = 0.9")
+        mid = len(lo.y) // 2
+        assert hi.y[mid] < 3.0 * lo.y[mid]
+
+    def test_email_saturates_much_faster_than_softdev(self, fig5):
+        email = fig5.series_by_label("E-mail High ACF | p = 0.3")
+        softdev = fig5.series_by_label("Software Dev. Low ACF | p = 0.3")
+        # Compare at the common load 0.5.
+        e = email.y[np.searchsorted(email.x, 0.5)]
+        s = softdev.y[np.searchsorted(softdev.x, 0.5)]
+        assert e > 5 * s
+
+
+class TestFig6:
+    def test_delayed_fraction_small(self, fig6):
+        for s in fig6.series:
+            assert np.all(s.y < 0.15)
+
+    def test_rises_with_p(self, fig6):
+        lo = fig6.series_by_label("Software Dev. Low ACF | p = 0.1")
+        hi = fig6.series_by_label("Software Dev. Low ACF | p = 0.9")
+        assert np.all(hi.y >= lo.y)
+
+    def test_rises_then_falls_with_load(self, fig6):
+        """The paper's 'most interesting point': beyond a load threshold the
+        affected portion drops dramatically."""
+        s = fig6.series_by_label("E-mail High ACF | p = 0.9")
+        peak = int(np.argmax(s.y))
+        assert 0 < peak < len(s.y) - 1
+        assert s.y[-1] < 0.6 * s.y[peak]
+
+
+class TestFig7:
+    def test_completion_decreases_to_zero_with_load(self, fig7):
+        s = fig7.series_by_label("E-mail High ACF | p = 0.9")
+        assert np.all(np.diff(s.y) < 0)
+        assert s.y[-1] < 0.3
+
+    def test_email_collapses_sooner_than_softdev(self, fig7):
+        email = fig7.series_by_label("E-mail High ACF | p = 0.3")
+        softdev = fig7.series_by_label("Software Dev. Low ACF | p = 0.3")
+        e = email.y[np.searchsorted(email.x, 0.5)]
+        s = softdev.y[np.searchsorted(softdev.x, 0.5)]
+        assert e < s
+
+
+class TestFig8:
+    def test_bg_queue_grows_with_load(self, fig8):
+        s = fig8.series_by_label("E-mail High ACF | p = 0.6")
+        assert np.all(np.diff(s.y) > 0)
+
+    def test_bg_queue_bounded_by_buffer(self, fig8):
+        for s in fig8.series:
+            assert np.all(s.y <= 5.0)
+
+
+class TestFig9And10:
+    def test_longer_idle_wait_helps_fg(self):
+        r = fig9_idle_wait_fg()
+        s = r.series_by_label("E-mail High ACF | p = 0.6")
+        assert s.y[-1] < s.y[0]
+
+    def test_longer_idle_wait_hurts_bg(self):
+        r = fig10_idle_wait_bg()
+        s = r.series_by_label("E-mail High ACF | p = 0.6")
+        assert np.all(np.diff(s.y) < 0)
+
+    def test_fg_gain_is_marginal_vs_bg_loss(self):
+        """The paper's design guidance: idle wait near one service time --
+        stretching it wins little FG performance but costs much completion."""
+        fg = fig9_idle_wait_fg().series_by_label("E-mail High ACF | p = 0.6")
+        bg = fig10_idle_wait_bg().series_by_label("E-mail High ACF | p = 0.6")
+        half = np.searchsorted(fg.x, 0.5)
+        two = np.searchsorted(fg.x, 2.0)
+        fg_gain = (fg.y[half] - fg.y[two]) / fg.y[half]
+        bg_loss = (bg.y[half] - bg.y[two]) / bg.y[half]
+        assert bg_loss > 2 * fg_gain
+
+
+class TestFig11:
+    def test_correlated_orders_of_magnitude_worse(self, fig11):
+        high = fig11.series_by_label("p = 0.3 | High ACF")
+        expo = fig11.series_by_label("p = 0.3 | Expo")
+        # Queue length reached by the correlated process at ~50% load is
+        # reached by Poisson arrivals only far beyond it.
+        q_high = high.y[-1]
+        assert q_high > 10 * expo.y[np.searchsorted(expo.x, 0.5)]
+
+    def test_variability_alone_is_mild(self, fig11):
+        """IPP has the same CV as High ACF but no correlation: its queue
+        stays near the Poisson curve, far below the correlated ones."""
+        ipp = fig11.series_by_label("p = 0.9 | IPP")
+        high = fig11.series_by_label("p = 0.9 | High ACF")
+        at_half_ipp = ipp.y[np.searchsorted(ipp.x, 0.5)]
+        assert high.y[-1] > 5 * at_half_ipp
+
+
+class TestFig12And13:
+    def test_completion_gap_between_expo_and_correlated(self):
+        r = fig12_dependence_bg_completion()
+        high = r.series_by_label("p = 0.3 | High ACF")
+        expo = r.series_by_label("p = 0.3 | Expo")
+        # Near 50% load the correlated system has lost most completions
+        # while the Poisson-fed system still completes nearly everything.
+        h = high.y[np.searchsorted(high.x, 0.5) - 1]
+        e = expo.y[np.searchsorted(expo.x, 0.5)]
+        assert e - h > 0.4
+
+    def test_delayed_fraction_peaks_earlier_under_correlation(self):
+        r = fig13_dependence_fg_delayed()
+        high = r.series_by_label("p = 0.9 | High ACF")
+        expo = r.series_by_label("p = 0.9 | Expo")
+        peak_high = high.x[int(np.argmax(high.y))]
+        peak_expo = expo.x[int(np.argmax(expo.y))]
+        assert peak_high < peak_expo

@@ -1,0 +1,90 @@
+"""Tests for the experiment result container and text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.render import render_result, render_table
+from repro.experiments.result import ExperimentResult, Series
+
+
+def make_result():
+    s1 = Series(label="p = 0.1", x=np.array([0.1, 0.2]), y=np.array([1.0, 2.0]))
+    s2 = Series(label="p = 0.9", x=np.array([0.1, 0.2]), y=np.array([3.0, 4.0]))
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Test figure",
+        x_label="load",
+        y_label="qlen",
+        series=(s1, s2),
+        notes="a note",
+    )
+
+
+class TestSeries:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            Series(label="a", x=np.array([1.0]), y=np.array([1.0, 2.0]))
+
+    def test_arrays_coerced_to_float(self):
+        s = Series(label="a", x=[1, 2], y=[3, 4])
+        assert s.x.dtype == float
+
+
+class TestExperimentResult:
+    def test_series_lookup(self):
+        r = make_result()
+        assert r.series_by_label("p = 0.9").y[0] == 3.0
+
+    def test_missing_series(self):
+        with pytest.raises(KeyError, match="no series"):
+            make_result().series_by_label("p = 0.5")
+
+    def test_labels_in_order(self):
+        assert make_result().labels == ("p = 0.1", "p = 0.9")
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            ExperimentResult(
+                experiment_id="e", title="t", x_label="x", y_label="y", series=()
+            )
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        rows = (("name", "value"), ("aa", "1.0"), ("b", "22.5"))
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert render_table(()) == ""
+
+
+class TestRenderResult:
+    def test_contains_title_and_series(self):
+        text = render_result(make_result())
+        assert "figX" in text
+        assert "p = 0.1" in text
+        assert "a note" in text
+
+    def test_mixed_x_grids_render_separately(self):
+        s1 = Series(label="a", x=np.array([0.1, 0.2]), y=np.array([1.0, 2.0]))
+        s2 = Series(label="b", x=np.array([0.5, 0.9]), y=np.array([3.0, 4.0]))
+        r = ExperimentResult(
+            experiment_id="figY",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(s1, s2),
+        )
+        text = render_result(r)
+        assert text.count("[y]") == 2
+
+    def test_nan_rendered(self):
+        s = Series(label="a", x=np.array([0.1]), y=np.array([float("nan")]))
+        r = ExperimentResult(
+            experiment_id="figZ", title="t", x_label="x", y_label="y", series=(s,)
+        )
+        assert "nan" in render_result(r)

@@ -1,0 +1,27 @@
+"""Tests for the CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunner:
+    def test_runs_single_figure(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "E-mail" in out
+
+    def test_fast_flag_for_fig1(self, capsys):
+        assert main(["fig1", "--fast"]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+    def test_unknown_figure_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_multiple_figures(self, capsys):
+        assert main(["fig2", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig9" in out

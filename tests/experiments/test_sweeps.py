@@ -1,0 +1,67 @@
+"""Tests for the sweep helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweeps import (
+    BG_PROBABILITIES,
+    idle_wait_sweep_series,
+    load_sweep_series,
+)
+from repro.processes import PoissonProcess
+from repro.workloads import SERVICE_RATE_PER_MS
+
+
+class TestLoadSweep:
+    def test_one_series_per_probability(self):
+        series = load_sweep_series(
+            PoissonProcess(0.01),
+            utilizations=[0.2, 0.4],
+            bg_probabilities=[0.1, 0.9],
+            metric=lambda s: s.fg_queue_length,
+        )
+        assert [s.label for s in series] == ["p = 0.1", "p = 0.9"]
+        assert all(s.x.shape == (2,) for s in series)
+
+    def test_metric_applied(self):
+        (series,) = load_sweep_series(
+            PoissonProcess(0.01),
+            utilizations=[0.5],
+            bg_probabilities=[0.0],
+            metric=lambda s: s.fg_queue_length,
+        )
+        # M/M/1 at rho = 0.5.
+        assert series.y[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_model_kwargs_forwarded(self):
+        (small,) = load_sweep_series(
+            PoissonProcess(0.01),
+            utilizations=[0.5],
+            bg_probabilities=[0.9],
+            metric=lambda s: s.bg_completion_rate,
+            bg_buffer=1,
+        )
+        (large,) = load_sweep_series(
+            PoissonProcess(0.01),
+            utilizations=[0.5],
+            bg_probabilities=[0.9],
+            metric=lambda s: s.bg_completion_rate,
+            bg_buffer=10,
+        )
+        assert large.y[0] > small.y[0]
+
+    def test_paper_probability_grid(self):
+        assert BG_PROBABILITIES == (0.0, 0.1, 0.3, 0.6, 0.9)
+
+
+class TestIdleWaitSweep:
+    def test_x_axis_is_multiples(self):
+        arrival = PoissonProcess(0.3 * SERVICE_RATE_PER_MS)
+        (series,) = idle_wait_sweep_series(
+            arrival,
+            idle_wait_multiples=[0.5, 1.0, 2.0],
+            bg_probabilities=[0.6],
+            metric=lambda s: s.bg_completion_rate,
+        )
+        np.testing.assert_array_equal(series.x, [0.5, 1.0, 2.0])
+        assert np.all(np.diff(series.y) < 0)

@@ -1,0 +1,41 @@
+"""Smoke-tests: the shipped examples must run and print their conclusions."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Load sweep" in out
+        assert "bg_completion_rate" in out
+
+    def test_write_verification(self):
+        out = run_example("write_verification.py")
+        assert "max sustainable load" in out
+        assert "E-mail" in out
+
+    def test_scrubbing_policy(self):
+        out = run_example("scrubbing_policy.py")
+        assert "Recommendation" in out
+
+    def test_validate_model_fast(self):
+        out = run_example("validate_model.py", "--fast")
+        assert "analytic" in out
+        assert "rel.dev" in out

@@ -1,0 +1,92 @@
+"""End-to-end validation: analytic model vs discrete-event simulation.
+
+The simulator implements the system independently of the chain (event
+calendar vs generator blocks), so agreement here validates both the state
+space and every metric formula.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BgServiceMode, FgBgModel
+from repro.processes import PoissonProcess, fit_ipp, fit_mmpp2
+from repro.sim import FgBgSimulator
+from repro.workloads import SERVICE_RATE_PER_MS
+
+MU = SERVICE_RATE_PER_MS
+
+METRICS = (
+    "fg_queue_length",
+    "bg_queue_length",
+    "fg_delayed_fraction",
+    "fg_arrival_delayed_fraction",
+    "bg_completion_rate",
+    "fg_server_share",
+    "bg_server_share",
+    "fg_response_time",
+)
+
+
+def compare(model: FgBgModel, horizon: float, seed: int, rel: float, abs_tol: float = 0.01):
+    analytic = model.solve()
+    simulated = FgBgSimulator(model).run(horizon, np.random.default_rng(seed))
+    for name in METRICS:
+        a = getattr(analytic, name)
+        s = getattr(simulated, name)
+        assert s == pytest.approx(a, rel=rel, abs=abs_tol), (
+            f"{name}: analytic {a}, simulated {s}"
+        )
+
+
+class TestPoissonArrivals:
+    @pytest.mark.parametrize("p", [0.1, 0.6, 1.0])
+    def test_moderate_load(self, p):
+        model = FgBgModel(
+            arrival=PoissonProcess(0.4 * MU), service_rate=MU, bg_probability=p
+        )
+        compare(model, horizon=1_500_000.0, seed=11, rel=0.06)
+
+    def test_high_load(self):
+        model = FgBgModel(
+            arrival=PoissonProcess(0.8 * MU), service_rate=MU, bg_probability=0.3
+        )
+        compare(model, horizon=2_500_000.0, seed=13, rel=0.08, abs_tol=0.02)
+
+    def test_small_buffer(self):
+        model = FgBgModel(
+            arrival=PoissonProcess(0.5 * MU),
+            service_rate=MU,
+            bg_probability=0.9,
+            bg_buffer=1,
+        )
+        compare(model, horizon=1_500_000.0, seed=17, rel=0.06)
+
+    def test_rewait_mode(self):
+        model = FgBgModel(
+            arrival=PoissonProcess(0.4 * MU),
+            service_rate=MU,
+            bg_probability=0.6,
+            bg_mode=BgServiceMode.REWAIT,
+        )
+        compare(model, horizon=1_500_000.0, seed=19, rel=0.06)
+
+    def test_long_idle_wait(self):
+        model = FgBgModel(
+            arrival=PoissonProcess(0.3 * MU),
+            service_rate=MU,
+            bg_probability=0.6,
+            idle_wait_rate=MU / 3.0,
+        )
+        compare(model, horizon=1_500_000.0, seed=23, rel=0.06)
+
+
+class TestCorrelatedArrivals:
+    def test_mmpp_moderate_decay(self):
+        arrival = fit_mmpp2(rate=0.4 * MU, scv=2.0, decay=0.9)
+        model = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6)
+        compare(model, horizon=4_000_000.0, seed=29, rel=0.12, abs_tol=0.02)
+
+    def test_ipp_renewal_arrivals(self):
+        arrival = fit_ipp(mean=1.0 / (0.4 * MU), scv=3.0)
+        model = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.3)
+        compare(model, horizon=4_000_000.0, seed=31, rel=0.12, abs_tol=0.02)

@@ -1,0 +1,42 @@
+"""Tests for birth-death closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.markov import birth_death_stationary, stationary_distribution
+from repro.markov.birth_death import birth_death_generator
+
+
+class TestBirthDeathStationary:
+    def test_mm1k_geometric(self):
+        lam, mu, k = 1.0, 2.0, 10
+        pi = birth_death_stationary([lam] * k, [mu] * k)
+        rho = lam / mu
+        expected = rho ** np.arange(k + 1)
+        expected /= expected.sum()
+        np.testing.assert_allclose(pi, expected, atol=1e-12)
+
+    def test_matches_generic_solver(self):
+        birth = [1.0, 0.5, 2.0, 0.1]
+        death = [1.5, 1.5, 3.0, 0.2]
+        pi = birth_death_stationary(birth, death)
+        q = birth_death_generator(birth, death)
+        np.testing.assert_allclose(pi, stationary_distribution(q), atol=1e-10)
+
+    def test_extreme_ratios_survive_log_space(self):
+        pi = birth_death_stationary([1e-8] * 50, [1e8] * 50)
+        assert pi[0] == pytest.approx(1.0)
+        assert np.all(np.isfinite(pi))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="as many"):
+            birth_death_stationary([1.0, 2.0], [1.0])
+
+    def test_nonpositive_death_rate_raises(self):
+        with pytest.raises(ValueError, match="death rates"):
+            birth_death_stationary([1.0], [0.0])
+
+    def test_zero_birth_rate_truncates_mass(self):
+        pi = birth_death_stationary([1.0, 0.0, 1.0], [1.0, 1.0, 1.0])
+        # No mass can flow past state 1.
+        np.testing.assert_allclose(pi[2:], 0.0, atol=1e-15)

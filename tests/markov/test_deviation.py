@@ -1,0 +1,96 @@
+"""Tests for the deviation matrix and absorbing-chain utilities."""
+
+import numpy as np
+import pytest
+
+from repro.markov.deviation import (
+    absorption_probabilities,
+    deviation_matrix,
+    fundamental_matrix,
+    mean_absorption_times,
+)
+from repro.markov.stationary import stationary_distribution
+from repro.processes import PhaseType
+
+Q = np.array([[-2.0, 2.0], [3.0, -3.0]])
+
+
+class TestDeviationMatrix:
+    def test_rows_sum_to_zero(self):
+        d = deviation_matrix(Q)
+        np.testing.assert_allclose(d @ np.ones(2), 0.0, atol=1e-12)
+
+    def test_pi_annihilates(self):
+        pi = stationary_distribution(Q)
+        d = deviation_matrix(Q)
+        np.testing.assert_allclose(pi @ d, 0.0, atol=1e-12)
+
+    def test_defining_equation(self):
+        # D Q = Q D = e pi - I (the group-inverse property).
+        pi = stationary_distribution(Q)
+        d = deviation_matrix(Q)
+        e_pi = np.outer(np.ones(2), pi)
+        np.testing.assert_allclose(d @ Q, e_pi - np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(Q @ d, e_pi - np.eye(2), atol=1e-12)
+
+    def test_matches_numeric_integral(self):
+        from scipy.linalg import expm
+
+        pi = stationary_distribution(Q)
+        e_pi = np.outer(np.ones(2), pi)
+        ts = np.linspace(0.0, 40.0, 8001)
+        integrand = np.array([expm(Q * t) - e_pi for t in ts])
+        numeric = np.trapezoid(integrand, ts, axis=0)
+        np.testing.assert_allclose(deviation_matrix(Q), numeric, atol=1e-4)
+
+
+class TestFundamentalMatrix:
+    def test_exponential_sojourn(self):
+        n = fundamental_matrix(np.array([[-2.0]]))
+        np.testing.assert_allclose(n, [[0.5]])
+
+    def test_rejects_singular(self):
+        with pytest.raises(ValueError, match="singular"):
+            fundamental_matrix(np.array([[-1.0, 1.0], [1.0, -1.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            fundamental_matrix(np.ones((2, 3)))
+
+
+class TestAbsorption:
+    def test_mean_times_match_ph_mean(self):
+        ph = PhaseType.erlang(3, 1.5)
+        times = mean_absorption_times(ph.t)
+        assert times[0] == pytest.approx(ph.mean)
+
+    def test_erlang_stage_times_decrease(self):
+        ph = PhaseType.erlang(4, 2.0)
+        times = mean_absorption_times(ph.t)
+        assert np.all(np.diff(times) < 0)
+
+    def test_two_exit_competition(self):
+        # One transient state, two absorbing exits with rates 1 and 3.
+        t = np.array([[-4.0]])
+        r = np.array([[1.0, 3.0]])
+        b = absorption_probabilities(t, r)
+        np.testing.assert_allclose(b, [[0.25, 0.75]])
+
+    def test_rows_are_probability_vectors(self):
+        t = np.array([[-3.0, 1.0], [0.5, -2.0]])
+        r = np.array([[2.0, 0.0], [0.5, 1.0]])
+        b = absorption_probabilities(t, r)
+        np.testing.assert_allclose(b.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(b >= 0)
+
+    def test_rejects_inconsistent_rows(self):
+        t = np.array([[-3.0]])
+        r = np.array([[1.0]])
+        with pytest.raises(ValueError, match="sum to zero"):
+            absorption_probabilities(t, r)
+
+    def test_rejects_negative_rates(self):
+        t = np.array([[-1.0]])
+        r = np.array([[-1.0, 2.0]])
+        with pytest.raises(ValueError, match="non-negative"):
+            absorption_probabilities(t, r)

@@ -1,0 +1,53 @@
+"""Tests for uniformization-based transient analysis."""
+
+import numpy as np
+import pytest
+
+from repro.markov import stationary_distribution, transient_distribution
+
+Q = np.array([[-2.0, 2.0], [3.0, -3.0]])
+
+
+class TestTransientDistribution:
+    def test_zero_time_returns_initial(self):
+        init = np.array([1.0, 0.0])
+        np.testing.assert_array_equal(transient_distribution(Q, init, 0.0), init)
+
+    def test_two_state_closed_form(self):
+        # p_00(t) = pi_0 + pi_1 * exp(-(a+b) t) for a 2-state chain.
+        a, b = 2.0, 3.0
+        t = 0.37
+        init = np.array([1.0, 0.0])
+        p = transient_distribution(Q, init, t)
+        expected0 = b / (a + b) + a / (a + b) * np.exp(-(a + b) * t)
+        np.testing.assert_allclose(p[0], expected0, atol=1e-10)
+
+    def test_converges_to_stationary(self):
+        init = np.array([0.0, 1.0])
+        p = transient_distribution(Q, init, 100.0)
+        np.testing.assert_allclose(p, stationary_distribution(Q), atol=1e-9)
+
+    def test_remains_distribution_at_all_times(self):
+        init = np.array([0.3, 0.7])
+        for t in [0.01, 0.5, 2.0, 25.0]:
+            p = transient_distribution(Q, init, t)
+            assert np.all(p >= 0)
+            np.testing.assert_allclose(p.sum(), 1.0, atol=1e-9)
+
+    def test_large_uniformization_constant(self):
+        q = np.array([[-1e4, 1e4], [1.0, -1.0]])
+        init = np.array([1.0, 0.0])
+        p = transient_distribution(q, init, 1.0)
+        np.testing.assert_allclose(p.sum(), 1.0, atol=1e-8)
+
+    def test_invalid_initial_raises(self):
+        with pytest.raises(ValueError, match="probability"):
+            transient_distribution(Q, np.array([0.5, 0.2]), 1.0)
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            transient_distribution(Q, np.array([1.0, 0.0]), -1.0)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            transient_distribution(Q, np.array([1.0, 0.0, 0.0]), 1.0)

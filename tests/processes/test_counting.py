@@ -1,0 +1,103 @@
+"""Tests for counting-process descriptors (variance-time curve, IDC)."""
+
+import numpy as np
+import pytest
+
+from repro.processes import MAPSampler, MMPP, PoissonProcess, fit_ipp
+from repro.processes.counting import (
+    counting_mean,
+    counting_variance,
+    empirical_idc,
+    idc_limit,
+    index_of_dispersion,
+)
+
+
+class TestPoisson:
+    def test_variance_equals_mean(self):
+        p = PoissonProcess(0.4)
+        for t in (0.5, 3.0, 50.0):
+            assert counting_variance(p, t) == pytest.approx(counting_mean(p, t))
+
+    def test_idc_is_one(self):
+        p = PoissonProcess(2.0)
+        np.testing.assert_allclose(
+            index_of_dispersion(p, np.array([1.0, 10.0, 100.0])), 1.0, atol=1e-10
+        )
+
+    def test_idc_limit_is_one(self):
+        assert idc_limit(PoissonProcess(1.0)) == pytest.approx(1.0)
+
+
+class TestMMPP:
+    def setup_method(self):
+        self.mmpp = MMPP.two_state(v1=1e-2, v2=1e-2, l1=1.0, l2=0.1)
+
+    def test_variance_exceeds_mean(self):
+        assert counting_variance(self.mmpp, 100.0) > counting_mean(self.mmpp, 100.0)
+
+    def test_idc_increases_to_limit(self):
+        idc = index_of_dispersion(self.mmpp, np.array([1.0, 10.0, 100.0, 1000.0]))
+        assert np.all(np.diff(idc) > 0)
+        assert idc[-1] < idc_limit(self.mmpp)
+        assert idc[-1] == pytest.approx(idc_limit(self.mmpp), rel=0.15)
+
+    def test_idc_starts_near_one(self):
+        # Over vanishing windows any point process looks Poisson.
+        assert index_of_dispersion(self.mmpp, 1e-4) == pytest.approx(1.0, abs=1e-3)
+
+    def test_variance_at_zero(self):
+        assert counting_variance(self.mmpp, 0.0) == 0.0
+
+    def test_matches_monte_carlo(self):
+        # The analytic Var[N(t)] describes the *time-stationary* counting
+        # process, so each replication must start from the time-stationary
+        # phase (the sampler's default is the arrival-biased embedded one).
+        rng = np.random.default_rng(8)
+        window = 50.0
+        pi = self.mmpp.phase_stationary
+        counts = []
+        for _ in range(2000):
+            phase = int(rng.choice(self.mmpp.order, p=pi))
+            sampler = MAPSampler(self.mmpp, rng, initial_phase=phase)
+            times = sampler.arrival_times(200)
+            counts.append(int(np.searchsorted(times, window)))
+        counts = np.asarray(counts, dtype=float)
+        assert counts.mean() == pytest.approx(counting_mean(self.mmpp, window), rel=0.1)
+        assert counts.var() == pytest.approx(
+            counting_variance(self.mmpp, window), rel=0.2
+        )
+
+    def test_ipp_renewal_still_overdispersed(self):
+        # Zero inter-arrival correlation does not mean Poisson counts: an
+        # IPP is overdispersed because its marginal is hyperexponential.
+        ipp = fit_ipp(mean=10.0, scv=4.0)
+        assert idc_limit(ipp) > 1.5
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            counting_variance(PoissonProcess(1.0), -1.0)
+
+    def test_idc_requires_positive_t(self):
+        with pytest.raises(ValueError, match="t > 0"):
+            index_of_dispersion(PoissonProcess(1.0), 0.0)
+
+
+class TestEmpiricalIDC:
+    def test_poisson_near_one(self, rng):
+        times = np.cumsum(rng.exponential(1.0, size=60_000))
+        assert empirical_idc(times, window=20.0) == pytest.approx(1.0, abs=0.25)
+
+    def test_bursty_mmpp_above_one(self, rng):
+        mmpp = MMPP.two_state(v1=1e-2, v2=1e-2, l1=1.0, l2=0.05)
+        times = MAPSampler(mmpp, rng).arrival_times(60_000)
+        assert empirical_idc(times, window=200.0) > 3.0
+
+    def test_rejects_bad_window(self, rng):
+        times = np.cumsum(rng.exponential(1.0, size=100))
+        with pytest.raises(ValueError, match="positive"):
+            empirical_idc(times, window=0.0)
+        with pytest.raises(ValueError, match="fewer than 2"):
+            empirical_idc(times, window=1e9)

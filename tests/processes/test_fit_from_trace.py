@@ -1,0 +1,49 @@
+"""Tests for fitting an MMPP(2) directly from a trace (Fig. 1 -> Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.processes import MAPSampler, fit_mmpp2, fit_mmpp2_from_trace
+from repro.workloads import email, generate_trace
+
+
+class TestRoundTrip:
+    def test_recovers_email_workload(self):
+        trace = generate_trace(email(), 150_000, np.random.default_rng(5))
+        refit = fit_mmpp2_from_trace(trace)
+        orig = email()
+        assert refit.mean_rate == pytest.approx(orig.mean_rate, rel=0.03)
+        assert refit.scv == pytest.approx(orig.scv, rel=0.1)
+        assert refit.acf_at(1) == pytest.approx(orig.acf_at(1), rel=0.1)
+        # The persistence (slow decay) must survive the round trip.
+        assert refit.acf_at(50) > 0.15
+
+    def test_recovers_fast_decay(self):
+        orig = fit_mmpp2(rate=0.05, scv=1.8, decay=0.8)
+        trace = MAPSampler(orig, np.random.default_rng(6)).interarrival_times(150_000)
+        refit = fit_mmpp2_from_trace(trace)
+        acf = refit.acf(2)
+        assert acf[1] / acf[0] == pytest.approx(0.8, abs=0.1)
+
+
+class TestValidation:
+    def test_rejects_short_trace(self):
+        with pytest.raises(ValueError, match="at least"):
+            fit_mmpp2_from_trace(np.ones(10))
+
+    def test_rejects_low_scv(self, rng):
+        # Deterministic-ish inter-arrivals: SCV << 1.
+        trace = rng.uniform(0.9, 1.1, size=5000)
+        with pytest.raises(ValueError, match="SCV"):
+            fit_mmpp2_from_trace(trace)
+
+    def test_rejects_uncorrelated_trace(self, rng):
+        # i.i.d. hyperexponential sample: SCV > 1 but zero ACF.
+        u = rng.random(20000)
+        trace = np.where(u < 0.9, rng.exponential(0.5, 20000), rng.exponential(10.0, 20000))
+        with pytest.raises(ValueError, match="uncorrelated"):
+            fit_mmpp2_from_trace(trace)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            fit_mmpp2_from_trace(np.ones((100, 2)))

@@ -1,0 +1,103 @@
+"""Tests for moment/autocorrelation matching."""
+
+import numpy as np
+import pytest
+
+from repro.processes import fit_h2_balanced, fit_ipp, fit_mmpp2_acf, fit_mmpp2_paper
+from repro.processes.fitting import fit_mmpp2, max_acf1_slow_switching
+
+
+class TestFitH2Balanced:
+    def test_matches_mean_and_scv(self):
+        p1, mu1, mu2 = fit_h2_balanced(mean=4.0, scv=9.0)
+        mean = p1 / mu1 + (1 - p1) / mu2
+        m2 = 2 * (p1 / mu1**2 + (1 - p1) / mu2**2)
+        assert mean == pytest.approx(4.0)
+        assert m2 / mean**2 - 1 == pytest.approx(9.0)
+
+    def test_balanced_means_condition(self):
+        p1, mu1, mu2 = fit_h2_balanced(mean=1.0, scv=4.0)
+        assert p1 / mu1 == pytest.approx((1 - p1) / mu2)
+
+    def test_rejects_scv_at_most_one(self):
+        with pytest.raises(ValueError, match="scv > 1"):
+            fit_h2_balanced(1.0, 1.0)
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_h2_balanced(0.0, 2.0)
+
+
+class TestFitIPP:
+    def test_matches_targets(self):
+        ipp = fit_ipp(mean=75.0, scv=6.0)
+        assert ipp.mean_interarrival == pytest.approx(75.0, rel=1e-9)
+        assert ipp.scv == pytest.approx(6.0, rel=1e-9)
+
+    def test_result_is_renewal(self):
+        assert fit_ipp(mean=10.0, scv=3.0).is_renewal
+
+
+class TestFitMMPP2:
+    def test_matches_all_targets(self):
+        m = fit_mmpp2(rate=0.02, scv=2.4, decay=0.99)
+        assert m.mean_rate == pytest.approx(0.02, rel=1e-6)
+        assert m.scv == pytest.approx(2.4, rel=1e-6)
+        acf = m.acf(2)
+        assert acf[1] / acf[0] == pytest.approx(0.99, abs=1e-6)
+
+    def test_phase1_share_controls_asymmetry(self):
+        a = fit_mmpp2(rate=0.01, scv=2.0, decay=0.95, phase1_share=0.5)
+        b = fit_mmpp2(rate=0.01, scv=2.0, decay=0.95, phase1_share=0.8)
+        assert a.parameters != b.parameters
+        assert a.mean_rate == pytest.approx(b.mean_rate, rel=1e-6)
+
+    def test_acf1_close_to_slow_switching_bound(self):
+        m = fit_mmpp2(rate=1.0, scv=3.0, decay=0.995)
+        bound = max_acf1_slow_switching(3.0, 0.995)
+        assert m.acf_at(1) == pytest.approx(bound, rel=0.1)
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(rate=-1.0, scv=2.0, decay=0.9), "rate"),
+            (dict(rate=1.0, scv=0.5, decay=0.9), "scv > 1"),
+            (dict(rate=1.0, scv=2.0, decay=1.5), "decay"),
+            (dict(rate=1.0, scv=2.0, decay=0.9, phase1_share=0.0), "phase1_share"),
+        ],
+    )
+    def test_input_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            fit_mmpp2(**kwargs)
+
+
+class TestFitMMPP2Acf:
+    def test_feasible_target_succeeds(self):
+        bound = max_acf1_slow_switching(2.4, 0.99)
+        m = fit_mmpp2_acf(rate=0.5, scv=2.4, acf1=bound, decay=0.99)
+        assert m.acf_at(1) == pytest.approx(bound, rel=0.05)
+
+    def test_infeasible_target_raises_with_guidance(self):
+        with pytest.raises(ValueError, match="out of reach"):
+            fit_mmpp2_acf(rate=0.5, scv=9.0, acf1=0.05, decay=0.99)
+
+    def test_rejects_acf1_out_of_range(self):
+        with pytest.raises(ValueError, match="0, 0.5"):
+            fit_mmpp2_acf(rate=1.0, scv=2.0, acf1=0.7)
+
+
+class TestFitMMPP2Paper:
+    def test_matches_targets_with_fixed_l1(self):
+        m = fit_mmpp2_paper(rate=0.0133, scv=2.4, acf1=0.28, l1=0.08)
+        assert m.parameters["l1"] == pytest.approx(0.08)
+        assert m.mean_rate == pytest.approx(0.0133, rel=1e-4)
+        assert m.scv == pytest.approx(2.4, rel=1e-4)
+        assert m.acf_at(1) == pytest.approx(0.28, abs=1e-4)
+
+    def test_l1_must_exceed_rate(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            fit_mmpp2_paper(rate=1.0, scv=2.0, acf1=0.2, l1=0.5)
+
+    def test_rejects_low_scv(self):
+        with pytest.raises(ValueError, match="scv > 1"):
+            fit_mmpp2_paper(rate=0.01, scv=0.9, acf1=0.2, l1=0.1)

@@ -1,0 +1,84 @@
+"""Tests for MMPP construction and descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.processes import MMPP
+
+
+class TestConstruction:
+    def test_two_state_matrices_match_paper_eq4(self):
+        m = MMPP.two_state(v1=0.3, v2=0.7, l1=2.0, l2=0.1)
+        np.testing.assert_allclose(m.d0, [[-2.3, 0.3], [0.7, -0.8]])
+        np.testing.assert_allclose(m.d1, [[2.0, 0.0], [0.0, 0.1]])
+
+    def test_rejects_nonpositive_switching(self):
+        with pytest.raises(ValueError, match="v1 must be positive"):
+            MMPP.two_state(v1=0.0, v2=1.0, l1=1.0, l2=1.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MMPP.two_state(v1=1.0, v2=1.0, l1=-1.0, l2=1.0)
+
+    def test_rejects_rate_count_mismatch(self):
+        gen = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        with pytest.raises(ValueError, match="one arrival rate per phase"):
+            MMPP(gen, np.array([1.0, 2.0, 3.0]))
+
+    def test_from_map_matrices_roundtrip(self):
+        m = MMPP.two_state(v1=0.3, v2=0.7, l1=2.0, l2=0.1)
+        m2 = MMPP.from_map_matrices(m.d0, m.d1)
+        assert m == m2
+
+    def test_from_map_matrices_rejects_non_diagonal_d1(self):
+        d0 = np.array([[-3.0, 1.0], [0.5, -2.0]])
+        d1 = np.array([[1.0, 1.0], [0.5, 1.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            MMPP.from_map_matrices(d0, d1)
+
+    def test_three_state_mmpp(self):
+        gen = np.array([[-2.0, 1.0, 1.0], [1.0, -2.0, 1.0], [2.0, 1.0, -3.0]])
+        m = MMPP(gen, np.array([1.0, 0.0, 5.0]))
+        assert m.order == 3
+        assert m.mean_rate > 0
+
+
+class TestDescriptors:
+    def test_mean_rate_closed_form(self):
+        # lambda = (l1 v2 + l2 v1) / (v1 + v2) for the 2-state case.
+        v1, v2, l1, l2 = 0.3, 0.7, 2.0, 0.1
+        m = MMPP.two_state(v1=v1, v2=v2, l1=l1, l2=l2)
+        np.testing.assert_allclose(
+            m.mean_rate, (l1 * v2 + l2 * v1) / (v1 + v2), rtol=1e-12
+        )
+
+    def test_equal_rates_give_poisson(self):
+        m = MMPP.two_state(v1=0.5, v2=0.5, l1=1.0, l2=1.0)
+        np.testing.assert_allclose(m.scv, 1.0, atol=1e-10)
+        np.testing.assert_allclose(m.acf(10), 0.0, atol=1e-10)
+
+    def test_slow_switching_increases_scv(self):
+        fast = MMPP.two_state(v1=10.0, v2=10.0, l1=2.0, l2=0.1)
+        slow = MMPP.two_state(v1=1e-3, v2=1e-3, l1=2.0, l2=0.1)
+        assert slow.scv > fast.scv
+
+    def test_acf_decay_is_geometric(self):
+        m = MMPP.two_state(v1=1e-3, v2=1e-4, l1=1.0, l2=0.05)
+        acf = m.acf(10)
+        ratios = acf[1:] / acf[:-1]
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-8)
+
+    def test_parameters_roundtrip(self):
+        m = MMPP.two_state(v1=0.3, v2=0.7, l1=2.0, l2=0.1)
+        p = m.parameters
+        m2 = MMPP.two_state(**p)
+        assert m == m2
+
+    def test_parameters_requires_order_two(self):
+        gen = np.array([[-2.0, 1.0, 1.0], [1.0, -2.0, 1.0], [2.0, 1.0, -3.0]])
+        m = MMPP(gen, np.array([1.0, 0.0, 5.0]))
+        with pytest.raises(ValueError, match="MMPP\\(2\\)"):
+            _ = m.parameters
+
+    def test_repr_two_state(self):
+        assert "two_state" in repr(MMPP.two_state(v1=0.3, v2=0.7, l1=2.0, l2=0.1))

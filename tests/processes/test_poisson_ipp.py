@@ -1,0 +1,75 @@
+"""Tests for Poisson and Interrupted Poisson processes."""
+
+import numpy as np
+import pytest
+
+from repro.processes import InterruptedPoissonProcess, PoissonProcess
+
+
+class TestPoisson:
+    def test_rate(self):
+        assert PoissonProcess(0.25).mean_rate == pytest.approx(0.25)
+
+    def test_scv_is_one(self):
+        assert PoissonProcess(3.0).scv == pytest.approx(1.0)
+
+    def test_acf_is_zero(self):
+        np.testing.assert_allclose(PoissonProcess(3.0).acf(10), 0.0, atol=1e-12)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="positive"):
+            PoissonProcess(0.0)
+
+    def test_scaling_preserves_type(self):
+        s = PoissonProcess(1.0).scaled_to_rate(4.0)
+        assert isinstance(s, PoissonProcess)
+        assert s.rate == pytest.approx(4.0)
+
+
+class TestIPP:
+    def test_is_renewal(self):
+        assert InterruptedPoissonProcess(1.0, 0.1, 0.2).is_renewal
+
+    def test_acf_is_zero(self):
+        ipp = InterruptedPoissonProcess(1.0, 0.1, 0.2)
+        np.testing.assert_allclose(ipp.acf(20), 0.0, atol=1e-10)
+
+    def test_scv_exceeds_one(self):
+        assert InterruptedPoissonProcess(1.0, 0.1, 0.2).scv > 1.0
+
+    def test_off_phase_produces_no_arrivals(self):
+        ipp = InterruptedPoissonProcess(1.0, 0.1, 0.2)
+        assert ipp.arrival_rates[1] == 0.0
+
+    def test_accessors(self):
+        ipp = InterruptedPoissonProcess(1.5, 0.1, 0.2)
+        assert ipp.rate_on == pytest.approx(1.5)
+        assert ipp.on_to_off == pytest.approx(0.1)
+        assert ipp.off_to_on == pytest.approx(0.2)
+
+    def test_mean_rate_closed_form(self):
+        # lambda = rate_on * pi_on, pi_on = off_to_on / (on_to_off + off_to_on).
+        ipp = InterruptedPoissonProcess(2.0, 0.3, 0.6)
+        np.testing.assert_allclose(ipp.mean_rate, 2.0 * 0.6 / 0.9, rtol=1e-12)
+
+    def test_from_hyperexponential_matches_h2_moments(self):
+        p1, mu1, mu2 = 0.8, 2.0, 0.25
+        ipp = InterruptedPoissonProcess.from_hyperexponential(p1, mu1, mu2)
+        h2_mean = p1 / mu1 + (1 - p1) / mu2
+        h2_m2 = 2 * (p1 / mu1**2 + (1 - p1) / mu2**2)
+        np.testing.assert_allclose(ipp.mean_interarrival, h2_mean, rtol=1e-10)
+        np.testing.assert_allclose(
+            ipp.interarrival_moment(2), h2_m2, rtol=1e-10
+        )
+
+    def test_from_hyperexponential_rejects_equal_rates(self):
+        with pytest.raises(ValueError, match="Poisson process"):
+            InterruptedPoissonProcess.from_hyperexponential(0.5, 1.0, 1.0)
+
+    def test_from_hyperexponential_rejects_bad_p(self):
+        with pytest.raises(ValueError, match="strictly in"):
+            InterruptedPoissonProcess.from_hyperexponential(1.2, 1.0, 2.0)
+
+    def test_scaling_preserves_type(self):
+        ipp = InterruptedPoissonProcess(1.0, 0.1, 0.2).scaled_by(2.0)
+        assert isinstance(ipp, InterruptedPoissonProcess)

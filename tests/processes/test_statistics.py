@@ -1,0 +1,87 @@
+"""Tests for empirical ACF/CV estimators."""
+
+import numpy as np
+import pytest
+
+from repro.processes import autocorrelation, coefficient_of_variation, describe_sample
+
+
+class TestAutocorrelation:
+    def test_iid_series_has_small_acf(self, rng):
+        x = rng.exponential(1.0, size=20000)
+        acf = autocorrelation(x, 10)
+        assert np.all(np.abs(acf) < 0.05)
+
+    def test_ar1_series_recovers_coefficient(self, rng):
+        phi = 0.8
+        n = 60000
+        x = np.empty(n)
+        x[0] = 0.0
+        noise = rng.normal(size=n)
+        for i in range(1, n):
+            x[i] = phi * x[i - 1] + noise[i]
+        acf = autocorrelation(x, 3)
+        np.testing.assert_allclose(acf, [phi, phi**2, phi**3], atol=0.03)
+
+    def test_alternating_series_negative_lag1(self):
+        x = np.tile([1.0, -1.0], 500)
+        acf = autocorrelation(x, 2)
+        assert acf[0] < -0.9
+        assert acf[1] > 0.9
+
+    def test_bounded_by_one(self, rng):
+        x = rng.normal(size=512)
+        acf = autocorrelation(x, 100)
+        assert np.all(np.abs(acf) <= 1.0 + 1e-12)
+
+    def test_constant_series_is_zero(self):
+        np.testing.assert_array_equal(autocorrelation(np.ones(100), 5), np.zeros(5))
+
+    def test_matches_naive_estimator(self, rng):
+        x = rng.exponential(1.0, size=257)
+        acf = autocorrelation(x, 5)
+        c = x - x.mean()
+        denom = c @ c
+        naive = [c[:-k] @ c[k:] / denom for k in range(1, 6)]
+        np.testing.assert_allclose(acf, naive, atol=1e-10)
+
+    def test_rejects_bad_lags(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            autocorrelation(np.ones(10), 0)
+        with pytest.raises(ValueError, match="smaller than"):
+            autocorrelation(np.ones(10), 10)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            autocorrelation(np.ones((5, 2)), 1)
+
+
+class TestCoefficientOfVariation:
+    def test_exponential_cv_near_one(self, rng):
+        x = rng.exponential(2.0, size=100000)
+        assert coefficient_of_variation(x) == pytest.approx(1.0, abs=0.02)
+
+    def test_constant_series_cv_zero(self):
+        assert coefficient_of_variation(np.full(10, 3.0)) == 0.0
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(ValueError, match="zero-mean"):
+            coefficient_of_variation(np.array([-1.0, 1.0]))
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            coefficient_of_variation(np.array([1.0]))
+
+
+class TestDescribeSample:
+    def test_summary_fields(self, rng):
+        x = rng.exponential(1.0, size=1000)
+        s = describe_sample(x, lags=20)
+        assert s.count == 1000
+        assert s.mean == pytest.approx(x.mean())
+        assert s.acf.shape == (20,)
+        assert s.scv == pytest.approx(s.cv**2)
+
+    def test_lags_clamped_to_series_length(self):
+        s = describe_sample(np.array([1.0, 2.0, 3.0]), lags=50)
+        assert s.acf.shape == (2,)

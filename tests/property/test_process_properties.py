@@ -1,0 +1,93 @@
+"""Property-based tests on arrival processes (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.processes import MMPP, PoissonProcess
+
+rates = st.floats(min_value=1e-4, max_value=1e3, allow_nan=False, allow_infinity=False)
+switch_rates = st.floats(min_value=1e-6, max_value=1e2)
+
+
+@st.composite
+def mmpp2s(draw):
+    """Random valid 2-state MMPPs (at least one phase produces arrivals)."""
+    v1 = draw(switch_rates)
+    v2 = draw(switch_rates)
+    l1 = draw(rates)
+    l2 = draw(st.one_of(st.just(0.0), rates))
+    return MMPP.two_state(v1=v1, v2=v2, l1=l1, l2=l2)
+
+
+class TestMMPPInvariants:
+    @given(mmpp2s())
+    @settings(max_examples=60, deadline=None)
+    def test_generator_rows_sum_to_zero(self, mmpp):
+        rows = (mmpp.d0 + mmpp.d1).sum(axis=1)
+        assert np.all(np.abs(rows) < 1e-9 * max(1.0, np.abs(mmpp.d0).max()))
+
+    @given(mmpp2s())
+    @settings(max_examples=60, deadline=None)
+    def test_mean_rate_positive_and_consistent(self, mmpp):
+        assert mmpp.mean_rate > 0
+        assert np.isclose(mmpp.mean_rate * mmpp.mean_interarrival, 1.0, rtol=1e-6)
+
+    @given(mmpp2s())
+    @settings(max_examples=60, deadline=None)
+    def test_scv_at_least_one(self, mmpp):
+        # MMPPs are doubly stochastic Poisson processes: SCV >= 1 always.
+        assert mmpp.scv >= 1.0 - 1e-9
+
+    @given(mmpp2s())
+    @settings(max_examples=40, deadline=None)
+    def test_acf_bounded_and_nonnegative(self, mmpp):
+        acf = mmpp.acf(20)
+        assert np.all(acf <= 1.0 + 1e-9)
+        # MMPP(2) inter-arrival correlation is non-negative (up to the
+        # round-off floor of the linear algebra).
+        assert np.all(acf >= -1e-7)
+
+    @given(mmpp2s())
+    @settings(max_examples=40, deadline=None)
+    def test_acf_decays_geometrically(self, mmpp):
+        acf = mmpp.acf(6)
+        # Only compare lags whose ACF values sit comfortably above the
+        # cancellation floor of the closed-form evaluation (joint moment
+        # minus mean^2); fast-decaying processes drop below it within a
+        # few lags.
+        usable = acf > 1e-7
+        if acf[0] > 1e-4 and np.sum(usable) >= 2:
+            k = int(np.argmin(usable)) if not usable.all() else len(acf)
+            ratios = acf[1:k] / acf[: k - 1]
+            assert np.all(np.abs(ratios - ratios[0]) < 1e-4 + 1e-2 * np.abs(ratios[0]))
+
+    @given(mmpp2s(), st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_invariants(self, mmpp, factor):
+        scaled = mmpp.scaled_by(factor)
+        assert np.isclose(scaled.mean_rate, factor * mmpp.mean_rate, rtol=1e-9)
+        assert np.isclose(scaled.scv, mmpp.scv, rtol=1e-6)
+        np.testing.assert_allclose(scaled.acf(5), mmpp.acf(5), atol=1e-8)
+
+    @given(mmpp2s())
+    @settings(max_examples=40, deadline=None)
+    def test_embedded_stationary_is_distribution(self, mmpp):
+        pi_e = mmpp.embedded_stationary
+        assert np.all(pi_e >= -1e-12)
+        assert np.isclose(pi_e.sum(), 1.0, atol=1e-9)
+
+
+class TestPoissonInvariants:
+    @given(rates)
+    @settings(max_examples=40, deadline=None)
+    def test_poisson_memorylessness_descriptors(self, rate):
+        p = PoissonProcess(rate)
+        assert np.isclose(p.scv, 1.0, atol=1e-9)
+        assert np.all(np.abs(p.acf(10)) < 1e-9)
+
+    @given(rates, rates)
+    @settings(max_examples=40, deadline=None)
+    def test_superposition_adds_rates(self, r1, r2):
+        s = PoissonProcess(r1).superpose(PoissonProcess(r2))
+        assert np.isclose(s.mean_rate, r1 + r2, rtol=1e-9)

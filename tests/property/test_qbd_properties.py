@@ -1,0 +1,131 @@
+"""Property-based tests on the QBD solver and stationary solvers."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.markov import stationary_distribution_dense, stationary_distribution_gth
+from repro.qbd import QBDProcess, drift, r_matrix, solve_qbd
+
+rate_floats = st.floats(min_value=0.01, max_value=10.0)
+
+
+@st.composite
+def random_generators(draw):
+    """Random irreducible CTMC generators of order 2..6."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    q = draw(
+        arrays(
+            float,
+            (n, n),
+            elements=st.floats(min_value=0.01, max_value=5.0),
+        )
+    )
+    np.fill_diagonal(q, 0.0)
+    np.fill_diagonal(q, -q.sum(axis=1))
+    return q
+
+
+@st.composite
+def stable_qbds(draw):
+    """Random stable QBDs built from an MMPP-like phase process."""
+    n = draw(st.integers(min_value=1, max_value=3))
+    mu = draw(st.floats(min_value=0.5, max_value=5.0))
+    util = draw(st.floats(min_value=0.05, max_value=0.9))
+    if n == 1:
+        d0 = np.array([[-util * mu]])
+        d1 = np.array([[util * mu]])
+    else:
+        gen = draw(
+            arrays(float, (n, n), elements=st.floats(min_value=0.01, max_value=2.0))
+        )
+        np.fill_diagonal(gen, 0.0)
+        rates = draw(
+            arrays(float, (n,), elements=st.floats(min_value=0.01, max_value=2.0))
+        )
+        # Rescale to the requested utilization.
+        from repro.markov import stationary_distribution
+
+        full = gen.copy()
+        np.fill_diagonal(full, -gen.sum(axis=1))
+        pi = stationary_distribution(full)
+        lam = float(pi @ rates)
+        rates = rates * (util * mu / lam)
+        d1 = np.diag(rates)
+        d0 = full - d1
+    a0 = d1
+    a1 = d0 - mu * np.eye(n)
+    a2 = mu * np.eye(n)
+    return QBDProcess.homogeneous(a0, a1, a2)
+
+
+class TestStationarySolvers:
+    @given(random_generators())
+    @settings(max_examples=50, deadline=None)
+    def test_gth_and_dense_agree(self, q):
+        gth = stationary_distribution_gth(q)
+        dense = stationary_distribution_dense(q)
+        np.testing.assert_allclose(gth, dense, atol=1e-8)
+
+    @given(random_generators())
+    @settings(max_examples=50, deadline=None)
+    def test_stationary_is_distribution_solving_balance(self, q):
+        pi = stationary_distribution_gth(q)
+        assert np.all(pi >= 0)
+        assert np.isclose(pi.sum(), 1.0, atol=1e-10)
+        np.testing.assert_allclose(pi @ q, 0.0, atol=1e-8 * max(1.0, np.abs(q).max()))
+
+
+class TestQBDInvariants:
+    @given(stable_qbds())
+    @settings(max_examples=30, deadline=None)
+    def test_r_spectral_radius_below_one_iff_stable(self, qbd):
+        assume(drift(qbd.a0, qbd.a1, qbd.a2) < -1e-6)
+        r = r_matrix(qbd.a0, qbd.a1, qbd.a2)
+        assert np.max(np.abs(np.linalg.eigvals(r))) < 1.0
+        assert np.all(r >= 0)
+
+    @given(stable_qbds())
+    @settings(max_examples=25, deadline=None)
+    def test_solution_is_normalized_distribution(self, qbd):
+        assume(drift(qbd.a0, qbd.a1, qbd.a2) < -1e-6)
+        sol = solve_qbd(qbd)
+        assert np.all(sol.boundary >= -1e-12)
+        assert np.all(sol.level(1) >= -1e-12)
+        assert np.isclose(sol.total_mass, 1.0, atol=1e-8)
+
+    @given(stable_qbds())
+    @settings(max_examples=25, deadline=None)
+    def test_balance_residual_small(self, qbd):
+        assume(drift(qbd.a0, qbd.a1, qbd.a2) < -1e-6)
+        sol = solve_qbd(qbd)
+        assert sol.residual(levels=4) < 1e-8
+
+    @given(stable_qbds())
+    @settings(max_examples=20, deadline=None)
+    def test_mg1_solver_agrees_on_qbds(self, qbd):
+        """Every QBD is an M/G/1-type chain; the two solvers must agree."""
+        from repro.qbd.mg1 import MG1Process, solve_mg1
+
+        assume(drift(qbd.a0, qbd.a1, qbd.a2) < -1e-4)
+        mg1 = MG1Process(
+            boundary_blocks=(qbd.b00, qbd.b01),
+            down_block=qbd.b10,
+            repeating_blocks=(qbd.a2, qbd.a1, qbd.a0),
+        )
+        qbd_sol = solve_qbd(qbd)
+        mg1_sol = solve_mg1(mg1)
+        np.testing.assert_allclose(mg1_sol.boundary, qbd_sol.boundary, atol=1e-8)
+        for k in range(1, 5):
+            np.testing.assert_allclose(
+                mg1_sol.level(k), qbd_sol.level(k), atol=1e-8
+            )
+
+    @given(stable_qbds())
+    @settings(max_examples=25, deadline=None)
+    def test_level_masses_decrease_geometrically_in_the_tail(self, qbd):
+        assume(drift(qbd.a0, qbd.a1, qbd.a2) < -1e-6)
+        sol = solve_qbd(qbd)
+        masses = [float(sol.level(k).sum()) for k in range(3, 10)]
+        assert all(a >= b - 1e-12 for a, b in zip(masses, masses[1:]))

@@ -1,0 +1,87 @@
+"""Tests for QBD block validation and truncation."""
+
+import numpy as np
+import pytest
+
+from repro.markov import stationary_distribution, validate_generator
+from repro.qbd import QBDProcess
+
+
+def mm1_qbd(lam: float = 1.0, mu: float = 2.0) -> QBDProcess:
+    a0 = np.array([[lam]])
+    a1 = np.array([[-(lam + mu)]])
+    a2 = np.array([[mu]])
+    return QBDProcess.homogeneous(a0, a1, a2)
+
+
+class TestValidation:
+    def test_mm1_blocks_accepted(self):
+        qbd = mm1_qbd()
+        assert qbd.boundary_size == 1
+        assert qbd.phase_count == 1
+
+    def test_rejects_negative_offdiagonal(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            QBDProcess(
+                b00=np.array([[-1.0]]),
+                b01=np.array([[1.0]]),
+                b10=np.array([[-2.0]]),
+                a0=np.array([[1.0]]),
+                a1=np.array([[-3.0]]),
+                a2=np.array([[2.0]]),
+            )
+
+    def test_rejects_bad_boundary_row_sums(self):
+        with pytest.raises(ValueError, match="boundary row"):
+            QBDProcess(
+                b00=np.array([[-1.0]]),
+                b01=np.array([[2.0]]),
+                b10=np.array([[2.0]]),
+                a0=np.array([[1.0]]),
+                a1=np.array([[-3.0]]),
+                a2=np.array([[2.0]]),
+            )
+
+    def test_rejects_bad_repeating_row_sums(self):
+        with pytest.raises(ValueError, match="repeating-level row"):
+            QBDProcess(
+                b00=np.array([[-1.0]]),
+                b01=np.array([[1.0]]),
+                b10=np.array([[2.0]]),
+                a0=np.array([[1.0]]),
+                a1=np.array([[-4.0]]),
+                a2=np.array([[2.0]]),
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            QBDProcess(
+                b00=np.array([[-1.0]]),
+                b01=np.array([[1.0, 0.0]]),
+                b10=np.array([[2.0]]),
+                a0=np.array([[1.0]]),
+                a1=np.array([[-3.0]]),
+                a2=np.array([[2.0]]),
+            )
+
+
+class TestTruncatedGenerator:
+    def test_truncation_is_valid_generator(self):
+        q = mm1_qbd().truncated_generator(levels=10)
+        validate_generator(q)
+
+    def test_truncation_matches_mm1k(self):
+        lam, mu, levels = 1.0, 2.0, 30
+        q = mm1_qbd(lam, mu).truncated_generator(levels)
+        pi = stationary_distribution(q)
+        rho = lam / mu
+        expected = rho ** np.arange(levels + 1)
+        expected /= expected.sum()
+        np.testing.assert_allclose(pi, expected, atol=1e-10)
+
+    def test_levels_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            mm1_qbd().truncated_generator(0)
+
+    def test_repr(self):
+        assert "boundary_size=1" in repr(mm1_qbd())

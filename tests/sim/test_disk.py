@@ -1,0 +1,71 @@
+"""Tests for the disk service-time model."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DiskModel
+from repro.sim.disk import DiskRequest
+
+
+class TestGeometry:
+    def test_revolution_time(self):
+        assert DiskModel(rpm=10_000).revolution_ms == pytest.approx(6.0)
+
+    def test_seek_zero_distance(self):
+        assert DiskModel().seek_time_ms(0.0) == 0.0
+
+    def test_seek_full_stroke(self):
+        d = DiskModel(seek_min_ms=0.5, seek_max_ms=9.0)
+        assert d.seek_time_ms(1.0) == pytest.approx(9.0)
+
+    def test_seek_monotone(self):
+        d = DiskModel()
+        seeks = [d.seek_time_ms(x) for x in np.linspace(0.01, 1.0, 20)]
+        assert all(a < b for a, b in zip(seeks, seeks[1:]))
+
+    def test_seek_distance_validated(self):
+        with pytest.raises(ValueError, match="distance"):
+            DiskModel().seek_time_ms(1.5)
+
+    def test_transfer_time(self):
+        d = DiskModel(media_rate_mib_s=64.0)
+        assert d.transfer_time_ms(64.0) == pytest.approx(1000.0 / 1024.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="rpm"):
+            DiskModel(rpm=0)
+        with pytest.raises(ValueError, match="seek_min"):
+            DiskModel(seek_min_ms=5.0, seek_max_ms=1.0)
+
+
+class TestWorkload:
+    def test_mean_service_time_near_paper_value(self):
+        # The paper models the disk with a 6 ms mean service time; the
+        # default drive parameters should land in that neighbourhood.
+        mean = DiskModel().mean_service_time_ms()
+        assert 5.0 < mean < 9.0
+
+    def test_sampled_mean_matches_analytic(self, rng):
+        d = DiskModel()
+        times = d.sample_random_workload(rng, n=20_000)
+        assert times.mean() == pytest.approx(d.mean_service_time_ms(), rel=0.05)
+
+    def test_service_times_have_low_cv(self, rng):
+        # The paper's trace table reports service-time CV < 1; the physical
+        # model reproduces that (sum of bounded components).
+        d = DiskModel()
+        times = d.sample_random_workload(rng, n=20_000)
+        cv = times.std() / times.mean()
+        assert cv < 1.0
+
+    def test_service_time_components_additive(self, rng):
+        d = DiskModel()
+        req = DiskRequest(cylinder=0.75, size_kib=8.0)
+        t = d.service_time_ms(req, head_position=0.25, rng=rng)
+        seek = d.seek_time_ms(0.5)
+        transfer = d.transfer_time_ms(8.0)
+        assert seek + transfer <= t <= seek + transfer + d.revolution_ms
+
+    def test_workload_requires_positive_n(self, rng):
+        with pytest.raises(ValueError, match=">= 1"):
+            DiskModel().sample_random_workload(rng, n=0)

@@ -1,0 +1,95 @@
+"""Tests for the FG/BG queue simulator (semantics and conservation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BgServiceMode, FgBgModel
+from repro.processes import PoissonProcess
+from repro.sim import FgBgSimulator
+
+MU = 1 / 6.0
+
+
+def simulate(rho=0.4, p=0.3, horizon=300_000.0, seed=3, **kwargs):
+    model = FgBgModel(
+        arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p, **kwargs
+    )
+    return FgBgSimulator(model).run(horizon, np.random.default_rng(seed))
+
+
+class TestValidation:
+    def test_rejects_bad_horizon(self):
+        model = FgBgModel(arrival=PoissonProcess(0.05), service_rate=MU, bg_probability=0.3)
+        with pytest.raises(ValueError, match="horizon"):
+            FgBgSimulator(model).run(0.0, np.random.default_rng(0))
+
+    def test_rejects_bad_warmup(self):
+        model = FgBgModel(arrival=PoissonProcess(0.05), service_rate=MU, bg_probability=0.3)
+        with pytest.raises(ValueError, match="warmup_fraction"):
+            FgBgSimulator(model).run(10.0, np.random.default_rng(0), warmup_fraction=1.0)
+
+    def test_rejects_bad_replications(self):
+        model = FgBgModel(arrival=PoissonProcess(0.05), service_rate=MU, bg_probability=0.3)
+        with pytest.raises(ValueError, match="replications"):
+            FgBgSimulator(model).run_replications(10.0, 0, seed=1)
+
+
+class TestConservation:
+    def test_bg_accounting(self):
+        r = simulate(p=0.6)
+        # Every spawned job is either dropped or eventually served (up to
+        # the <= X jobs still buffered at the horizon).
+        assert 0 <= r.bg_spawned - r.bg_dropped - r.bg_completions <= 6
+
+    def test_spawn_fraction_close_to_p(self):
+        r = simulate(p=0.6)
+        assert r.bg_spawned / r.fg_completions == pytest.approx(0.6, abs=0.02)
+
+    def test_no_bg_at_p_zero(self):
+        r = simulate(p=0.0)
+        assert r.bg_spawned == 0
+        assert r.bg_server_share == 0.0
+        assert np.isnan(r.bg_completion_rate)
+
+    def test_throughput_matches_arrival_rate(self):
+        r = simulate(rho=0.4)
+        assert r.fg_throughput == pytest.approx(0.4 * MU, rel=0.03)
+
+    def test_shares_bounded(self):
+        r = simulate(p=0.9, rho=0.6)
+        assert 0 <= r.bg_server_share <= 1
+        assert r.fg_server_share + r.bg_server_share <= 1
+
+
+class TestAgainstMM1:
+    def test_mm1_queue_length(self):
+        r = simulate(rho=0.5, p=0.0, horizon=800_000.0)
+        assert r.fg_queue_length == pytest.approx(1.0, abs=0.07)
+
+    def test_mm1_response_time(self):
+        r = simulate(rho=0.5, p=0.0, horizon=800_000.0)
+        assert r.fg_response_time == pytest.approx(12.0, rel=0.06)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = simulate(seed=42, horizon=50_000.0)
+        b = simulate(seed=42, horizon=50_000.0)
+        assert a == b
+
+    def test_replications_differ(self):
+        model = FgBgModel(arrival=PoissonProcess(0.05), service_rate=MU, bg_probability=0.3)
+        reps = FgBgSimulator(model).run_replications(50_000.0, 3, seed=7)
+        assert len({r.fg_queue_length for r in reps}) == 3
+
+
+class TestModes:
+    def test_rewait_lowers_bg_throughput(self):
+        btb = simulate(p=0.6, horizon=400_000.0)
+        rew = simulate(p=0.6, horizon=400_000.0, bg_mode=BgServiceMode.REWAIT)
+        assert rew.bg_completions < btb.bg_completions
+
+    def test_small_buffer_drops_more(self):
+        small = simulate(p=0.9, rho=0.6, bg_buffer=1)
+        large = simulate(p=0.9, rho=0.6, bg_buffer=10)
+        assert small.bg_dropped > large.bg_dropped

@@ -1,0 +1,79 @@
+"""Tests for the multiclass simulator, including analytic cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiclass import MulticlassFgBgModel
+from repro.processes import PoissonProcess
+from repro.sim import MulticlassSimulator
+
+MU = 1 / 6.0
+
+
+def model(rho=0.5, probs=(0.3, 0.3), **kwargs) -> MulticlassFgBgModel:
+    return MulticlassFgBgModel(
+        arrival=PoissonProcess(rho * MU),
+        service_rate=MU,
+        bg_probabilities=probs,
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            MulticlassSimulator(model()).run(0.0, np.random.default_rng(0))
+
+    def test_rejects_bad_warmup(self):
+        with pytest.raises(ValueError, match="warmup"):
+            MulticlassSimulator(model()).run(
+                10.0, np.random.default_rng(0), warmup_fraction=1.5
+            )
+
+
+class TestAgainstAnalytic:
+    def test_two_classes_all_metrics(self):
+        m = model()
+        analytic = m.solve()
+        sim = MulticlassSimulator(m).run(1_500_000.0, np.random.default_rng(4))
+        assert sim.fg_queue_length == pytest.approx(
+            analytic.fg_queue_length, rel=0.06
+        )
+        assert sim.bg_completion_rate == pytest.approx(
+            analytic.bg_completion_rate, rel=0.05
+        )
+        assert sim.fg_delayed_fraction == pytest.approx(
+            analytic.fg_delayed_fraction, rel=0.08
+        )
+        for c in range(2):
+            assert sim.bg_queue_lengths[c] == pytest.approx(
+                analytic.bg_queue_lengths[c], rel=0.08
+            )
+            assert sim.bg_response_times[c] == pytest.approx(
+                analytic.bg_response_times[c], rel=0.08
+            )
+
+    def test_three_classes_priority_ordering(self):
+        m = model(probs=(0.2, 0.2, 0.2), bg_buffer=4)
+        sim = MulticlassSimulator(m).run(800_000.0, np.random.default_rng(6))
+        r = sim.bg_response_times
+        assert r[0] < r[1] < r[2]
+
+
+class TestConservation:
+    def test_accounting(self):
+        sim = MulticlassSimulator(model()).run(400_000.0, np.random.default_rng(9))
+        completed = round(sum(t * sim.bg_spawned / sim.bg_spawned for t in (0,)))
+        assert 0 <= sim.bg_spawned - sim.bg_dropped  # drops never exceed spawns
+        assert sim.bg_queue_length <= 5.0 + 1.0  # buffer + one in service
+
+    def test_fg_share_matches_load(self):
+        sim = MulticlassSimulator(model(rho=0.5)).run(
+            800_000.0, np.random.default_rng(10)
+        )
+        assert sim.fg_server_share == pytest.approx(0.5, abs=0.02)
+
+    def test_deterministic_given_seed(self):
+        a = MulticlassSimulator(model()).run(50_000.0, np.random.default_rng(3))
+        b = MulticlassSimulator(model()).run(50_000.0, np.random.default_rng(3))
+        assert a == b

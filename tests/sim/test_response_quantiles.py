@@ -1,0 +1,58 @@
+"""Tests for response-time sample collection and quantiles."""
+
+import numpy as np
+import pytest
+
+from repro.core import FgBgModel
+from repro.processes import PoissonProcess
+from repro.sim import FgBgSimulator
+from repro.vacation import MM1Queue
+
+MU = 1 / 6.0
+
+
+def run(rho=0.5, p=0.0, collect=True, horizon=1_200_000.0, seed=0):
+    model = FgBgModel(
+        arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p
+    )
+    return FgBgSimulator(model).run(
+        horizon, np.random.default_rng(seed), collect_response_times=collect
+    )
+
+
+class TestQuantiles:
+    def test_mm1_response_is_exponential(self):
+        result = run(rho=0.5)
+        queue = MM1Queue(lam=0.5 * MU, mu=MU)
+        for q in (0.5, 0.9, 0.99):
+            assert result.fg_response_quantile(q) == pytest.approx(
+                queue.response_time_quantile(q), rel=0.06
+            )
+
+    def test_samples_mean_matches_metric(self):
+        result = run(rho=0.4, p=0.6)
+        assert result.fg_response_samples.mean() == pytest.approx(
+            result.fg_response_time, rel=1e-9
+        )
+
+    def test_background_work_fattens_the_tail(self):
+        clean = run(rho=0.4, p=0.0, seed=3)
+        loaded = run(rho=0.4, p=0.9, seed=3)
+        assert loaded.fg_response_quantile(0.99) > clean.fg_response_quantile(0.99)
+
+    def test_quantiles_monotone(self):
+        result = run()
+        assert result.fg_response_quantile(0.5) < result.fg_response_quantile(0.95)
+
+
+class TestValidation:
+    def test_quantile_requires_collection(self):
+        result = run(collect=False, horizon=50_000.0)
+        assert result.fg_response_samples is None
+        with pytest.raises(ValueError, match="collect_response_times"):
+            result.fg_response_quantile(0.5)
+
+    def test_quantile_level_validated(self):
+        result = run(horizon=50_000.0)
+        with pytest.raises(ValueError, match="q must"):
+            result.fg_response_quantile(1.2)

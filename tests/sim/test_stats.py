@@ -1,0 +1,90 @@
+"""Tests for simulation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sim import BatchMeans, TimeWeightedAverage, confidence_interval
+
+
+class TestTimeWeightedAverage:
+    def test_piecewise_constant_average(self):
+        avg = TimeWeightedAverage(initial_value=0.0)
+        avg.update(2.0, 1.0)  # value 0 on [0,2)
+        avg.update(4.0, 3.0)  # value 1 on [2,4)
+        # value 3 on [4,6): mean = (0*2 + 1*2 + 3*2)/6
+        assert avg.mean(6.0) == pytest.approx(8.0 / 6.0)
+
+    def test_mean_at_start_is_current_value(self):
+        avg = TimeWeightedAverage(initial_value=5.0)
+        assert avg.mean(0.0) == 5.0
+
+    def test_reset_starts_new_window(self):
+        avg = TimeWeightedAverage(initial_value=10.0)
+        avg.update(5.0, 2.0)
+        avg.reset(5.0)
+        assert avg.mean(10.0) == pytest.approx(2.0)
+
+    def test_time_going_backwards_rejected(self):
+        avg = TimeWeightedAverage()
+        avg.update(5.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            avg.update(4.0, 2.0)
+
+    def test_value_property(self):
+        avg = TimeWeightedAverage()
+        avg.update(1.0, 7.0)
+        assert avg.value == 7.0
+
+
+class TestConfidenceInterval:
+    def test_contains_true_mean_for_gaussian(self, rng):
+        samples = rng.normal(10.0, 2.0, size=400)
+        ci = confidence_interval(samples, level=0.99)
+        assert ci.contains(10.0)
+
+    def test_width_shrinks_with_samples(self, rng):
+        small = confidence_interval(rng.normal(0, 1, size=50))
+        large = confidence_interval(rng.normal(0, 1, size=5000))
+        assert large.half_width < small.half_width
+
+    def test_endpoints(self):
+        ci = confidence_interval(np.array([1.0, 2.0, 3.0]))
+        assert ci.low == pytest.approx(ci.mean - ci.half_width)
+        assert ci.high == pytest.approx(ci.mean + ci.half_width)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            confidence_interval(np.array([1.0]))
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError, match="level"):
+            confidence_interval(np.array([1.0, 2.0]), level=1.5)
+
+    def test_repr(self):
+        assert "+-" in repr(confidence_interval(np.array([1.0, 2.0, 3.0])))
+
+
+class TestBatchMeans:
+    def test_interval_covers_mean_of_iid(self, rng):
+        bm = BatchMeans(batches=10)
+        for v in rng.exponential(2.0, size=2000):
+            bm.add(v)
+        ci = bm.interval(level=0.99)
+        assert ci.contains(2.0)
+
+    def test_requires_enough_observations(self):
+        bm = BatchMeans(batches=10)
+        for v in range(15):
+            bm.add(v)
+        with pytest.raises(ValueError, match="at least"):
+            bm.interval()
+
+    def test_count(self):
+        bm = BatchMeans(batches=2)
+        bm.add(1.0)
+        bm.add(2.0)
+        assert bm.count == 2
+
+    def test_requires_two_batches(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            BatchMeans(batches=1)

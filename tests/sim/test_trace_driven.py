@@ -1,0 +1,83 @@
+"""Tests for trace-driven simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import FgBgModel
+from repro.processes import MAPSampler, PoissonProcess
+from repro.sim import FgBgSimulator
+from repro.workloads import email, generate_trace
+
+MU = 1 / 6.0
+
+
+def make_model(rho=0.4, p=0.6) -> FgBgModel:
+    return FgBgModel(
+        arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p
+    )
+
+
+class TestValidation:
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FgBgSimulator(make_model(), arrival_trace=np.array([]))
+
+    def test_rejects_negative_interarrivals(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FgBgSimulator(make_model(), arrival_trace=np.array([1.0, -1.0]))
+
+    def test_rejects_horizon_beyond_trace(self):
+        sim = FgBgSimulator(make_model(), arrival_trace=np.ones(10))
+        with pytest.raises(ValueError, match="exceeds the trace duration"):
+            sim.run(100.0, np.random.default_rng(0))
+
+
+class TestReplay:
+    def test_exponential_trace_matches_analytic(self):
+        model = make_model()
+        rng = np.random.default_rng(0)
+        trace = rng.exponential(1.0 / model.arrival.mean_rate, size=120_000)
+        result = FgBgSimulator(model, arrival_trace=trace).run(
+            1_200_000.0, np.random.default_rng(1)
+        )
+        analytic = model.solve()
+        assert result.fg_queue_length == pytest.approx(
+            analytic.fg_queue_length, rel=0.08
+        )
+        assert result.bg_completion_rate == pytest.approx(
+            analytic.bg_completion_rate, rel=0.05
+        )
+
+    def test_mmpp_trace_matches_mmpp_model(self):
+        arrival = email().scaled_to_utilization(0.3, MU)
+        model = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.6)
+        trace = generate_trace(arrival, 60_000, np.random.default_rng(2))
+        horizon = float(trace.sum()) * 0.9
+        result = FgBgSimulator(model, arrival_trace=trace).run(
+            horizon, np.random.default_rng(3)
+        )
+        analytic = model.solve()
+        # Correlated traces converge slowly; coarse agreement suffices to
+        # show the replay feeds the same process.
+        assert result.fg_queue_length == pytest.approx(
+            analytic.fg_queue_length, rel=0.3
+        )
+
+    def test_trace_exhaustion_drains_system(self):
+        # A short trace inside a long horizon: arrivals stop, the queue
+        # drains, and the simulation still terminates.
+        model = make_model(p=0.0)
+        trace = np.full(10, 1.0)
+        sim = FgBgSimulator(model, arrival_trace=trace)
+        result = sim.run(10.0, np.random.default_rng(4), warmup_fraction=0.0)
+        assert result.fg_completions <= 10
+
+    def test_replay_is_deterministic_in_arrivals(self):
+        model = make_model(p=0.0)
+        # One arrival every 30 ms over a 6000 ms horizon: 200 arrivals,
+        # load 0.2, so essentially every job finishes within the horizon.
+        trace = np.full(1000, 30.0)
+        a = FgBgSimulator(model, arrival_trace=trace).run(
+            6000.0, np.random.default_rng(7), warmup_fraction=0.0
+        )
+        assert 195 <= a.fg_completions <= 200

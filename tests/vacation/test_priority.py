@@ -1,0 +1,106 @@
+"""Tests for the non-preemptive priority baseline (Cobham)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FgBgModel
+from repro.processes import PoissonProcess
+from repro.vacation import MM1Queue
+from repro.vacation.priority import NonPreemptivePriorityQueue
+
+MU = 1 / 6.0
+
+
+class TestClosedForm:
+    def test_degenerate_low_class_reduces_to_mm1(self):
+        q = NonPreemptivePriorityQueue(lam_high=0.5, lam_low=0.0, mu=1.0)
+        base = MM1Queue(lam=0.5, mu=1.0)
+        assert q.high_waiting_time == pytest.approx(base.mean_waiting_time)
+
+    def test_work_conservation(self):
+        # Class-aggregated mean delay equals the FCFS M/M/1 delay (equal
+        # service rates): priorities redistribute waiting, never create it.
+        q = NonPreemptivePriorityQueue(lam_high=0.3, lam_low=0.4, mu=1.0)
+        fcfs = MM1Queue(lam=0.7, mu=1.0)
+        lam = q.lam_high + q.lam_low
+        aggregate = (
+            q.lam_high * q.high_waiting_time + q.lam_low * q.low_waiting_time
+        ) / lam
+        assert aggregate == pytest.approx(fcfs.mean_waiting_time, rel=1e-10)
+
+    def test_priority_ordering(self):
+        q = NonPreemptivePriorityQueue(lam_high=0.3, lam_low=0.4, mu=1.0)
+        assert q.high_waiting_time < q.low_waiting_time
+
+    def test_high_class_still_pays_residual(self):
+        # Non-preemptive: the high class waits behind low-priority
+        # residuals, so it is strictly worse off than an M/M/1 that never
+        # admits the low class.
+        q = NonPreemptivePriorityQueue(lam_high=0.3, lam_low=0.4, mu=1.0)
+        alone = MM1Queue(lam=0.3, mu=1.0)
+        assert q.high_waiting_time > alone.mean_waiting_time
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            NonPreemptivePriorityQueue(lam_high=0.6, lam_low=0.5, mu=1.0)
+
+    def test_matches_simulation_free_identity(self):
+        # Little's law wiring.
+        q = NonPreemptivePriorityQueue(lam_high=0.2, lam_low=0.3, mu=1.0)
+        assert q.high_queue_length == pytest.approx(
+            q.lam_high * q.high_response_time
+        )
+
+
+class TestAgainstFgBgModel:
+    """Under Poisson FG arrivals an exact identity links the two models:
+    the FG mean response time of the FG/BG system equals Cobham's
+    high-priority response with ``lam_low`` set to the *accepted*
+    background rate -- independent of buffer size, idle-wait length, or
+    scheduling mode.  (PASTA + work decomposition: a non-preemptive
+    low-priority job interferes with FG work only through its residual in
+    service, and in stationarity only the accepted low-priority load
+    determines how often that happens.)  So the idle-wait design does not
+    shield FG *mean* delay at all under Poisson arrivals -- its role is to
+    shape the background side (admission/completion) and the correlated
+    regime."""
+
+    @pytest.mark.parametrize(
+        "rho,p,kwargs",
+        [
+            (0.4, 0.9, {}),
+            (0.6, 0.3, {"bg_buffer": 2}),
+            (0.4, 0.9, {"idle_wait_rate": MU / 3.0}),
+            (0.3, 0.6, {"bg_buffer": 10, "idle_wait_rate": MU * 2.0}),
+        ],
+    )
+    def test_fg_response_identity_for_poisson_arrivals(self, rho, p, kwargs):
+        model = FgBgModel(
+            arrival=PoissonProcess(rho * MU),
+            service_rate=MU,
+            bg_probability=p,
+            **kwargs,
+        )
+        s = model.solve()
+        cobham = NonPreemptivePriorityQueue(
+            lam_high=rho * MU,
+            lam_low=s.bg_spawn_rate - s.bg_drop_rate,
+            mu=MU,
+        )
+        assert s.fg_response_time == pytest.approx(
+            cobham.high_response_time, rel=1e-9
+        )
+
+    def test_identity_breaks_under_correlated_arrivals(self):
+        from repro.processes import fit_mmpp2
+
+        arrival = fit_mmpp2(rate=0.4 * MU, scv=2.4, decay=0.95)
+        s = FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.9).solve()
+        cobham = NonPreemptivePriorityQueue(
+            lam_high=0.4 * MU,
+            lam_low=s.bg_spawn_rate - s.bg_drop_rate,
+            mu=MU,
+        )
+        # Cobham's Poisson assumption badly underestimates the correlated
+        # system's foreground delay.
+        assert s.fg_response_time > 1.2 * cobham.high_response_time
