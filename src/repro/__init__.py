@@ -48,6 +48,7 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "markov",
         "qbd",
         "core",
+        "engine",
         "sim",
         "vacation",
         "workloads",

@@ -17,6 +17,7 @@ from repro.core.distributions import (
     fg_queue_length_quantile,
 )
 from repro.core.idle_period import IdlePeriodAnalysis, analyze_idle_periods
+from repro.core.metrics import METRICS, Metric, resolve_metric
 from repro.core.model import BgServiceMode, FgBgModel
 from repro.core.multiclass import MulticlassFgBgModel, MulticlassSolution
 from repro.core.ph_service import PhServiceFgBgModel, PhServiceSolution
@@ -29,6 +30,9 @@ __all__ = [
     "BgServiceMode",
     "FgBgModel",
     "FgBgSolution",
+    "METRICS",
+    "Metric",
+    "resolve_metric",
     "IdlePeriodAnalysis",
     "analyze_idle_periods",
     "MulticlassFgBgModel",

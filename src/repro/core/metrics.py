@@ -8,9 +8,16 @@ exact: with ``pi_k = pi_1 R^{k-1}``,
 
 give queue lengths; restriction masks over the state space give the
 conditional probabilities behind ``WaitP_FG`` and ``Comp_BG``.
+
+The module also hosts the string-keyed metric registry :data:`METRICS`
+(``METRICS["qlen_fg"]``, ...) through which the CLI, the figures and the
+sweep engine select metrics by name instead of ad-hoc callables.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,7 +26,18 @@ from repro.core.states import StateKind, StateSpace
 from repro.processes.map_process import MarkovianArrivalProcess
 from repro.qbd.stationary import QBDStationaryDistribution
 
-__all__ = ["compute_metrics"]
+__all__ = [
+    "METRICS",
+    "Metric",
+    "NEAR_ZERO_BG_PROBABILITY",
+    "compute_metrics",
+    "resolve_metric",
+]
+
+#: Below this spawn probability the background states are numerically
+#: unreachable (their rates underflow in the linear algebra), so the chain
+#: is built without them and background metrics are undefined.
+NEAR_ZERO_BG_PROBABILITY = 1e-9
 
 
 def _phase_rate_mass(
@@ -91,7 +109,14 @@ def compute_metrics(
     # state and dropped exactly in the FG states with a full buffer (which
     # exist only in the repeating portion).
     prob_fg_full = float(rep_mass @ space.repeating_bg_full_fg_mask)
-    if p > 0 and prob_fg_serving > 0:
+    if p < NEAR_ZERO_BG_PROBABILITY:
+        # Deliberate NaN: below this threshold the chain is built without
+        # background states (see FgBgModel), so "fraction of spawned BG
+        # jobs admitted" has no measurable value -- every mask-based
+        # estimate would be an artifact of the degenerate X = 0 chain.
+        # This also covers exactly p = 0, where no BG job is ever spawned.
+        bg_completion_rate = float("nan")
+    elif prob_fg_serving > 0:
         bg_completion_rate = 1.0 - prob_fg_full / prob_fg_serving
     else:
         bg_completion_rate = float("nan")
@@ -123,3 +148,122 @@ def compute_metrics(
         fg_utilization=lam / mu,
         qbd_solution=qbd_solution,
     )
+
+
+# ----------------------------------------------------------------------
+# Metric registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Metric:
+    """A named scalar metric extracted from an :class:`FgBgSolution`.
+
+    Calling the metric with a solution returns the scalar value, so a
+    ``Metric`` can be used anywhere a ``Callable[[FgBgSolution], float]``
+    is expected.
+    """
+
+    key: str
+    label: str
+    description: str
+    func: Callable[[FgBgSolution], float]
+
+    def __call__(self, solution: FgBgSolution) -> float:
+        return self.func(solution)
+
+
+def _metric(key: str, attr: str, label: str, description: str) -> Metric:
+    return Metric(
+        key=key,
+        label=label,
+        description=description,
+        func=lambda s, _attr=attr: getattr(s, _attr),
+    )
+
+
+#: String-keyed registry of every scalar metric.  The four paper metrics
+#: come first under their paper-style keys; every other scalar field of
+#: :class:`FgBgSolution` is exposed under its field name.
+METRICS: dict[str, Metric] = {
+    m.key: m
+    for m in (
+        _metric(
+            "qlen_fg", "fg_queue_length", "FG mean queue length",
+            "Mean number of foreground jobs in system (paper QLEN_FG).",
+        ),
+        _metric(
+            "qlen_bg", "bg_queue_length", "BG mean queue length",
+            "Mean number of background jobs in system (paper QLEN_BG).",
+        ),
+        _metric(
+            "waitp_fg", "fg_delayed_fraction", "fraction of FG delayed",
+            "P(background job holds the server | FG present) "
+            "(paper WaitP_FG).",
+        ),
+        _metric(
+            "comp_bg", "bg_completion_rate", "BG completion rate",
+            "Fraction of spawned background jobs admitted "
+            "(paper Comp_BG; NaN when bg_probability ~ 0).",
+        ),
+        _metric(
+            "fg_arrival_delayed_fraction", "fg_arrival_delayed_fraction",
+            "fraction of FG arrivals delayed",
+            "Fraction of FG arrivals that find a BG job in service.",
+        ),
+        _metric(
+            "fg_server_share", "fg_server_share", "FG server share",
+            "Long-run fraction of time the server works on FG jobs.",
+        ),
+        _metric(
+            "bg_server_share", "bg_server_share", "BG server share",
+            "Long-run fraction of time the server works on BG jobs.",
+        ),
+        _metric(
+            "idle_probability", "idle_probability", "idle probability",
+            "Long-run fraction of time the server is idle (incl. "
+            "idle-wait).",
+        ),
+        _metric(
+            "fg_throughput", "fg_throughput", "FG throughput",
+            "Foreground completions per ms (equals the arrival rate).",
+        ),
+        _metric(
+            "bg_throughput", "bg_throughput", "BG throughput",
+            "Background completions per ms.",
+        ),
+        _metric(
+            "bg_spawn_rate", "bg_spawn_rate", "BG spawn rate",
+            "Background jobs spawned per ms (admitted or not).",
+        ),
+        _metric(
+            "bg_drop_rate", "bg_drop_rate", "BG drop rate",
+            "Background jobs dropped (buffer full) per ms.",
+        ),
+        _metric(
+            "fg_response_time", "fg_response_time", "FG response time (ms)",
+            "Mean foreground response time via Little's law.",
+        ),
+        _metric(
+            "bg_response_time", "bg_response_time", "BG response time (ms)",
+            "Mean background response time over admitted jobs.",
+        ),
+        _metric(
+            "fg_utilization", "fg_utilization", "FG utilization",
+            "Offered foreground load lambda / mu.",
+        ),
+    )
+}
+
+
+def resolve_metric(
+    metric: str | Callable[[FgBgSolution], float],
+) -> Callable[[FgBgSolution], float]:
+    """Turn a registry key or a plain callable into a metric callable."""
+    if callable(metric):
+        return metric
+    try:
+        return METRICS[metric]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {metric!r}; choose from {sorted(METRICS)} "
+            "or pass a callable"
+        ) from None

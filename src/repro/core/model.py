@@ -21,11 +21,14 @@ True
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from functools import cached_property
 
+import numpy as np
+
 from repro.core.blocks import BgServiceMode, build_qbd
-from repro.core.metrics import compute_metrics
+from repro.core.metrics import NEAR_ZERO_BG_PROBABILITY, compute_metrics
 from repro.core.result import FgBgSolution
 from repro.core.states import StateSpace
 from repro.processes.map_process import MarkovianArrivalProcess
@@ -110,8 +113,9 @@ class FgBgModel:
 
     #: Below this spawn probability the background states are numerically
     #: unreachable (rates underflow in the linear algebra), so the chain is
-    #: built without them; all metrics remain consistent.
-    _NEAR_ZERO_P = 1e-9
+    #: built without them; ``bg_completion_rate`` is then a deliberate NaN
+    #: (see :mod:`repro.core.metrics`), all other metrics stay consistent.
+    _NEAR_ZERO_P = NEAR_ZERO_BG_PROBABILITY
 
     @cached_property
     def _effective_bg_buffer(self) -> int:
@@ -145,7 +149,10 @@ class FgBgModel:
     # Solving
     # ------------------------------------------------------------------
     def solve(
-        self, algorithm: str = "logarithmic-reduction", tol: float = 1e-12
+        self,
+        algorithm: str = "logarithmic-reduction",
+        tol: float = 1e-12,
+        initial_r: np.ndarray | None = None,
     ) -> FgBgSolution:
         """Solve the model and return all stationary metrics.
 
@@ -153,9 +160,14 @@ class FgBgModel:
         ----------
         algorithm:
             R-matrix algorithm: ``"logarithmic-reduction"`` (default),
-            ``"natural"`` or ``"functional"``.
+            ``"newton"``, ``"natural"`` or ``"functional"``.
         tol:
             Convergence tolerance of the R iteration.
+        initial_r:
+            Optional warm-start iterate for the R matrix, e.g.
+            ``solution.qbd_solution.r`` of a nearby parameter point; see
+            :func:`repro.qbd.rmatrix.r_matrix`.  Warm-started results
+            agree with cold solves to solver tolerance.
 
         Raises
         ------
@@ -168,7 +180,9 @@ class FgBgModel:
                 f"{self.fg_utilization:.4g} >= 1; no stationary regime exists"
             )
         qbd, space = self._qbd_and_space
-        qbd_solution = solve_qbd(qbd, algorithm=algorithm, tol=tol)
+        qbd_solution = solve_qbd(
+            qbd, algorithm=algorithm, tol=tol, initial_r=initial_r
+        )
         return compute_metrics(
             space=space,
             qbd_solution=qbd_solution,
@@ -176,6 +190,35 @@ class FgBgModel:
             service_rate=self.service_rate,
             bg_probability=self.bg_probability,
         )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the frozen model fields (hex SHA-256).
+
+        Two models with identical solve-relevant content -- arrival
+        matrices, service rate, background probability, buffer size,
+        *effective* idle-wait rate and scheduling mode -- share a
+        fingerprint, which makes it usable as a content-addressed cache
+        key for solves (see :mod:`repro.engine`).
+        """
+        h = hashlib.sha256()
+        h.update(b"FgBgModel/v1")
+        d0 = np.ascontiguousarray(self.arrival.d0)
+        d1 = np.ascontiguousarray(self.arrival.d1)
+        h.update(repr(d0.shape).encode())
+        h.update(d0.tobytes())
+        h.update(d1.tobytes())
+        for value in (
+            self.service_rate,
+            self.bg_probability,
+            self.effective_idle_wait_rate,
+        ):
+            h.update(float(value).hex().encode())
+        h.update(str(self.bg_buffer).encode())
+        h.update(self.bg_mode.value.encode())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Convenience sweep constructors

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, fields
 
+from repro.qbd.rmatrix import SolveStats
 from repro.qbd.stationary import QBDStationaryDistribution
 
 __all__ = ["FgBgSolution"]
@@ -23,7 +24,9 @@ class FgBgSolution:
       foreground work is present;
     * :attr:`bg_completion_rate` -- the paper's ``Comp_BG`` (Figures 7, 10,
       12): the fraction of spawned background jobs that are admitted (and
-      hence eventually served); ``nan`` when ``bg_probability == 0``;
+      hence eventually served); a deliberate ``nan`` when
+      ``bg_probability`` is below ``NEAR_ZERO_BG_PROBABILITY`` (including
+      exactly 0), where the chain is built without background states;
     * :attr:`bg_queue_length` -- mean number of background jobs in system
       (Figure 8).
     """
@@ -62,6 +65,12 @@ class FgBgSolution:
     fg_utilization: float
     #: The underlying QBD stationary distribution, for power users.
     qbd_solution: QBDStationaryDistribution
+
+    @property
+    def solve_stats(self) -> SolveStats | None:
+        """Diagnostics of the R-matrix solve behind this solution
+        (iterations, wall time, algorithm, ``sp(R)``, warm start)."""
+        return self.qbd_solution.solve_stats
 
     def as_dict(self) -> dict[str, float]:
         """Scalar metrics as a plain dictionary (omits the QBD solution)."""

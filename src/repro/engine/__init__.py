@@ -1,0 +1,25 @@
+"""Sweep execution engine: parallel solves, caching, R-matrix warm starts.
+
+* :mod:`~repro.engine.engine` -- :class:`SweepEngine`, the executor.
+* :mod:`~repro.engine.cache` -- :class:`SolveCache`, the content-addressed
+  two-level (memory + optional disk) solution cache.
+* :mod:`~repro.engine.stats` -- :class:`EngineStats`, aggregation of the
+  per-solve :class:`~repro.qbd.rmatrix.SolveStats` for benchmarking.
+
+See :func:`repro.experiments.sweeps.sweep` for the high-level API that
+drives this engine over a parameter axis.
+"""
+
+from repro.engine.cache import SolveCache, solve_key
+from repro.engine.engine import SweepEngine
+from repro.engine.stats import EngineStats, SolveRecord
+from repro.qbd.rmatrix import SolveStats
+
+__all__ = [
+    "EngineStats",
+    "SolveCache",
+    "SolveRecord",
+    "SolveStats",
+    "SweepEngine",
+    "solve_key",
+]

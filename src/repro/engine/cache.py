@@ -1,0 +1,116 @@
+"""Content-addressed cache of model solves.
+
+Solutions are keyed by a SHA-256 of the model fingerprint (see
+:meth:`repro.core.model.FgBgModel.fingerprint`) combined with the solver
+parameters, so two structurally identical models -- however they were
+constructed -- share one cache entry.  The cache is two-level: a plain
+in-memory dictionary, plus an optional on-disk directory of pickled
+solutions (one file per key) that persists across processes and runs and
+is shared by the worker processes of a parallel sweep.
+
+The on-disk layer uses :mod:`pickle`; only point it at directories you
+trust, exactly as you would with numpy's ``allow_pickle``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+from repro.core.model import FgBgModel
+from repro.core.result import FgBgSolution
+
+__all__ = ["SolveCache", "solve_key"]
+
+
+def solve_key(
+    fingerprint: str, algorithm: str, tol: float
+) -> str:
+    """Cache key of one solve: model fingerprint + solver parameters."""
+    h = hashlib.sha256()
+    h.update(fingerprint.encode())
+    h.update(algorithm.encode())
+    h.update(float(tol).hex().encode())
+    return h.hexdigest()
+
+
+class SolveCache:
+    """Two-level (memory + optional disk) cache of :class:`FgBgSolution`.
+
+    Parameters
+    ----------
+    directory:
+        Optional directory for the persistent layer.  Created if missing.
+        ``None`` (default) keeps the cache purely in-memory.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._memory: dict[str, FgBgSolution] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path | None:
+        """Directory of the persistent layer (``None`` when memory-only)."""
+        return self._directory
+
+    @staticmethod
+    def key(
+        model: FgBgModel,
+        algorithm: str = "logarithmic-reduction",
+        tol: float = 1e-12,
+    ) -> str:
+        """Cache key of ``model`` solved with the given parameters."""
+        return solve_key(model.fingerprint(), algorithm, tol)
+
+    def _path(self, key: str) -> Path:
+        return self._directory / f"{key}.pkl"
+
+    def get(self, key: str) -> FgBgSolution | None:
+        """Look up a solution; counts a hit or a miss."""
+        solution = self._memory.get(key)
+        if solution is None and self._directory is not None:
+            path = self._path(key)
+            if path.exists():
+                with path.open("rb") as fh:
+                    solution = pickle.load(fh)
+                self._memory[key] = solution
+        if solution is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return solution
+
+    def put(self, key: str, solution: FgBgSolution) -> None:
+        """Store a solution under ``key`` (atomically on disk)."""
+        self._memory[key] = solution
+        if self._directory is not None:
+            path = self._path(key)
+            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            with tmp.open("wb") as fh:
+                pickle.dump(solution, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (on-disk entries are kept)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self._directory is not None and self._path(key).exists()
+
+    def __repr__(self) -> str:
+        where = f"dir={str(self._directory)!r}" if self._directory else "memory"
+        return (
+            f"SolveCache({where}, entries={len(self._memory)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,201 @@
+"""The sweep engine: cached, warm-started, optionally parallel solves.
+
+A parameter sweep solves many nearby :class:`~repro.core.model.FgBgModel`
+instances.  :class:`SweepEngine` exploits that structure three ways:
+
+* **caching** -- solutions are stored under a content hash of the model
+  (see :meth:`FgBgModel.fingerprint`), so repeated points (across figures,
+  or across runs with an on-disk cache) are never solved twice;
+* **warm-starting** -- within a chain of models that differ by one
+  parameter step, the R matrix of the previous point seeds the next solve
+  (Newton's method converts the closeness into a handful of iterations);
+* **parallelism** -- independent chains run across worker processes.
+
+Warm-started results agree with cold solves to solver tolerance; cached
+results are bit-identical to the solve that populated the entry.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.model import FgBgModel
+from repro.core.result import FgBgSolution
+from repro.engine.cache import SolveCache, solve_key
+from repro.engine.stats import EngineStats, SolveRecord
+
+__all__ = ["SweepEngine"]
+
+
+def _run_chain_worker(
+    config: dict, models: list[FgBgModel]
+) -> tuple[list[FgBgSolution], list[SolveRecord]]:
+    """Solve one chain in a worker process (must be module-level to pickle).
+
+    Workers share the parent's on-disk cache directory (if any); in-memory
+    entries are merged back by the parent from the returned records.
+    """
+    cache_dir = config["cache_dir"]
+    engine = SweepEngine(
+        jobs=1,
+        cache=SolveCache(cache_dir) if cache_dir is not None else None,
+        warm_start=config["warm_start"],
+        algorithm=config["algorithm"],
+        tol=config["tol"],
+    )
+    solutions = engine.run_chain(models)
+    return solutions, engine.stats.records
+
+
+class SweepEngine:
+    """Executes model solves for parameter sweeps.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for :meth:`run_chains`.  ``1`` (default) stays
+        serial; chains are the unit of parallelism because warm-starting
+        is sequential within a chain.
+    cache:
+        ``None`` (default) for no caching, a :class:`SolveCache`, or a
+        directory path for an on-disk cache shared across runs/processes.
+    warm_start:
+        Seed each solve in a chain with the previous point's R matrix.
+        Off by default: the default logarithmic-reduction solver is so
+        fast on the paper's chains that cold solves win on wall time;
+        warm Newton wins on iteration count (see ``benchmarks/bench_engine.py``).
+    algorithm, tol:
+        Passed through to :meth:`FgBgModel.solve`.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: SolveCache | str | os.PathLike | None = None,
+        warm_start: bool = False,
+        algorithm: str = "logarithmic-reduction",
+        tol: float = 1e-12,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        if cache is not None and not isinstance(cache, SolveCache):
+            cache = SolveCache(cache)
+        self.cache = cache
+        self.warm_start = warm_start
+        self.algorithm = algorithm
+        self.tol = tol
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Single solves
+    # ------------------------------------------------------------------
+    def solve(
+        self, model: FgBgModel, initial_r: np.ndarray | None = None
+    ) -> FgBgSolution:
+        """Solve one model, consulting the cache first.
+
+        ``initial_r`` warm-starts the R iteration of a fresh solve; it is
+        ignored on a cache hit (the cached solution is already exact).
+        """
+        fingerprint = model.fingerprint()
+        key = solve_key(fingerprint, self.algorithm, self.tol)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.add(
+                    SolveRecord(fingerprint, cache_hit=True, stats=cached.solve_stats)
+                )
+                return cached
+        solution = model.solve(
+            algorithm=self.algorithm, tol=self.tol, initial_r=initial_r
+        )
+        if self.cache is not None:
+            self.cache.put(key, solution)
+        self.stats.add(
+            SolveRecord(fingerprint, cache_hit=False, stats=solution.solve_stats)
+        )
+        return solution
+
+    # ------------------------------------------------------------------
+    # Chains
+    # ------------------------------------------------------------------
+    def run_chain(self, models: Iterable[FgBgModel]) -> list[FgBgSolution]:
+        """Solve a sequence of related models in order.
+
+        With :attr:`warm_start` on, each solve is seeded with the previous
+        solution's R matrix -- order the chain so neighbours are close in
+        parameter space (a sweep axis already is).
+        """
+        solutions: list[FgBgSolution] = []
+        prev_r: np.ndarray | None = None
+        for model in models:
+            solution = self.solve(model, initial_r=prev_r)
+            if self.warm_start:
+                prev_r = solution.qbd_solution.r
+            solutions.append(solution)
+        return solutions
+
+    def run_chains(
+        self, chains: Sequence[Sequence[FgBgModel]]
+    ) -> list[list[FgBgSolution]]:
+        """Solve several independent chains, in parallel when ``jobs > 1``.
+
+        Results are returned in chain order regardless of completion
+        order, so parallel output is identical to serial output.
+        """
+        chains = [list(chain) for chain in chains]
+        if self.jobs <= 1 or len(chains) <= 1:
+            return [self.run_chain(chain) for chain in chains]
+        # Chains fully present in the parent cache are served directly --
+        # worker processes cannot see the parent's in-memory layer.
+        pending = list(range(len(chains)))
+        results_by_index: dict[int, list[FgBgSolution]] = {}
+        if self.cache is not None:
+            for index in list(pending):
+                keys = [
+                    solve_key(m.fingerprint(), self.algorithm, self.tol)
+                    for m in chains[index]
+                ]
+                if all(key in self.cache for key in keys):
+                    results_by_index[index] = self.run_chain(chains[index])
+                    pending.remove(index)
+        if not pending:
+            return [results_by_index[i] for i in range(len(chains))]
+        if len(pending) == 1:
+            results_by_index[pending[0]] = self.run_chain(chains[pending[0]])
+            return [results_by_index[i] for i in range(len(chains))]
+        config = {
+            "cache_dir": None if self.cache is None else self.cache.directory,
+            "warm_start": self.warm_start,
+            "algorithm": self.algorithm,
+            "tol": self.tol,
+        }
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_chain_worker, config, chains[index])
+                for index in pending
+            ]
+            results = [future.result() for future in futures]
+        for index, (solutions, records) in zip(pending, results):
+            self.stats.extend(records)
+            if self.cache is not None:
+                for record, solution in zip(records, solutions):
+                    key = solve_key(record.fingerprint, self.algorithm, self.tol)
+                    if key not in self.cache:
+                        self.cache.put(key, solution)
+            results_by_index[index] = solutions
+        return [results_by_index[i] for i in range(len(chains))]
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepEngine(jobs={self.jobs}, cache={self.cache!r}, "
+            f"warm_start={self.warm_start}, algorithm={self.algorithm!r}, "
+            f"tol={self.tol:g})"
+        )

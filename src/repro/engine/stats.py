@@ -1,0 +1,146 @@
+"""Aggregation of per-solve statistics across a sweep.
+
+Every solve the engine performs -- fresh or served from cache -- appends a
+:class:`SolveRecord`; :class:`EngineStats` aggregates them into the record
+the benchmark harness writes to ``BENCH_sweeps.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.qbd.rmatrix import SolveStats
+
+__all__ = ["EngineStats", "SolveRecord"]
+
+
+@dataclass(frozen=True)
+class SolveRecord:
+    """One engine solve: which model, how it was obtained, at what cost."""
+
+    fingerprint: str
+    cache_hit: bool
+    stats: SolveStats | None
+
+    def as_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "stats": None if self.stats is None else self.stats.as_dict(),
+        }
+
+
+@dataclass
+class EngineStats:
+    """Aggregated solve statistics of a :class:`~repro.engine.SweepEngine`."""
+
+    records: list[SolveRecord] = field(default_factory=list)
+
+    def add(self, record: SolveRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: list[SolveRecord]) -> None:
+        self.records.extend(records)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def solves(self) -> int:
+        """Total models served (fresh solves plus cache hits)."""
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def solver_calls(self) -> int:
+        """Fresh R-matrix solves actually performed."""
+        return sum(1 for r in self.records if not r.cache_hit)
+
+    @property
+    def warm_started(self) -> int:
+        """Fresh solves whose accepted R came from a warm start."""
+        return sum(
+            1
+            for r in self.records
+            if not r.cache_hit and r.stats is not None and r.stats.warm_started
+        )
+
+    @property
+    def total_iterations(self) -> int:
+        """R-matrix iterations summed over the fresh solves."""
+        return sum(
+            r.stats.iterations
+            for r in self.records
+            if not r.cache_hit and r.stats is not None
+        )
+
+    @property
+    def total_wall_time_ms(self) -> float:
+        """R-matrix solve wall time summed over the fresh solves."""
+        return sum(
+            r.stats.wall_time_ms
+            for r in self.records
+            if not r.cache_hit and r.stats is not None
+        )
+
+    @property
+    def max_spectral_radius(self) -> float:
+        """Largest ``sp(R)`` seen (tail heaviness of the hardest point)."""
+        radii = [
+            r.stats.spectral_radius
+            for r in self.records
+            if r.stats is not None
+        ]
+        return max(radii) if radii else float("nan")
+
+    def algorithm_counts(self) -> dict[str, int]:
+        """Fresh solves per accepted algorithm name."""
+        return dict(
+            Counter(
+                r.stats.algorithm
+                for r in self.records
+                if not r.cache_hit and r.stats is not None
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-serializable aggregate record (no per-solve detail)."""
+        return {
+            "solves": self.solves,
+            "cache_hits": self.cache_hits,
+            "solver_calls": self.solver_calls,
+            "warm_started": self.warm_started,
+            "total_iterations": self.total_iterations,
+            "total_wall_time_ms": round(self.total_wall_time_ms, 3),
+            "max_spectral_radius": self.max_spectral_radius,
+            "algorithms": self.algorithm_counts(),
+        }
+
+    def write_json(
+        self, path: str | os.PathLike, include_records: bool = False
+    ) -> None:
+        """Write the summary (optionally with per-solve records) to a file."""
+        payload: dict = {"summary": self.summary()}
+        if include_records:
+            payload["records"] = [r.as_dict() for r in self.records]
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineStats(solves={self.solves}, cache_hits={self.cache_hits}, "
+            f"warm_started={self.warm_started}, "
+            f"total_iterations={self.total_iterations})"
+        )

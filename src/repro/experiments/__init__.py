@@ -25,11 +25,31 @@ from repro.experiments.figures import (
     fig13_dependence_fg_delayed,
 )
 from repro.experiments.render import render_result
+from repro.experiments.sweeps import (
+    BG_PROBABILITIES,
+    SweepAxis,
+    bg_probability_axis,
+    idle_wait_axis,
+    idle_wait_sweep_series,
+    load_sweep_series,
+    sweep,
+    sweep_many,
+    utilization_axis,
+)
 from repro.experiments.tables import figure1_table, figure2_table
 
 __all__ = [
     "ExperimentResult",
     "ALL_FIGURES",
+    "BG_PROBABILITIES",
+    "SweepAxis",
+    "bg_probability_axis",
+    "idle_wait_axis",
+    "idle_wait_sweep_series",
+    "load_sweep_series",
+    "sweep",
+    "sweep_many",
+    "utilization_axis",
     "fig1_trace_acf",
     "fig2_mmpp_acf",
     "fig5_fg_queue_length",

@@ -12,11 +12,15 @@ from __future__ import annotations
 import numpy as np
 
 
+from repro.core.model import FgBgModel
+from repro.engine.engine import SweepEngine
 from repro.experiments.result import ExperimentResult, Series
 from repro.experiments.sweeps import (
     BG_PROBABILITIES,
-    idle_wait_sweep_series,
-    load_sweep_series,
+    idle_wait_axis,
+    sweep,
+    sweep_many,
+    utilization_axis,
 )
 from repro.experiments.tables import figure1_table, figure2_table
 from repro.processes.statistics import autocorrelation
@@ -71,6 +75,7 @@ def _two_panel_load_sweep(
     y_label: str,
     metric,
     bg_probabilities=BG_PROBABILITIES,
+    engine: SweepEngine | None = None,
 ) -> ExperimentResult:
     """Shared layout of Figures 5-8: (a) E-mail, (b) Software Development."""
     series: list[Series] = []
@@ -79,8 +84,14 @@ def _two_panel_load_sweep(
         ("software_development", "Software Dev. Low ACF", SOFTDEV_UTILIZATIONS),
     )
     for key, panel, utils in panels:
-        arrival = WORKLOADS[key].fit()
-        for s in load_sweep_series(arrival, utils, bg_probabilities, metric):
+        base = FgBgModel(
+            arrival=WORKLOADS[key].fit(),
+            service_rate=SERVICE_RATE_PER_MS,
+            bg_probability=0.0,
+        )
+        for s in sweep_many(
+            base, utilization_axis(utils), metric, bg_probabilities, engine=engine
+        ):
             series.append(Series(label=f"{panel} | {s.label}", x=s.x, y=s.y))
     return ExperimentResult(
         experiment_id=experiment_id,
@@ -142,50 +153,58 @@ def fig2_mmpp_acf(lags: int = 100) -> ExperimentResult:
     )
 
 
-def fig5_fg_queue_length() -> ExperimentResult:
+def fig5_fg_queue_length(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 5: average foreground queue length vs foreground load."""
     return _two_panel_load_sweep(
         "fig5",
         "Average queue length of foreground jobs",
         "FG mean queue length",
-        lambda s: s.fg_queue_length,
+        "qlen_fg",
+        engine=engine,
     )
 
 
-def fig6_fg_delayed() -> ExperimentResult:
+def fig6_fg_delayed(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 6: portion of foreground jobs delayed by a background job."""
     return _two_panel_load_sweep(
         "fig6",
         "Portion of foreground jobs delayed by a background job",
         "fraction of FG delayed",
-        lambda s: s.fg_delayed_fraction,
+        "waitp_fg",
+        engine=engine,
     )
 
 
-def fig7_bg_completion() -> ExperimentResult:
+def fig7_bg_completion(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 7: background completion (admission) rate vs foreground load."""
     return _two_panel_load_sweep(
         "fig7",
         "Completion rate of background jobs",
         "BG completion rate",
-        lambda s: s.bg_completion_rate,
+        "comp_bg",
         bg_probabilities=(0.1, 0.3, 0.6, 0.9),
+        engine=engine,
     )
 
 
-def fig8_bg_queue_length() -> ExperimentResult:
+def fig8_bg_queue_length(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 8: average background queue length vs foreground load."""
     return _two_panel_load_sweep(
         "fig8",
         "Average queue length of background jobs",
         "BG mean queue length",
-        lambda s: s.bg_queue_length,
+        "qlen_bg",
         bg_probabilities=(0.1, 0.3, 0.6, 0.9),
+        engine=engine,
     )
 
 
 def _idle_wait_figure(
-    experiment_id: str, title: str, y_label: str, metric
+    experiment_id: str,
+    title: str,
+    y_label: str,
+    metric,
+    engine: SweepEngine | None = None,
 ) -> ExperimentResult:
     series: list[Series] = []
     panels = (
@@ -194,11 +213,19 @@ def _idle_wait_figure(
     )
     for key, panel in panels:
         spec = WORKLOADS[key]
-        arrival = spec.fit().scaled_to_utilization(
-            IDLE_WAIT_UTILIZATION[key], SERVICE_RATE_PER_MS
+        base = FgBgModel(
+            arrival=spec.fit().scaled_to_utilization(
+                IDLE_WAIT_UTILIZATION[key], SERVICE_RATE_PER_MS
+            ),
+            service_rate=SERVICE_RATE_PER_MS,
+            bg_probability=0.0,
         )
-        for s in idle_wait_sweep_series(
-            arrival, IDLE_WAIT_MULTIPLES, (0.1, 0.3, 0.6, 0.9), metric
+        for s in sweep_many(
+            base,
+            idle_wait_axis(IDLE_WAIT_MULTIPLES),
+            metric,
+            (0.1, 0.3, 0.6, 0.9),
+            engine=engine,
         ):
             series.append(Series(label=f"{panel} | {s.label}", x=s.x, y=s.y))
     return ExperimentResult(
@@ -215,28 +242,34 @@ def _idle_wait_figure(
     )
 
 
-def fig9_idle_wait_fg() -> ExperimentResult:
+def fig9_idle_wait_fg(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 9: foreground queue length vs idle-wait duration."""
     return _idle_wait_figure(
         "fig9",
         "Foreground queue length as a function of idle wait",
         "FG mean queue length",
-        lambda s: s.fg_queue_length,
+        "qlen_fg",
+        engine=engine,
     )
 
 
-def fig10_idle_wait_bg() -> ExperimentResult:
+def fig10_idle_wait_bg(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 10: background completion rate vs idle-wait duration."""
     return _idle_wait_figure(
         "fig10",
         "Background completion rate as a function of idle wait",
         "BG completion rate",
-        lambda s: s.bg_completion_rate,
+        "comp_bg",
+        engine=engine,
     )
 
 
 def _dependence_figure(
-    experiment_id: str, title: str, y_label: str, metric
+    experiment_id: str,
+    title: str,
+    y_label: str,
+    metric,
+    engine: SweepEngine | None = None,
 ) -> ExperimentResult:
     """Shared layout of Figures 11-13: four arrival processes matched to the
     E-mail workload, panels for p = 0.3 and p = 0.9."""
@@ -249,7 +282,12 @@ def _dependence_figure(
                 if key in ("high_acf", "low_acf")
                 else RENEWAL_UTILIZATIONS
             )
-            (s,) = load_sweep_series(process, utils, (p,), metric)
+            base = FgBgModel(
+                arrival=process,
+                service_rate=SERVICE_RATE_PER_MS,
+                bg_probability=p,
+            )
+            s = sweep(base, utilization_axis(utils), metric, engine=engine)
             series.append(
                 Series(
                     label=f"p = {p:g} | {_COMPARATOR_LABELS[key]}", x=s.x, y=s.y
@@ -269,33 +307,36 @@ def _dependence_figure(
     )
 
 
-def fig11_dependence_fg_qlen() -> ExperimentResult:
+def fig11_dependence_fg_qlen(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 11: FG queue length under the four arrival processes."""
     return _dependence_figure(
         "fig11",
         "FG queue length under different dependence structures",
         "FG mean queue length",
-        lambda s: s.fg_queue_length,
+        "qlen_fg",
+        engine=engine,
     )
 
 
-def fig12_dependence_bg_completion() -> ExperimentResult:
+def fig12_dependence_bg_completion(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 12: BG completion rate under the four arrival processes."""
     return _dependence_figure(
         "fig12",
         "BG completion rate under different dependence structures",
         "BG completion rate",
-        lambda s: s.bg_completion_rate,
+        "comp_bg",
+        engine=engine,
     )
 
 
-def fig13_dependence_fg_delayed() -> ExperimentResult:
+def fig13_dependence_fg_delayed(engine: SweepEngine | None = None) -> ExperimentResult:
     """Figure 13: fraction of FG delayed under the four arrival processes."""
     return _dependence_figure(
         "fig13",
         "Portion of FG jobs delayed under different dependence structures",
         "fraction of FG delayed",
-        lambda s: s.fg_delayed_fraction,
+        "waitp_fg",
+        engine=engine,
     )
 
 

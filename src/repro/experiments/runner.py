@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from collections.abc import Sequence
 
@@ -10,6 +11,18 @@ from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.render import render_result
 
 __all__ = ["main"]
+
+
+def _build_engine(args):
+    """The shared SweepEngine of this run, or ``None`` for plain solving."""
+    if args.jobs == 1 and args.cache is None and not args.warm_start:
+        return None
+    from repro.engine import SolveCache, SweepEngine
+
+    cache = None
+    if args.cache is not None:
+        cache = SolveCache(args.cache if args.cache != "" else None)
+    return SweepEngine(jobs=args.jobs, cache=cache, warm_start=args.warm_start)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -32,7 +45,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="use a smaller sample size for the trace-based Figure 1",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep curves (default 1: serial); "
+        "output is identical to a serial run",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="cache solves in memory across figures; with DIR, also "
+        "persist them on disk across runs",
+    )
+    parser.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="seed each R-matrix solve with the previous point of the "
+        "sweep (results agree with cold solves to solver tolerance)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     requested = list(ALL_FIGURES) if "all" in args.figures else args.figures
     unknown = [f for f in requested if f not in ALL_FIGURES]
@@ -42,12 +80,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"choose from {', '.join(ALL_FIGURES)} or 'all'"
         )
 
+    engine = _build_engine(args)
     for name in requested:
         func = ALL_FIGURES[name]
+        kwargs = {}
+        if engine is not None and "engine" in inspect.signature(func).parameters:
+            kwargs["engine"] = engine
         if name == "fig1" and args.fast:
-            result = func(samples=20_000)
-        else:
-            result = func()
+            kwargs["samples"] = 20_000
+        result = func(**kwargs)
         print(render_result(result))
         print()
     return 0

@@ -1,70 +1,206 @@
-"""Parameter-sweep helpers shared by the figure reproductions."""
+"""Parameter-sweep helpers shared by the figure reproductions.
+
+The generic entry point is :func:`sweep`: a base model, a
+:class:`SweepAxis` describing which parameter varies, and a metric (a
+string key of :data:`repro.core.METRICS` or a callable).  Solves are
+executed through a :class:`~repro.engine.SweepEngine`, which supplies
+caching, R-matrix warm-starting and -- via :func:`sweep_many` --
+parallelism across curves.
+
+``load_sweep_series`` and ``idle_wait_sweep_series`` are the pre-engine
+entry points, kept as thin deprecated wrappers.
+"""
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.metrics import resolve_metric
 from repro.core.model import FgBgModel
 from repro.core.result import FgBgSolution
+from repro.engine.engine import SweepEngine
 from repro.experiments.result import Series
 from repro.processes.map_process import MarkovianArrivalProcess
 from repro.workloads.paper import SERVICE_RATE_PER_MS
 
-__all__ = ["load_sweep_series", "idle_wait_sweep_series", "BG_PROBABILITIES"]
+__all__ = [
+    "BG_PROBABILITIES",
+    "SweepAxis",
+    "bg_probability_axis",
+    "idle_wait_axis",
+    "idle_wait_sweep_series",
+    "load_sweep_series",
+    "sweep",
+    "sweep_many",
+    "utilization_axis",
+]
 
 #: The background loads the paper sweeps (Figures 5-8 legends).
 BG_PROBABILITIES = (0.0, 0.1, 0.3, 0.6, 0.9)
 
 
+@dataclass(frozen=True)
+class SweepAxis:
+    """One axis of a parameter sweep.
+
+    ``transform(base_model, value)`` returns the model at each axis point;
+    :attr:`values` become the x coordinates of the resulting series.
+    """
+
+    name: str
+    values: tuple[float, ...]
+    transform: Callable[[FgBgModel, float], FgBgModel]
+
+    def models(self, base_model: FgBgModel) -> list[FgBgModel]:
+        """The chain of models along this axis (warm-start friendly order)."""
+        return [self.transform(base_model, value) for value in self.values]
+
+    def x(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+
+def utilization_axis(values: Sequence[float]) -> SweepAxis:
+    """Foreground utilization axis (the x of the paper's Figures 5-8,
+    11-13); rescales the arrival process, preserving ACF and CV."""
+    return SweepAxis(
+        name="foreground utilization",
+        values=tuple(float(v) for v in values),
+        transform=FgBgModel.at_utilization,
+    )
+
+
+def idle_wait_axis(values: Sequence[float]) -> SweepAxis:
+    """Idle-wait axis in multiples of the mean service time (the x of the
+    paper's Figures 9-10)."""
+    return SweepAxis(
+        name="idle wait (multiples of mean service time)",
+        values=tuple(float(v) for v in values),
+        transform=FgBgModel.with_idle_wait_multiple,
+    )
+
+
+def bg_probability_axis(values: Sequence[float]) -> SweepAxis:
+    """Background-spawn probability axis."""
+    return SweepAxis(
+        name="background probability p",
+        values=tuple(float(v) for v in values),
+        transform=FgBgModel.with_bg_probability,
+    )
+
+
+def sweep(
+    base_model: FgBgModel,
+    axis: SweepAxis,
+    metric: str | Callable[[FgBgSolution], float],
+    *,
+    engine: SweepEngine | None = None,
+    label: str | None = None,
+) -> Series:
+    """Evaluate one metric along one axis; returns one :class:`Series`.
+
+    ``metric`` is a key of :data:`repro.core.METRICS` (e.g. ``"qlen_fg"``)
+    or any callable on :class:`FgBgSolution`.
+    """
+    metric_fn = resolve_metric(metric)
+    if engine is None:
+        engine = SweepEngine()
+    solutions = engine.run_chain(axis.models(base_model))
+    values = np.asarray([metric_fn(s) for s in solutions], dtype=float)
+    return Series(
+        label=axis.name if label is None else label, x=axis.x(), y=values
+    )
+
+
+def sweep_many(
+    base_model: FgBgModel,
+    axis: SweepAxis,
+    metric: str | Callable[[FgBgSolution], float],
+    bg_probabilities: Sequence[float],
+    *,
+    engine: SweepEngine | None = None,
+) -> list[Series]:
+    """One curve per background probability along ``axis``.
+
+    Each probability is an independent chain, so an engine with
+    ``jobs > 1`` solves the curves in parallel.
+    """
+    metric_fn = resolve_metric(metric)
+    if engine is None:
+        engine = SweepEngine()
+    chains = [
+        axis.models(base_model.with_bg_probability(p)) for p in bg_probabilities
+    ]
+    solved = engine.run_chains(chains)
+    x = axis.x()
+    return [
+        Series(
+            label=f"p = {p:g}",
+            x=x.copy(),
+            y=np.asarray([metric_fn(s) for s in solutions], dtype=float),
+        )
+        for p, solutions in zip(bg_probabilities, solved)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Deprecated pre-engine entry points
+# ----------------------------------------------------------------------
 def load_sweep_series(
     arrival: MarkovianArrivalProcess,
     utilizations: Sequence[float],
     bg_probabilities: Sequence[float],
-    metric: Callable[[FgBgSolution], float],
+    metric: str | Callable[[FgBgSolution], float],
     service_rate: float = SERVICE_RATE_PER_MS,
     **model_kwargs,
 ) -> list[Series]:
-    """One curve per background probability; x = foreground utilization."""
-    out: list[Series] = []
-    utils = np.asarray(list(utilizations), dtype=float)
-    for p in bg_probabilities:
-        values = np.empty_like(utils)
-        for i, util in enumerate(utils):
-            model = FgBgModel(
-                arrival=arrival.scaled_to_utilization(util, service_rate),
-                service_rate=service_rate,
-                bg_probability=p,
-                **model_kwargs,
-            )
-            values[i] = metric(model.solve())
-        out.append(Series(label=f"p = {p:g}", x=utils.copy(), y=values))
-    return out
+    """One curve per background probability; x = foreground utilization.
+
+    .. deprecated::
+        Use :func:`sweep_many` with :func:`utilization_axis`.
+    """
+    warnings.warn(
+        "load_sweep_series is deprecated; use "
+        "sweep_many(base_model, utilization_axis(...), metric, ...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    base = FgBgModel(
+        arrival=arrival,
+        service_rate=service_rate,
+        bg_probability=0.0,
+        **model_kwargs,
+    )
+    return sweep_many(base, utilization_axis(utilizations), metric, bg_probabilities)
 
 
 def idle_wait_sweep_series(
     arrival: MarkovianArrivalProcess,
     idle_wait_multiples: Sequence[float],
     bg_probabilities: Sequence[float],
-    metric: Callable[[FgBgSolution], float],
+    metric: str | Callable[[FgBgSolution], float],
     service_rate: float = SERVICE_RATE_PER_MS,
     **model_kwargs,
 ) -> list[Series]:
     """One curve per background probability; x = idle wait in multiples of
-    the mean service time (Figures 9-10)."""
-    out: list[Series] = []
-    multiples = np.asarray(list(idle_wait_multiples), dtype=float)
-    for p in bg_probabilities:
-        values = np.empty_like(multiples)
-        for i, mult in enumerate(multiples):
-            model = FgBgModel(
-                arrival=arrival,
-                service_rate=service_rate,
-                bg_probability=p,
-                idle_wait_rate=service_rate / mult,
-                **model_kwargs,
-            )
-            values[i] = metric(model.solve())
-        out.append(Series(label=f"p = {p:g}", x=multiples.copy(), y=values))
-    return out
+    the mean service time (Figures 9-10).
+
+    .. deprecated::
+        Use :func:`sweep_many` with :func:`idle_wait_axis`.
+    """
+    warnings.warn(
+        "idle_wait_sweep_series is deprecated; use "
+        "sweep_many(base_model, idle_wait_axis(...), metric, ...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    base = FgBgModel(
+        arrival=arrival,
+        service_rate=service_rate,
+        bg_probability=0.0,
+        **model_kwargs,
+    )
+    return sweep_many(base, idle_wait_axis(idle_wait_multiples), metric, bg_probabilities)

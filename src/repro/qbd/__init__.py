@@ -21,6 +21,7 @@ closed-form level sums (:mod:`~repro.qbd.stationary`).
 
 from repro.qbd.structure import QBDProcess
 from repro.qbd.rmatrix import (
+    SolveStats,
     drift,
     g_matrix_logarithmic_reduction,
     is_stable,
@@ -29,6 +30,7 @@ from repro.qbd.rmatrix import (
     r_matrix_from_g,
     r_matrix_logarithmic_reduction,
     r_matrix_natural_iteration,
+    r_matrix_newton,
 )
 from repro.qbd.boundary import solve_boundary
 from repro.qbd.mg1 import MG1Process, MG1StationaryDistribution, g_matrix_mg1, solve_mg1
@@ -36,12 +38,14 @@ from repro.qbd.stationary import QBDStationaryDistribution, solve_qbd
 
 __all__ = [
     "QBDProcess",
+    "SolveStats",
     "drift",
     "is_stable",
     "r_matrix",
     "r_matrix_functional_iteration",
     "r_matrix_logarithmic_reduction",
     "r_matrix_natural_iteration",
+    "r_matrix_newton",
     "r_matrix_from_g",
     "g_matrix_logarithmic_reduction",
     "solve_boundary",

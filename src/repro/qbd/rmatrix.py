@@ -2,19 +2,26 @@
 
 ``R`` is the minimal non-negative solution of ``A0 + R A1 + R^2 A2 = 0``;
 ``G`` the minimal non-negative solution of ``A2 + A1 G + A0 G^2 = 0``.
-Three algorithms are provided:
+Four algorithms are provided:
 
 * functional iteration on R (Neuts' classic fixed point) -- simple,
-  linearly convergent;
+  linearly convergent, seedable with an initial iterate;
+* Newton's method on R (Latouche 1994) -- quadratically convergent and
+  seedable; the warm-start vehicle of the sweep engine;
 * "natural" U-based iteration on G -- linearly convergent with better
   constants;
 * logarithmic reduction on G (Latouche & Ramaswami 1993) -- quadratically
   convergent, the default.
 
-All operate on the CTMC (generator) form of the blocks.
+All operate on the CTMC (generator) form of the blocks.  :func:`r_matrix`
+orchestrates them (warm starts, fallbacks) and can report per-solve
+:class:`SolveStats`.
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
 
 import networkx as nx
 import numpy as np
@@ -22,12 +29,14 @@ import numpy as np
 from repro.markov.stationary import stationary_distribution
 
 __all__ = [
+    "SolveStats",
     "drift",
     "is_stable",
     "r_matrix",
     "r_matrix_functional_iteration",
     "r_matrix_natural_iteration",
     "r_matrix_logarithmic_reduction",
+    "r_matrix_newton",
     "r_matrix_from_g",
     "g_matrix_logarithmic_reduction",
 ]
@@ -35,9 +44,71 @@ __all__ = [
 DEFAULT_TOL = 1e-12
 DEFAULT_MAX_ITER = 2_000_000
 
+#: Iteration budget of a warm-started functional iteration before falling
+#: back to a cold solve (a useful warm start converges in far fewer).
+WARM_MAX_ITER = 50_000
+
+#: Newton is quadratically convergent; if it has not converged in this many
+#: steps it never will.
+NEWTON_MAX_ITER = 64
+
+#: Newton solves an m^2 x m^2 linear system per step; beyond this phase
+#: count the warm path falls back to the seeded functional iteration.
+NEWTON_MAX_PHASES = 32
+
 
 class QBDConvergenceError(RuntimeError):
-    """Raised when an R/G iteration fails to converge."""
+    """Raised when an R/G iteration fails to converge.
+
+    The ``iterations`` attribute records how many iterations were spent
+    before giving up, so callers can account for abandoned attempts.
+    """
+
+    def __init__(self, message: str, iterations: int = 0) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """Diagnostics of one R-matrix solve.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the iteration that produced the accepted ``R``
+        (``"logarithmic-reduction"``, ``"natural"`` or ``"functional"``).
+    iterations:
+        Total iterations spent, *including* abandoned attempts (for
+        logarithmic reduction one iteration is one doubling step).
+    wall_time_ms:
+        Wall-clock time of the whole solve in milliseconds.
+    spectral_radius:
+        ``sp(R)`` of the accepted solution -- the geometric tail decay.
+    warm_started:
+        True when the accepted ``R`` came from an iteration seeded with a
+        caller-provided initial iterate.
+    fallbacks:
+        Names of the iterations that were tried and abandoned first.
+    """
+
+    algorithm: str
+    iterations: int
+    wall_time_ms: float
+    spectral_radius: float
+    warm_started: bool = False
+    fallbacks: tuple[str, ...] = field(default=())
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "algorithm": self.algorithm,
+            "iterations": self.iterations,
+            "wall_time_ms": self.wall_time_ms,
+            "spectral_radius": self.spectral_radius,
+            "warm_started": self.warm_started,
+            "fallbacks": list(self.fallbacks),
+        }
 
 
 def _closed_classes(a: np.ndarray) -> list[np.ndarray]:
@@ -97,31 +168,148 @@ def is_stable(a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> bool:
     return drift(a0, a1, a2) < 0.0
 
 
+def _functional_impl(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    max_iter: int,
+    initial_r: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
+    """Functional iteration returning ``(R, iterations)``."""
+    a0 = np.asarray(a0, float)
+    a1 = np.asarray(a1, float)
+    a2 = np.asarray(a2, float)
+    inv_neg_a1 = np.linalg.inv(-a1)
+    if initial_r is None:
+        r = np.zeros_like(a0)
+    else:
+        # A non-negative seed keeps every iterate non-negative ((-A1)^{-1}
+        # is non-negative because -A1 is an M-matrix).
+        r = np.clip(np.asarray(initial_r, float), 0.0, None)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for it in range(1, max_iter + 1):
+            r_next = (a0 + r @ r @ a2) @ inv_neg_a1
+            if not np.all(np.isfinite(r_next)):
+                raise QBDConvergenceError(
+                    "functional iteration overflowed (divergent initial "
+                    "iterate?)",
+                    iterations=it,
+                )
+            delta = float(np.max(np.abs(r_next - r)))
+            r = r_next
+            if delta < tol:
+                return r, it
+    raise QBDConvergenceError(
+        f"functional iteration did not converge in {max_iter} iterations "
+        f"(last delta {delta:.3g}); is the QBD stable?",
+        iterations=max_iter,
+    )
+
+
 def r_matrix_functional_iteration(
     a0: np.ndarray,
     a1: np.ndarray,
     a2: np.ndarray,
     tol: float = DEFAULT_TOL,
     max_iter: int = DEFAULT_MAX_ITER,
+    initial_r: np.ndarray | None = None,
 ) -> np.ndarray:
     """Neuts' fixed-point iteration ``R <- -(A0 + R^2 A2) A1^{-1}``.
 
-    Converges monotonically from ``R = 0`` to the minimal solution.
+    Converges monotonically from ``R = 0`` to the minimal solution; an
+    ``initial_r`` close to the solution (e.g. the R of an adjacent sweep
+    point) cuts the iteration count dramatically.
+    """
+    return _functional_impl(a0, a1, a2, tol, max_iter, initial_r)[0]
+
+
+def _newton_impl(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    max_iter: int,
+    initial_r: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
+    """Newton's method on ``F(R) = A0 + R A1 + R^2 A2`` (Latouche 1994).
+
+    Each step solves the Frechet-derivative equation
+    ``H (A1 + R A2) + R H A2 = F(R)`` for the correction ``H`` via
+    Kronecker vectorisation (an ``m^2 x m^2`` dense solve) and updates
+    ``R <- R - H``.  Quadratically convergent: from ``R = 0`` it needs a
+    handful of steps, and from a warm start (the R of a neighbouring sweep
+    point) typically 3-7.
     """
     a0 = np.asarray(a0, float)
     a1 = np.asarray(a1, float)
     a2 = np.asarray(a2, float)
-    inv_neg_a1 = np.linalg.inv(-a1)
-    r = np.zeros_like(a0)
-    for _ in range(max_iter):
-        r_next = (a0 + r @ r @ a2) @ inv_neg_a1
-        delta = float(np.max(np.abs(r_next - r)))
-        r = r_next
-        if delta < tol:
-            return r
+    m = a0.shape[0]
+    r = np.zeros_like(a0) if initial_r is None else np.clip(
+        np.asarray(initial_r, float), 0.0, None
+    )
+    eye = np.eye(m)
+    for it in range(1, max_iter + 1):
+        residual = a0 + r @ a1 + r @ r @ a2
+        lhs = np.kron((a1 + r @ a2).T, eye) + np.kron(a2.T, r)
+        try:
+            h = np.linalg.solve(lhs, residual.flatten("F")).reshape(
+                (m, m), order="F"
+            )
+        except np.linalg.LinAlgError:
+            raise QBDConvergenceError(
+                "Newton step hit a singular Frechet derivative",
+                iterations=it,
+            ) from None
+        r = r - h
+        if not np.all(np.isfinite(r)):
+            raise QBDConvergenceError(
+                "Newton iteration diverged (bad initial iterate?)",
+                iterations=it,
+            )
+        if float(np.max(np.abs(h))) < tol:
+            return r, it
     raise QBDConvergenceError(
-        f"functional iteration did not converge in {max_iter} iterations "
-        f"(last delta {delta:.3g}); is the QBD stable?"
+        f"Newton iteration did not converge in {max_iter} steps; "
+        "is the QBD stable?",
+        iterations=max_iter,
+    )
+
+
+def r_matrix_newton(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = NEWTON_MAX_ITER,
+    initial_r: np.ndarray | None = None,
+) -> np.ndarray:
+    """R via Newton's method, optionally warm-started from ``initial_r``."""
+    return _newton_impl(a0, a1, a2, tol, max_iter, initial_r)[0]
+
+
+def _natural_impl(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    max_iter: int,
+) -> tuple[np.ndarray, int]:
+    """Natural (U-based) iteration returning ``(G, iterations)``."""
+    a0 = np.asarray(a0, float)
+    a1 = np.asarray(a1, float)
+    a2 = np.asarray(a2, float)
+    g = np.zeros_like(a0)
+    for it in range(1, max_iter + 1):
+        g_next = np.linalg.solve(-(a1 + a0 @ g), a2)
+        delta = float(np.max(np.abs(g_next - g)))
+        g = g_next
+        if delta < tol:
+            return g, it
+    raise QBDConvergenceError(
+        f"natural iteration did not converge in {max_iter} iterations "
+        f"(last delta {delta:.3g}); is the QBD stable?",
+        iterations=max_iter,
     )
 
 
@@ -133,19 +321,47 @@ def g_matrix_natural_iteration(
     max_iter: int = DEFAULT_MAX_ITER,
 ) -> np.ndarray:
     """U-based iteration ``G <- (-(A1 + A0 G))^{-1} A2``."""
+    return _natural_impl(a0, a1, a2, tol, max_iter)[0]
+
+
+def _logred_impl(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    max_iter: int,
+) -> tuple[np.ndarray, int]:
+    """Logarithmic reduction returning ``(G, doubling steps)``."""
     a0 = np.asarray(a0, float)
     a1 = np.asarray(a1, float)
     a2 = np.asarray(a2, float)
-    g = np.zeros_like(a0)
-    for _ in range(max_iter):
-        g_next = np.linalg.solve(-(a1 + a0 @ g), a2)
-        delta = float(np.max(np.abs(g_next - g)))
-        g = g_next
-        if delta < tol:
-            return g
+    m = a0.shape[0]
+    inv_neg_a1 = np.linalg.inv(-a1)
+    h = inv_neg_a1 @ a0
+    low = inv_neg_a1 @ a2
+    g = low.copy()
+    t = h.copy()
+    ones = np.ones(m)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for it in range(1, max_iter + 1):
+            u = h @ low + low @ h
+            m_inv = np.linalg.inv(np.eye(m) - u)
+            h = m_inv @ (h @ h)
+            low = m_inv @ (low @ low)
+            g += t @ low
+            t = t @ h
+            if not np.all(np.isfinite(g)):
+                raise QBDConvergenceError(
+                    "logarithmic reduction overflowed (nearly decomposable "
+                    "phase process); use the natural or functional iteration",
+                    iterations=it,
+                )
+            if float(np.max(np.abs(ones - g @ ones))) < tol:
+                return g, it
     raise QBDConvergenceError(
-        f"natural iteration did not converge in {max_iter} iterations "
-        f"(last delta {delta:.3g}); is the QBD stable?"
+        f"logarithmic reduction did not converge in {max_iter} doublings; "
+        "is the QBD stable and irreducible?",
+        iterations=max_iter,
     )
 
 
@@ -165,35 +381,7 @@ def g_matrix_logarithmic_reduction(
     ``L <- (I-U)^{-1} L^2``; accumulating ``G += T L`` with ``T`` the
     product of the successive ``H`` factors.
     """
-    a0 = np.asarray(a0, float)
-    a1 = np.asarray(a1, float)
-    a2 = np.asarray(a2, float)
-    m = a0.shape[0]
-    inv_neg_a1 = np.linalg.inv(-a1)
-    h = inv_neg_a1 @ a0
-    low = inv_neg_a1 @ a2
-    g = low.copy()
-    t = h.copy()
-    ones = np.ones(m)
-    with np.errstate(over="ignore", invalid="ignore"):
-        for _ in range(max_iter):
-            u = h @ low + low @ h
-            m_inv = np.linalg.inv(np.eye(m) - u)
-            h = m_inv @ (h @ h)
-            low = m_inv @ (low @ low)
-            g += t @ low
-            t = t @ h
-            if not np.all(np.isfinite(g)):
-                raise QBDConvergenceError(
-                    "logarithmic reduction overflowed (nearly decomposable "
-                    "phase process); use the natural or functional iteration"
-                )
-            if float(np.max(np.abs(ones - g @ ones))) < tol:
-                return g
-    raise QBDConvergenceError(
-        f"logarithmic reduction did not converge in {max_iter} doublings; "
-        "is the QBD stable and irreducible?"
-    )
+    return _logred_impl(a0, a1, a2, tol, max_iter)[0]
 
 
 def r_matrix_from_g(
@@ -227,11 +415,35 @@ def r_matrix_natural_iteration(
     return r_matrix_from_g(a0, a1, a2, g)
 
 
+def _r_logred_impl(a0, a1, a2, tol, initial_r=None) -> tuple[np.ndarray, int]:
+    g, iters = _logred_impl(a0, a1, a2, tol, 64)
+    return r_matrix_from_g(a0, a1, a2, g), iters
+
+
+def _r_natural_impl(a0, a1, a2, tol, initial_r=None) -> tuple[np.ndarray, int]:
+    g, iters = _natural_impl(a0, a1, a2, tol, DEFAULT_MAX_ITER)
+    return r_matrix_from_g(a0, a1, a2, g), iters
+
+
+def _r_functional_impl(a0, a1, a2, tol, initial_r=None) -> tuple[np.ndarray, int]:
+    max_iter = DEFAULT_MAX_ITER if initial_r is None else WARM_MAX_ITER
+    return _functional_impl(a0, a1, a2, tol, max_iter, initial_r)
+
+
+def _r_newton_impl(a0, a1, a2, tol, initial_r=None) -> tuple[np.ndarray, int]:
+    return _newton_impl(a0, a1, a2, tol, NEWTON_MAX_ITER, initial_r)
+
+
 _ALGORITHMS = {
-    "logarithmic-reduction": r_matrix_logarithmic_reduction,
-    "natural": r_matrix_natural_iteration,
-    "functional": r_matrix_functional_iteration,
+    "logarithmic-reduction": _r_logred_impl,
+    "natural": _r_natural_impl,
+    "functional": _r_functional_impl,
+    "newton": _r_newton_impl,
 }
+
+
+def _spectral_radius(r: np.ndarray) -> float:
+    return float(np.max(np.abs(np.linalg.eigvals(r))))
 
 
 def r_matrix(
@@ -240,21 +452,35 @@ def r_matrix(
     a2: np.ndarray,
     algorithm: str = "logarithmic-reduction",
     tol: float = DEFAULT_TOL,
-) -> np.ndarray:
+    initial_r: np.ndarray | None = None,
+    return_stats: bool = False,
+) -> np.ndarray | tuple[np.ndarray, SolveStats]:
     """Minimal non-negative solution of ``A0 + R A1 + R^2 A2 = 0``.
 
     Parameters
     ----------
     algorithm:
         One of ``"logarithmic-reduction"`` (default, quadratic),
-        ``"natural"`` or ``"functional"``.
+        ``"newton"`` (quadratic, seedable), ``"natural"`` or
+        ``"functional"``.
+    initial_r:
+        Optional warm-start iterate (e.g. the R matrix of a nearby
+        parameter point).  A warm start runs a *seeded* iteration on R --
+        Newton's method for phase counts up to ``NEWTON_MAX_PHASES``, the
+        functional iteration beyond that (the G-based schemes cannot be
+        seeded) -- and falls back to a cold solve with the requested
+        ``algorithm`` when the warm iteration fails to converge or does
+        not certify minimality (``sp(R) < 1``).  The accepted result
+        therefore always agrees with a cold solve to ``tol``.
+    return_stats:
+        When True, return ``(R, SolveStats)`` instead of just ``R``.
 
     Raises
     ------
     ValueError
         For an unknown algorithm name or an unstable QBD.
     QBDConvergenceError
-        If the iteration fails to converge.
+        If every iteration fails to converge.
     """
     if algorithm not in _ALGORITHMS:
         raise ValueError(
@@ -265,27 +491,77 @@ def r_matrix(
             f"QBD is not positive recurrent (drift {drift(a0, a1, a2):.6g} >= 0); "
             "the stationary distribution does not exist"
         )
-    try:
-        r = _ALGORITHMS[algorithm](a0, a1, a2, tol=tol)
-    except QBDConvergenceError:
-        # Nearly decomposable phase processes can overflow logarithmic
-        # reduction; the linearly convergent iterations are slower but
-        # unconditionally monotone, so fall back before giving up.
-        # Functional iteration first: cheapest per step and monotone.
-        order = ["functional", "natural", "logarithmic-reduction"]
-        fallbacks = [_ALGORITHMS[n] for n in order if n != algorithm]
-        r = None
-        for fallback in fallbacks:
-            try:
-                r = fallback(a0, a1, a2, tol=tol)
-                break
-            except QBDConvergenceError:
-                continue
-        if r is None:
-            raise
+    start = time.perf_counter()
+    total_iterations = 0
+    attempted: list[str] = []
+    r = None
+    used = algorithm
+    warm_started = False
+
+    if initial_r is not None:
+        initial_r = np.asarray(initial_r, float)
+        if initial_r.shape != np.asarray(a0).shape:
+            raise ValueError(
+                f"initial_r must have shape {np.asarray(a0).shape}, "
+                f"got {initial_r.shape}"
+            )
+        if initial_r.shape[0] <= NEWTON_MAX_PHASES:
+            warm_impl, warm_name = _r_newton_impl, "newton"
+        else:
+            warm_impl, warm_name = _r_functional_impl, "functional"
+        try:
+            cand, iters = warm_impl(a0, a1, a2, tol, initial_r)
+            total_iterations += iters
+            # The minimal solution is the unique one with sp(R) < 1 (the
+            # QBD is positive recurrent here), so this certifies that the
+            # warm start did not land on a spurious fixed point.
+            if _spectral_radius(cand) < 1.0 and not np.any(cand < -1e-9):
+                r, used, warm_started = cand, warm_name, True
+            else:
+                attempted.append(f"{warm_name}(warm)")
+        except QBDConvergenceError as exc:
+            total_iterations += exc.iterations
+            attempted.append(f"{warm_name}(warm)")
+
+    if r is None:
+        try:
+            r, iters = _ALGORITHMS[algorithm](a0, a1, a2, tol)
+            total_iterations += iters
+            used = algorithm
+        except QBDConvergenceError as exc:
+            total_iterations += exc.iterations
+            attempted.append(algorithm)
+            # Nearly decomposable phase processes can overflow logarithmic
+            # reduction; the linearly convergent iterations are slower but
+            # unconditionally monotone, so fall back before giving up.
+            # Functional iteration first: cheapest per step and monotone.
+            order = ["functional", "natural", "logarithmic-reduction"]
+            r = None
+            for name in (n for n in order if n != algorithm):
+                try:
+                    r, iters = _ALGORITHMS[name](a0, a1, a2, tol)
+                    total_iterations += iters
+                    used = name
+                    break
+                except QBDConvergenceError as fallback_exc:
+                    total_iterations += fallback_exc.iterations
+                    attempted.append(name)
+            if r is None:
+                raise
     # Clip round-off negatives; R must be entrywise non-negative.
     if np.any(r < -1e-9):
         raise QBDConvergenceError(
             f"computed R has a significantly negative entry ({r.min():.3g})"
         )
-    return np.clip(r, 0.0, None)
+    r = np.clip(r, 0.0, None)
+    if not return_stats:
+        return r
+    stats = SolveStats(
+        algorithm=used,
+        iterations=total_iterations,
+        wall_time_ms=(time.perf_counter() - start) * 1e3,
+        spectral_radius=_spectral_radius(r),
+        warm_started=warm_started,
+        fallbacks=tuple(attempted),
+    )
+    return r, stats

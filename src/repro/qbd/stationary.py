@@ -7,7 +7,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.qbd.boundary import solve_boundary
-from repro.qbd.rmatrix import r_matrix
+from repro.qbd.rmatrix import SolveStats, r_matrix
 from repro.qbd.structure import QBDProcess
 
 __all__ = ["QBDStationaryDistribution", "solve_qbd"]
@@ -24,16 +24,30 @@ class QBDStationaryDistribution:
     plus per-level access and tail sums for diagnostics.
     """
 
-    def __init__(self, qbd: QBDProcess, r: np.ndarray, pi_boundary: np.ndarray, pi_first: np.ndarray) -> None:
+    def __init__(
+        self,
+        qbd: QBDProcess,
+        r: np.ndarray,
+        pi_boundary: np.ndarray,
+        pi_first: np.ndarray,
+        solve_stats: SolveStats | None = None,
+    ) -> None:
         self._qbd = qbd
         self._r = np.asarray(r, dtype=float)
         self._pi_boundary = np.asarray(pi_boundary, dtype=float)
         self._pi_first = np.asarray(pi_first, dtype=float)
+        self._solve_stats = solve_stats
 
     @property
     def qbd(self) -> QBDProcess:
         """The process this distribution solves."""
         return self._qbd
+
+    @property
+    def solve_stats(self) -> SolveStats | None:
+        """Diagnostics of the R-matrix solve that produced this
+        distribution (``None`` when R was supplied directly)."""
+        return self._solve_stats
 
     @property
     def r(self) -> np.ndarray:
@@ -110,8 +124,17 @@ def solve_qbd(
     qbd: QBDProcess,
     algorithm: str = "logarithmic-reduction",
     tol: float = 1e-12,
+    initial_r: np.ndarray | None = None,
 ) -> QBDStationaryDistribution:
-    """Solve a QBD end to end: R matrix, boundary system, stationary object."""
-    r = r_matrix(qbd.a0, qbd.a1, qbd.a2, algorithm=algorithm, tol=tol)
+    """Solve a QBD end to end: R matrix, boundary system, stationary object.
+
+    ``initial_r`` warm-starts the R iteration (see
+    :func:`repro.qbd.rmatrix.r_matrix`); the returned distribution carries
+    the per-solve :class:`~repro.qbd.rmatrix.SolveStats`.
+    """
+    r, stats = r_matrix(
+        qbd.a0, qbd.a1, qbd.a2, algorithm=algorithm, tol=tol,
+        initial_r=initial_r, return_stats=True,
+    )
     pi_boundary, pi_first = solve_boundary(qbd, r)
-    return QBDStationaryDistribution(qbd, r, pi_boundary, pi_first)
+    return QBDStationaryDistribution(qbd, r, pi_boundary, pi_first, solve_stats=stats)

@@ -1,0 +1,86 @@
+"""Tests for the string-keyed metric registry and the p ~ 0 guard."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import METRICS, FgBgModel, Metric, resolve_metric
+from repro.core.metrics import NEAR_ZERO_BG_PROBABILITY
+from repro.processes import PoissonProcess
+
+MU = 1 / 6.0
+
+
+def solved(p=0.3, rho=0.4):
+    return FgBgModel(
+        arrival=PoissonProcess(rho * MU), service_rate=MU, bg_probability=p
+    ).solve()
+
+
+class TestRegistry:
+    def test_paper_keys_present(self):
+        for key in ("qlen_fg", "qlen_bg", "waitp_fg", "comp_bg"):
+            assert key in METRICS
+
+    def test_every_entry_is_callable_metric(self):
+        s = solved()
+        for key, metric in METRICS.items():
+            assert isinstance(metric, Metric)
+            assert metric.key == key
+            assert isinstance(metric(s), float)
+
+    def test_paper_metrics_map_to_solution_fields(self):
+        s = solved()
+        assert METRICS["qlen_fg"](s) == s.fg_queue_length
+        assert METRICS["qlen_bg"](s) == s.bg_queue_length
+        assert METRICS["waitp_fg"](s) == s.fg_delayed_fraction
+        assert METRICS["comp_bg"](s) == s.bg_completion_rate
+
+    def test_labels_and_descriptions_nonempty(self):
+        for metric in METRICS.values():
+            assert metric.label
+            assert metric.description
+
+
+class TestResolveMetric:
+    def test_resolves_key(self):
+        assert resolve_metric("qlen_fg") is METRICS["qlen_fg"]
+
+    def test_passes_through_callable(self):
+        fn = lambda s: s.fg_queue_length  # noqa: E731
+        assert resolve_metric(fn) is fn
+
+    def test_unknown_key_lists_choices(self):
+        with pytest.raises(KeyError, match="unknown metric.*qlen_fg"):
+            resolve_metric("bogus")
+
+
+class TestNearZeroBgProbability:
+    """Below NEAR_ZERO_BG_PROBABILITY the chain has no background states,
+    so bg_completion_rate is a deliberate NaN -- including exactly p = 0,
+    and without any numpy RuntimeWarning."""
+
+    @pytest.mark.parametrize("p", [0.0, 1e-12, 1e-10])
+    def test_nan_below_threshold(self, p):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            s = solved(p=p)
+        assert np.isnan(s.bg_completion_rate)
+        assert np.isnan(s.bg_response_time)
+        assert s.bg_queue_length == 0.0
+
+    def test_finite_just_above_threshold(self):
+        s = solved(p=2e-9)
+        assert 0.0 <= s.bg_completion_rate <= 1.0
+
+    def test_threshold_value(self):
+        assert NEAR_ZERO_BG_PROBABILITY == 1e-9
+
+    def test_other_metrics_consistent_at_zero(self):
+        zero = solved(p=0.0)
+        tiny = solved(p=1e-12)
+        assert tiny.fg_queue_length == pytest.approx(
+            zero.fg_queue_length, rel=1e-9
+        )
+        assert tiny.bg_server_share == 0.0

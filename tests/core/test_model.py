@@ -217,3 +217,40 @@ class TestConservationLaws:
 
     def test_repr_mentions_parameters(self):
         assert "bg_probability=0.3" in repr(poisson_model())
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert poisson_model().fingerprint() == poisson_model().fingerprint()
+
+    def test_sensitive_to_each_field(self):
+        base = poisson_model()
+        variants = [
+            poisson_model(rho=0.31),
+            poisson_model(p=0.31),
+            poisson_model(bg_buffer=4),
+            poisson_model(idle_wait_rate=2 * MU),
+            poisson_model(bg_mode=BgServiceMode.REWAIT),
+            FgBgModel(
+                arrival=fit_mmpp2(rate=0.3 * MU, scv=2.0, decay=0.5),
+                service_rate=MU,
+                bg_probability=0.3,
+            ),
+        ]
+        fingerprints = {base.fingerprint()} | {
+            m.fingerprint() for m in variants
+        }
+        assert len(fingerprints) == len(variants) + 1
+
+    def test_default_idle_wait_equals_explicit(self):
+        # idle_wait_rate=None means "equal to service_rate": same chain,
+        # same fingerprint.
+        assert (
+            poisson_model(idle_wait_rate=None).fingerprint()
+            == poisson_model(idle_wait_rate=MU).fingerprint()
+        )
+
+    def test_hex_sha256_shape(self):
+        fp = poisson_model().fingerprint()
+        assert len(fp) == 64
+        assert int(fp, 16) >= 0

@@ -1,0 +1,105 @@
+"""Tests for the content-addressed solve cache."""
+
+import pytest
+
+from repro.core import FgBgModel
+from repro.engine import SolveCache, solve_key
+from repro.processes import PoissonProcess
+
+MU = 1 / 6.0
+
+
+def model(rho=0.3, p=0.3, **kwargs):
+    return FgBgModel(
+        arrival=PoissonProcess(rho * MU),
+        service_rate=MU,
+        bg_probability=p,
+        **kwargs,
+    )
+
+
+class TestSolveKey:
+    def test_deterministic(self):
+        m = model()
+        assert SolveCache.key(m) == SolveCache.key(model())
+
+    def test_depends_on_model_content(self):
+        assert SolveCache.key(model(p=0.3)) != SolveCache.key(model(p=0.6))
+
+    def test_depends_on_solver_parameters(self):
+        fp = model().fingerprint()
+        assert solve_key(fp, "logarithmic-reduction", 1e-12) != solve_key(
+            fp, "functional", 1e-12
+        )
+        assert solve_key(fp, "functional", 1e-12) != solve_key(
+            fp, "functional", 1e-10
+        )
+
+    def test_construction_path_irrelevant(self):
+        # None (defaulting to service_rate) and an explicit equal rate
+        # describe the same chain, so they share a cache entry.
+        a = model(idle_wait_rate=None)
+        b = model(idle_wait_rate=MU)
+        assert SolveCache.key(a) == SolveCache.key(b)
+
+
+class TestMemoryCache:
+    def test_miss_then_hit(self):
+        cache = SolveCache()
+        m = model()
+        key = SolveCache.key(m)
+        assert cache.get(key) is None
+        solution = m.solve()
+        cache.put(key, solution)
+        assert cache.get(key) is solution
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = SolveCache()
+        key = SolveCache.key(model())
+        cache.put(key, model().solve())
+        cache.clear()
+        assert cache.get(key) is None
+
+
+class TestDiskCache:
+    def test_persists_across_instances(self, tmp_path):
+        m = model()
+        key = SolveCache.key(m)
+        solution = m.solve()
+
+        first = SolveCache(tmp_path / "cache")
+        first.put(key, solution)
+
+        second = SolveCache(tmp_path / "cache")
+        loaded = second.get(key)
+        assert loaded is not None
+        assert loaded.fg_queue_length == solution.fg_queue_length
+        assert loaded.bg_completion_rate == solution.bg_completion_rate
+
+    def test_clear_keeps_disk_entries(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        key = SolveCache.key(model())
+        cache.put(key, model().solve())
+        cache.clear()
+        assert len(cache) == 0
+        assert key in cache  # still on disk
+        assert cache.get(key) is not None
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "a" / "b"
+        cache = SolveCache(target)
+        assert cache.directory == target
+        assert target.is_dir()
+
+    def test_loaded_solution_metrics_match(self, tmp_path):
+        m = model(rho=0.5, p=0.6)
+        solution = m.solve()
+        cache = SolveCache(tmp_path)
+        cache.put(SolveCache.key(m), solution)
+        cache.clear()
+        loaded = cache.get(SolveCache.key(m))
+        assert loaded.as_dict() == pytest.approx(solution.as_dict(), nan_ok=True)

@@ -1,0 +1,159 @@
+"""Tests for the sweep engine: caching, warm starts, parallel chains."""
+
+import numpy as np
+import pytest
+
+from repro.core import FgBgModel
+from repro.engine import SolveCache, SweepEngine
+from repro.processes import PoissonProcess, fit_mmpp2
+from repro.workloads.paper import SERVICE_RATE_PER_MS
+
+MU = SERVICE_RATE_PER_MS
+UTILIZATIONS = (0.1, 0.25, 0.4, 0.55)
+
+
+def mmpp_base(p=0.3):
+    arrival = fit_mmpp2(rate=0.3 * MU, scv=4.0, decay=0.8)
+    return FgBgModel(arrival=arrival, service_rate=MU, bg_probability=p)
+
+
+def chain(p=0.3):
+    base = mmpp_base(p)
+    return [base.at_utilization(u) for u in UTILIZATIONS]
+
+
+class TestSolve:
+    def test_plain_solve_matches_model(self):
+        engine = SweepEngine()
+        model = mmpp_base()
+        assert (
+            engine.solve(model).fg_queue_length == model.solve().fg_queue_length
+        )
+        assert engine.stats.solves == 1
+        assert engine.stats.cache_hits == 0
+
+    def test_cache_hit_returns_same_object(self):
+        engine = SweepEngine(cache=SolveCache())
+        model = mmpp_base()
+        first = engine.solve(model)
+        second = engine.solve(model)
+        assert second is first
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.solver_calls == 1
+
+    def test_cache_distinguishes_models(self):
+        engine = SweepEngine(cache=SolveCache())
+        engine.solve(mmpp_base(p=0.3))
+        engine.solve(mmpp_base(p=0.6))
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.solver_calls == 2
+
+    def test_cache_path_is_coerced(self, tmp_path):
+        engine = SweepEngine(cache=tmp_path / "solves")
+        assert isinstance(engine.cache, SolveCache)
+        engine.solve(mmpp_base())
+        assert len(list((tmp_path / "solves").iterdir())) == 1
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepEngine(jobs=0)
+
+
+class TestRunChain:
+    def test_matches_individual_solves(self):
+        engine = SweepEngine()
+        solutions = engine.run_chain(chain())
+        for model, solution in zip(chain(), solutions):
+            assert solution.fg_queue_length == model.solve().fg_queue_length
+
+    def test_warm_chain_matches_cold_within_tolerance(self):
+        cold = [m.solve() for m in chain()]
+        warm = SweepEngine(warm_start=True).run_chain(chain())
+        for c, w in zip(cold, warm):
+            assert w.fg_queue_length == pytest.approx(
+                c.fg_queue_length, abs=1e-8
+            )
+            assert w.bg_completion_rate == pytest.approx(
+                c.bg_completion_rate, abs=1e-8
+            )
+
+    def test_warm_start_reduces_iterations(self):
+        cold = SweepEngine(algorithm="functional")
+        cold.run_chain(chain())
+        warm = SweepEngine(algorithm="functional", warm_start=True)
+        warm.run_chain(chain())
+        assert warm.stats.total_iterations < cold.stats.total_iterations
+        assert warm.stats.warm_started == len(UTILIZATIONS) - 1
+
+    def test_cached_rerun_solves_nothing(self):
+        engine = SweepEngine(cache=SolveCache())
+        engine.run_chain(chain())
+        engine.run_chain(chain())
+        assert engine.stats.solver_calls == len(UTILIZATIONS)
+        assert engine.stats.cache_hits == len(UTILIZATIONS)
+
+
+class TestRunChains:
+    def chains(self):
+        return [chain(p) for p in (0.1, 0.3, 0.6)]
+
+    def test_serial_results(self):
+        results = SweepEngine().run_chains(self.chains())
+        assert len(results) == 3
+        for models, solutions in zip(self.chains(), results):
+            for model, solution in zip(models, solutions):
+                assert (
+                    solution.fg_queue_length == model.solve().fg_queue_length
+                )
+
+    def test_parallel_identical_to_serial(self):
+        serial = SweepEngine(jobs=1).run_chains(self.chains())
+        parallel = SweepEngine(jobs=2).run_chains(self.chains())
+        for s_chain, p_chain in zip(serial, parallel):
+            for s, p in zip(s_chain, p_chain):
+                assert p.fg_queue_length == s.fg_queue_length
+                assert p.bg_queue_length == s.bg_queue_length
+                assert p.bg_completion_rate == s.bg_completion_rate
+
+    def test_parallel_merges_stats(self):
+        engine = SweepEngine(jobs=2)
+        engine.run_chains(self.chains())
+        assert engine.stats.solves == 3 * len(UTILIZATIONS)
+        assert engine.stats.total_iterations > 0
+
+    def test_parallel_populates_parent_cache(self):
+        engine = SweepEngine(jobs=2, cache=SolveCache())
+        engine.run_chains(self.chains())
+        rerun = engine.run_chains(self.chains())
+        assert engine.stats.cache_hits >= 3 * len(UTILIZATIONS)
+        assert len(rerun) == 3
+
+    def test_parallel_shares_disk_cache(self, tmp_path):
+        first = SweepEngine(jobs=2, cache=tmp_path)
+        first.run_chains(self.chains())
+        second = SweepEngine(jobs=2, cache=tmp_path)
+        second.run_chains(self.chains())
+        assert second.stats.solver_calls == 0
+        assert second.stats.cache_hits == 3 * len(UTILIZATIONS)
+
+    def test_poisson_chain(self):
+        # Degenerate one-phase arrivals go through the same machinery.
+        base = FgBgModel(
+            arrival=PoissonProcess(0.3 * MU), service_rate=MU, bg_probability=0.3
+        )
+        models = [base.at_utilization(u) for u in UTILIZATIONS]
+        warm = SweepEngine(warm_start=True).run_chain(models)
+        for model, solution in zip(models, warm):
+            assert solution.fg_queue_length == pytest.approx(
+                model.solve().fg_queue_length, abs=1e-8
+            )
+
+
+class TestStatsSurface:
+    def test_solution_exposes_solve_stats(self):
+        solution = mmpp_base().solve()
+        stats = solution.solve_stats
+        assert stats is not None
+        assert stats.algorithm == "logarithmic-reduction"
+        assert stats.iterations > 0
+        assert np.isfinite(stats.spectral_radius)

@@ -25,3 +25,40 @@ class TestRunner:
         assert main(["fig2", "fig9"]) == 0
         out = capsys.readouterr().out
         assert "fig2" in out and "fig9" in out
+
+
+class TestEngineFlags:
+    def test_jobs_output_identical_to_serial(self, capsys):
+        assert main(["fig9"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig9", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_flag_in_memory(self, capsys):
+        assert main(["fig9", "fig9", "--cache"]) == 0
+        assert "fig9" in capsys.readouterr().out
+
+    def test_cache_flag_with_directory(self, tmp_path, capsys):
+        cache_dir = tmp_path / "solves"
+        assert main(["fig9", "--cache", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert any(cache_dir.iterdir())
+        # A second run is served from disk and renders identically.
+        assert main(["fig9", "--cache", str(cache_dir)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_warm_start_output_identical(self, capsys):
+        assert main(["fig9"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["fig9", "--warm-start"]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_invalid_jobs_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig9", "--jobs", "0"])
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_engine_flags_ignored_for_table_figures(self, capsys):
+        # fig2 takes no engine; the flags must not break it.
+        assert main(["fig2", "--jobs", "2", "--cache"]) == 0
+        assert "fig2" in capsys.readouterr().out

@@ -1,53 +1,234 @@
 """Tests for the sweep helpers."""
 
+import warnings
+
 import numpy as np
 import pytest
 
+from repro.core import FgBgModel
+from repro.engine import SweepEngine
 from repro.experiments.sweeps import (
     BG_PROBABILITIES,
+    SweepAxis,
+    bg_probability_axis,
+    idle_wait_axis,
     idle_wait_sweep_series,
     load_sweep_series,
+    sweep,
+    sweep_many,
+    utilization_axis,
 )
 from repro.processes import PoissonProcess
 from repro.workloads import SERVICE_RATE_PER_MS
 
+MU = SERVICE_RATE_PER_MS
 
-class TestLoadSweep:
+
+def poisson_base(p=0.0, **kwargs):
+    return FgBgModel(
+        arrival=PoissonProcess(0.01), service_rate=MU, bg_probability=p, **kwargs
+    )
+
+
+class TestAxes:
+    def test_utilization_axis_transform(self):
+        axis = utilization_axis([0.2, 0.5])
+        models = axis.models(poisson_base())
+        assert [m.fg_utilization for m in models] == pytest.approx([0.2, 0.5])
+
+    def test_idle_wait_axis_transform(self):
+        axis = idle_wait_axis([0.5, 2.0])
+        models = axis.models(poisson_base())
+        assert models[0].effective_idle_wait_rate == pytest.approx(MU / 0.5)
+        assert models[1].effective_idle_wait_rate == pytest.approx(MU / 2.0)
+
+    def test_bg_probability_axis_transform(self):
+        axis = bg_probability_axis([0.1, 0.9])
+        models = axis.models(poisson_base())
+        assert [m.bg_probability for m in models] == [0.1, 0.9]
+
+    def test_x_is_float_array(self):
+        axis = utilization_axis((0.2, 0.4))
+        np.testing.assert_array_equal(axis.x(), [0.2, 0.4])
+        assert axis.x().dtype == float
+
+
+class TestSweep:
+    def test_metric_by_registry_key(self):
+        series = sweep(poisson_base(), utilization_axis([0.5]), "qlen_fg")
+        # M/M/1 at rho = 0.5.
+        assert series.y[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_metric_by_callable(self):
+        series = sweep(
+            poisson_base(),
+            utilization_axis([0.5]),
+            lambda s: s.fg_queue_length,
+        )
+        assert series.y[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_unknown_metric_key_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            sweep(poisson_base(), utilization_axis([0.5]), "nope")
+
+    def test_custom_axis(self):
+        axis = SweepAxis(
+            name="buffer",
+            values=(1.0, 10.0),
+            transform=lambda m, x: FgBgModel(
+                arrival=m.arrival,
+                service_rate=m.service_rate,
+                bg_probability=m.bg_probability,
+                bg_buffer=int(x),
+            ),
+        )
+        base = poisson_base(p=0.9).at_utilization(0.5)
+        series = sweep(base, axis, "comp_bg")
+        assert series.y[1] > series.y[0]
+
+    def test_label_defaults_to_axis_name(self):
+        axis = utilization_axis([0.3])
+        assert sweep(poisson_base(), axis, "qlen_fg").label == axis.name
+        assert (
+            sweep(poisson_base(), axis, "qlen_fg", label="mine").label == "mine"
+        )
+
+    def test_engine_is_used(self):
+        engine = SweepEngine()
+        sweep(poisson_base(), utilization_axis([0.2, 0.4]), "qlen_fg", engine=engine)
+        assert engine.stats.solves == 2
+
+
+class TestSweepMany:
     def test_one_series_per_probability(self):
-        series = load_sweep_series(
-            PoissonProcess(0.01),
-            utilizations=[0.2, 0.4],
+        series = sweep_many(
+            poisson_base(),
+            utilization_axis([0.2, 0.4]),
+            "qlen_fg",
             bg_probabilities=[0.1, 0.9],
-            metric=lambda s: s.fg_queue_length,
         )
         assert [s.label for s in series] == ["p = 0.1", "p = 0.9"]
         assert all(s.x.shape == (2,) for s in series)
 
-    def test_metric_applied(self):
-        (series,) = load_sweep_series(
-            PoissonProcess(0.01),
-            utilizations=[0.5],
-            bg_probabilities=[0.0],
-            metric=lambda s: s.fg_queue_length,
+    def test_parallel_engine_identical_to_serial(self):
+        args = (poisson_base(), utilization_axis([0.2, 0.4, 0.6]), "qlen_fg")
+        serial = sweep_many(*args, bg_probabilities=[0.1, 0.6, 0.9])
+        parallel = sweep_many(
+            *args,
+            bg_probabilities=[0.1, 0.6, 0.9],
+            engine=SweepEngine(jobs=2),
         )
+        for s, p in zip(serial, parallel):
+            np.testing.assert_array_equal(s.y, p.y)
+
+
+class TestDeprecatedWrappers:
+    def test_load_sweep_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            load_sweep_series(
+                PoissonProcess(0.01),
+                utilizations=[0.2],
+                bg_probabilities=[0.1],
+                metric=lambda s: s.fg_queue_length,
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "sweep_many" in str(deprecations[0].message)
+
+    def test_idle_wait_sweep_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            idle_wait_sweep_series(
+                PoissonProcess(0.3 * MU),
+                idle_wait_multiples=[1.0],
+                bg_probabilities=[0.6],
+                metric=lambda s: s.bg_completion_rate,
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_load_sweep_delegates_to_sweep_many(self):
+        with pytest.warns(DeprecationWarning):
+            old = load_sweep_series(
+                PoissonProcess(0.01),
+                utilizations=[0.2, 0.4],
+                bg_probabilities=[0.1, 0.9],
+                metric=lambda s: s.fg_queue_length,
+            )
+        new = sweep_many(
+            poisson_base(),
+            utilization_axis([0.2, 0.4]),
+            "qlen_fg",
+            bg_probabilities=[0.1, 0.9],
+        )
+        for o, n in zip(old, new):
+            assert o.label == n.label
+            np.testing.assert_array_equal(o.x, n.x)
+            np.testing.assert_array_equal(o.y, n.y)
+
+    def test_idle_wait_delegates_to_sweep_many(self):
+        arrival = PoissonProcess(0.3 * MU)
+        with pytest.warns(DeprecationWarning):
+            old = idle_wait_sweep_series(
+                arrival,
+                idle_wait_multiples=[0.5, 2.0],
+                bg_probabilities=[0.6],
+                metric=lambda s: s.bg_completion_rate,
+            )
+        new = sweep_many(
+            FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.0),
+            idle_wait_axis([0.5, 2.0]),
+            "comp_bg",
+            bg_probabilities=[0.6],
+        )
+        np.testing.assert_array_equal(old[0].y, new[0].y)
+
+
+class TestLoadSweep:
+    def test_one_series_per_probability(self):
+        with pytest.warns(DeprecationWarning):
+            series = load_sweep_series(
+                PoissonProcess(0.01),
+                utilizations=[0.2, 0.4],
+                bg_probabilities=[0.1, 0.9],
+                metric=lambda s: s.fg_queue_length,
+            )
+        assert [s.label for s in series] == ["p = 0.1", "p = 0.9"]
+        assert all(s.x.shape == (2,) for s in series)
+
+    def test_metric_applied(self):
+        with pytest.warns(DeprecationWarning):
+            (series,) = load_sweep_series(
+                PoissonProcess(0.01),
+                utilizations=[0.5],
+                bg_probabilities=[0.0],
+                metric=lambda s: s.fg_queue_length,
+            )
         # M/M/1 at rho = 0.5.
         assert series.y[0] == pytest.approx(1.0, rel=1e-9)
 
     def test_model_kwargs_forwarded(self):
-        (small,) = load_sweep_series(
-            PoissonProcess(0.01),
-            utilizations=[0.5],
-            bg_probabilities=[0.9],
-            metric=lambda s: s.bg_completion_rate,
-            bg_buffer=1,
-        )
-        (large,) = load_sweep_series(
-            PoissonProcess(0.01),
-            utilizations=[0.5],
-            bg_probabilities=[0.9],
-            metric=lambda s: s.bg_completion_rate,
-            bg_buffer=10,
-        )
+        with pytest.warns(DeprecationWarning):
+            (small,) = load_sweep_series(
+                PoissonProcess(0.01),
+                utilizations=[0.5],
+                bg_probabilities=[0.9],
+                metric=lambda s: s.bg_completion_rate,
+                bg_buffer=1,
+            )
+        with pytest.warns(DeprecationWarning):
+            (large,) = load_sweep_series(
+                PoissonProcess(0.01),
+                utilizations=[0.5],
+                bg_probabilities=[0.9],
+                metric=lambda s: s.bg_completion_rate,
+                bg_buffer=10,
+            )
         assert large.y[0] > small.y[0]
 
     def test_paper_probability_grid(self):
@@ -57,11 +238,12 @@ class TestLoadSweep:
 class TestIdleWaitSweep:
     def test_x_axis_is_multiples(self):
         arrival = PoissonProcess(0.3 * SERVICE_RATE_PER_MS)
-        (series,) = idle_wait_sweep_series(
-            arrival,
-            idle_wait_multiples=[0.5, 1.0, 2.0],
-            bg_probabilities=[0.6],
-            metric=lambda s: s.bg_completion_rate,
-        )
+        with pytest.warns(DeprecationWarning):
+            (series,) = idle_wait_sweep_series(
+                arrival,
+                idle_wait_multiples=[0.5, 1.0, 2.0],
+                bg_probabilities=[0.6],
+                metric=lambda s: s.bg_completion_rate,
+            )
         np.testing.assert_array_equal(series.x, [0.5, 1.0, 2.0])
         assert np.all(np.diff(series.y) < 0)
