@@ -31,6 +31,7 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
     import importlib
 
     top_level = {
+        "ContractViolation": ("repro.contracts", "ContractViolation"),
         "FgBgModel": ("repro.core.model", "FgBgModel"),
         "FgBgSolution": ("repro.core.result", "FgBgSolution"),
         "MarkovianArrivalProcess": ("repro.processes", "MarkovianArrivalProcess"),
@@ -48,6 +49,7 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "markov",
         "qbd",
         "core",
+        "contracts",
         "engine",
         "sim",
         "vacation",

@@ -1,0 +1,19 @@
+"""Shared type aliases for the strictly typed packages.
+
+``FloatArray`` is the repo-wide spelling of a dense float64 numpy array;
+``ArrayLike`` covers everything the validators accept on input.  Keeping
+the aliases in one module lets ``mypy --strict`` see concrete generic
+parameters everywhere without repeating ``npt.NDArray[np.float64]``.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["ArrayLike", "FloatArray"]
+
+FloatArray: TypeAlias = npt.NDArray[np.float64]
+ArrayLike: TypeAlias = npt.ArrayLike

@@ -1,0 +1,62 @@
+"""The ``@contracted`` decorator: declarative pre/post conditions.
+
+Usage::
+
+    @contracted(
+        pre=lambda a0, a1, a2, **kw: check_generator(a0 + a1 + a2, "A0+A1+A2"),
+        post=lambda result, *a, **kw: check_r_matrix(result, "R"),
+    )
+    def r_matrix(a0, a1, a2, ...): ...
+
+Both hooks receive the call's arguments exactly as passed (``post``
+receives the result first).  When contracts are disabled via
+``REPRO_CONTRACTS=off`` the wrapper short-circuits to the bare function
+with a single boolean test of overhead.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable
+from typing import ParamSpec, TypeVar
+
+from repro.contracts.checks import contracts_enabled
+
+__all__ = ["contracted"]
+
+P = ParamSpec("P")
+T = TypeVar("T")
+
+
+def contracted(
+    pre: Callable[..., None] | None = None,
+    post: Callable[..., None] | None = None,
+) -> Callable[[Callable[P, T]], Callable[P, T]]:
+    """Wrap ``func`` with optional precondition and postcondition checks.
+
+    Parameters
+    ----------
+    pre:
+        Called as ``pre(*args, **kwargs)`` before the function body; raise
+        :class:`~repro.contracts.errors.ContractViolation` to reject the
+        call.
+    post:
+        Called as ``post(result, *args, **kwargs)`` after the function
+        body; raise to reject the result.
+    """
+
+    def decorate(func: Callable[P, T]) -> Callable[P, T]:
+        @functools.wraps(func)
+        def wrapper(*args: P.args, **kwargs: P.kwargs) -> T:
+            if not contracts_enabled():
+                return func(*args, **kwargs)
+            if pre is not None:
+                pre(*args, **kwargs)
+            result = func(*args, **kwargs)
+            if post is not None:
+                post(result, *args, **kwargs)
+            return result
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,84 @@
+"""Validation of whole :class:`~repro.core.result.FgBgSolution` objects.
+
+The engine's on-disk cache deserializes pickles that may have been
+truncated, bit-rotted or written by a different code version; a corrupted
+entry must fail loudly at load time instead of poisoning a sweep with
+plausible-looking numbers.  :func:`check_solution` re-validates the
+load-bearing invariants: the R matrix (finite, non-negative,
+``sp(R) < 1``), the boundary probabilities, total stationary mass ~ 1 and
+the NaN policy of the scalar metrics.
+
+Imports of the core package are deferred to call time: the contracts
+package sits *below* ``repro.core``/``repro.qbd`` in the import graph so
+the solvers can use the checks without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.contracts.checks import (
+    check_probability_vector,
+    check_r_matrix,
+    contracts_enabled,
+)
+from repro.contracts.errors import ContractViolation
+
+__all__ = ["check_solution"]
+
+#: Scalar metrics that are allowed to be NaN (the deliberate-NaN policy of
+#: ``repro.core.metrics``: background metrics are undefined when no
+#: background job is ever spawned or admitted).
+NAN_ALLOWED_METRICS = frozenset({"bg_completion_rate", "bg_response_time"})
+
+#: Total stationary mass must match 1 this closely (loose enough for a
+#: solution round-tripped through float serialization).
+MASS_ATOL = 1e-6
+
+
+def check_solution(solution: Any, name: str = "solution") -> None:
+    """Validate a (possibly deserialized) solved model end to end.
+
+    Raises
+    ------
+    ContractViolation
+        When ``solution`` is not an :class:`~repro.core.result.FgBgSolution`
+        or any of its invariants fails.
+    """
+    if not contracts_enabled():
+        return
+    import math
+
+    from repro.core.result import FgBgSolution
+
+    if not isinstance(solution, FgBgSolution):
+        raise ContractViolation(
+            "check_solution",
+            name,
+            f"expected an FgBgSolution, got {type(solution).__name__}",
+        )
+    qbd_solution = solution.qbd_solution
+    check_r_matrix(qbd_solution.r, name=f"{name}.qbd_solution.r")
+    check_probability_vector(
+        qbd_solution.boundary, name=f"{name}.qbd_solution.boundary", total=None
+    )
+    mass = float(qbd_solution.total_mass)
+    if not math.isfinite(mass) or abs(mass - 1.0) > MASS_ATOL:
+        raise ContractViolation(
+            "check_solution",
+            name,
+            f"total stationary mass {mass:.8g}, expected 1 within {MASS_ATOL:g}",
+        )
+    for metric, value in solution.as_dict().items():
+        if isinstance(value, float) and math.isnan(value):
+            if metric not in NAN_ALLOWED_METRICS:
+                raise ContractViolation(
+                    "check_solution",
+                    name,
+                    f"metric {metric!r} is NaN (only {sorted(NAN_ALLOWED_METRICS)} "
+                    "may be NaN under the deliberate-NaN policy)",
+                )
+        elif isinstance(value, float) and not math.isfinite(value):
+            raise ContractViolation(
+                "check_solution", name, f"metric {metric!r} is non-finite ({value})"
+            )

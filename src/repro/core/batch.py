@@ -162,7 +162,7 @@ class BatchFgBgModel:
         a_down = np.zeros((m, m))
         a_up = [np.zeros((m, m)) for _ in range(b_max)]  # up 1..b_max levels
 
-        def add_boundary_arrival(src: slice, kind: StateKind, bg: int, fg_now: int, level: int):
+        def add_boundary_arrival(src: slice, kind: StateKind, bg: int, fg_now: int, level: int) -> None:
             """Arrival of each batch size from a boundary state."""
             for b, q in enumerate(batches, start=1):
                 if q == 0:

@@ -9,6 +9,8 @@ count ``x``, the mass of physical level ``k + x`` in group ``x``.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 from repro.core.result import FgBgSolution
@@ -52,7 +54,9 @@ def _boundary_mass_by_fg(
     return out
 
 
-def _fg_mass_iter(qbd_solution: QBDStationaryDistribution, space: StateSpace):
+def _fg_mass_iter(
+    qbd_solution: QBDStationaryDistribution, space: StateSpace
+) -> Iterator[float]:
     """Yield ``P(N_FG = k)`` for k = 0, 1, 2, ...
 
     Repeating levels are generated incrementally (``pi_{k+1} = pi_k R``) and

@@ -27,6 +27,11 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.contracts.checks import (
+    check_generator,
+    check_readonly,
+    contracts_enabled,
+)
 from repro.core.blocks import BgServiceMode, build_qbd
 from repro.core.metrics import NEAR_ZERO_BG_PROBABILITY, compute_metrics
 from repro.core.result import FgBgSolution
@@ -92,6 +97,20 @@ class FgBgModel:
             raise ValueError(
                 f"idle_wait_rate must be positive, got {self.idle_wait_rate}"
             )
+        if contracts_enabled():
+            # The arrival MAP is the only externally supplied matrix data;
+            # its phase process must be a generator and its matrices must
+            # be frozen (the fingerprint/caching machinery assumes both).
+            check_readonly(self.arrival.d0, "arrival.d0")
+            check_readonly(self.arrival.d1, "arrival.d1")
+            # A MAP constructed through MarkovianArrivalProcess certifies
+            # D0+D1 at construction; with both matrices read-only the
+            # certificate cannot go stale, so a sweep deriving thousands
+            # of models from one arrival validates it once, not per model.
+            if not getattr(self.arrival, "_generator_validated", False):
+                check_generator(
+                    self.arrival.d0 + self.arrival.d1, "arrival D0+D1"
+                )
 
     # ------------------------------------------------------------------
     # Derived parameters

@@ -19,6 +19,7 @@ the test-suite).
 from __future__ import annotations
 
 import itertools
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -223,15 +224,17 @@ class MulticlassFgBgModel:
         a1 = np.zeros((m, m))
         a2 = np.zeros((m, m))
 
-        def bsl(serving, x_vec, y):
+        def bsl(serving: int, x_vec: tuple[int, ...], y: int) -> slice:
             i = bmap[(serving, x_vec, y)]
             return slice(i * a, (i + 1) * a)
 
-        def rsl(serving, x_vec):
+        def rsl(serving: int, x_vec: tuple[int, ...]) -> slice:
             i = rmap[(serving, x_vec)]
             return slice(i * a, (i + 1) * a)
 
-        def spawn_targets(x_vec):
+        def spawn_targets(
+            x_vec: tuple[int, ...],
+        ) -> list[tuple[float, tuple[int, ...]]]:
             """(probability, new occupancy) outcomes of one FG completion."""
             outcomes = [(p0, x_vec)]
             for c, p_c in enumerate(probs):
@@ -347,7 +350,7 @@ class MulticlassFgBgModel:
         probs = self.bg_probabilities
         k = self.classes
 
-        def expand(values):
+        def expand(values: Sequence[float] | np.ndarray) -> np.ndarray:
             return np.repeat(np.asarray(values, dtype=float), a)
 
         bg = self._boundary_groups

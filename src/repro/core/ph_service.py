@@ -18,6 +18,7 @@ uses.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -73,11 +74,11 @@ class PhServiceFgBgModel:
     idle_wait_rate:
         Rate of an *exponential* idle wait; ``None`` uses
         ``1 / service.mean`` (the paper's "mean idle wait equals the mean
-        service time").  Mutually exclusive with ``idle_wait``.
-    idle_wait:
-        PH distribution of the idle wait (e.g. ``PhaseType.erlang(8, ...)``
-        for a near-deterministic firmware timer).  Mutually exclusive with
-        ``idle_wait_rate``.
+        service time").  Mutually exclusive with ``idle_wait_ph``.
+    idle_wait_ph:
+        PH distribution of the idle wait, samples in ms (e.g.
+        ``PhaseType.erlang(8, ...)`` for a near-deterministic firmware
+        timer).  Mutually exclusive with ``idle_wait_rate``.
     bg_mode:
         Background scheduling within an idle period.
     """
@@ -87,7 +88,7 @@ class PhServiceFgBgModel:
     bg_probability: float
     bg_buffer: int = 5
     idle_wait_rate: float | None = None
-    idle_wait: PhaseType | None = None
+    idle_wait_ph: PhaseType | None = None
     bg_mode: BgServiceMode = BgServiceMode.BACK_TO_BACK
 
     def __post_init__(self) -> None:
@@ -110,11 +111,11 @@ class PhServiceFgBgModel:
             raise ValueError(
                 f"idle_wait_rate must be positive, got {self.idle_wait_rate}"
             )
-        if self.idle_wait_rate is not None and self.idle_wait is not None:
-            raise ValueError("pass idle_wait_rate or idle_wait, not both")
-        if self.idle_wait is not None and not isinstance(self.idle_wait, PhaseType):
+        if self.idle_wait_rate is not None and self.idle_wait_ph is not None:
+            raise ValueError("pass idle_wait_rate or idle_wait_ph, not both")
+        if self.idle_wait_ph is not None and not isinstance(self.idle_wait_ph, PhaseType):
             raise TypeError(
-                f"idle_wait must be a PhaseType, got {type(self.idle_wait).__name__}"
+                f"idle_wait_ph must be a PhaseType, got {type(self.idle_wait_ph).__name__}"
             )
 
     @property
@@ -124,8 +125,8 @@ class PhServiceFgBgModel:
         Defaults to an exponential whose mean equals the mean service time
         (the paper's choice).
         """
-        if self.idle_wait is not None:
-            return self.idle_wait
+        if self.idle_wait_ph is not None:
+            return self.idle_wait_ph
         if self.idle_wait_rate is not None:
             return PhaseType.exponential(self.idle_wait_rate)
         return PhaseType.exponential(1.0 / self.service.mean)
@@ -304,14 +305,14 @@ class PhServiceFgBgModel:
         groups_b = space.boundary_groups
         groups_r = space.repeating_groups
 
-        def expand_b(values_per_group) -> np.ndarray:
+        def expand_b(values_per_group: Sequence[float]) -> np.ndarray:
             parts = [
                 np.full(self._group_width(g.kind, g.bg), float(v))
                 for g, v in zip(groups_b, values_per_group)
             ]
             return np.concatenate(parts)
 
-        def expand_r(values_per_group) -> np.ndarray:
+        def expand_r(values_per_group: Sequence[float] | np.ndarray) -> np.ndarray:
             width = self.arrival.order * self.service.order
             return np.repeat(np.asarray(values_per_group, dtype=float), width)
 

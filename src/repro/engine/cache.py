@@ -19,6 +19,8 @@ import os
 import pickle
 from pathlib import Path
 
+from repro.contracts.errors import ContractViolation
+from repro.contracts.solution import check_solution
 from repro.core.model import FgBgModel
 from repro.core.result import FgBgSolution
 
@@ -72,13 +74,31 @@ class SolveCache:
         return self._directory / f"{key}.pkl"
 
     def get(self, key: str) -> FgBgSolution | None:
-        """Look up a solution; counts a hit or a miss."""
+        """Look up a solution; counts a hit or a miss.
+
+        Disk entries are re-validated on load (see
+        :func:`repro.contracts.check_solution`): a truncated, bit-rotted
+        or wrong-version pickle raises a
+        :class:`~repro.contracts.ContractViolation` naming the entry
+        instead of poisoning every downstream metric.  Set
+        ``REPRO_CONTRACTS=off`` to skip the validation.
+        """
         solution = self._memory.get(key)
         if solution is None and self._directory is not None:
             path = self._path(key)
             if path.exists():
-                with path.open("rb") as fh:
-                    solution = pickle.load(fh)
+                try:
+                    with path.open("rb") as fh:
+                        solution = pickle.load(fh)
+                except ContractViolation:
+                    raise
+                except Exception as exc:
+                    raise ContractViolation(
+                        "check_solution",
+                        f"cache entry {key[:16]}",
+                        f"unreadable pickle at {path}: {exc}",
+                    ) from exc
+                check_solution(solution, name=f"cache entry {key[:16]}")
                 self._memory[key] = solution
         if solution is None:
             self.misses += 1

@@ -18,13 +18,15 @@ class Series:
     y: np.ndarray
 
     def __post_init__(self) -> None:
-        x = np.asarray(self.x, dtype=float)
-        y = np.asarray(self.y, dtype=float)
+        x = np.array(self.x, dtype=float)
+        y = np.array(self.y, dtype=float)
         if x.shape != y.shape or x.ndim != 1:
             raise ValueError(
                 f"series {self.label!r}: x and y must be equal-length 1-D "
                 f"arrays, got {x.shape} and {y.shape}"
             )
+        x.setflags(write=False)
+        y.setflags(write=False)
         object.__setattr__(self, "x", x)
         object.__setattr__(self, "y", y)
 

@@ -149,6 +149,26 @@ def sweep_many(
 # ----------------------------------------------------------------------
 # Deprecated pre-engine entry points
 # ----------------------------------------------------------------------
+
+#: Deprecated entry points that have already warned this process.  Each
+#: wrapper warns exactly once per process so sweep loops stay readable
+#: under ``-W error::DeprecationWarning`` migrations (the first call
+#: fails loudly; a thousand-model sweep does not emit a thousand
+#: duplicates).
+_warned_deprecations: set[str] = set()
+
+
+def _warn_deprecated_once(name: str, replacement: str) -> None:
+    if name in _warned_deprecations:
+        return
+    _warned_deprecations.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,  # the caller of the deprecated wrapper, not the helper
+    )
+
+
 def load_sweep_series(
     arrival: MarkovianArrivalProcess,
     utilizations: Sequence[float],
@@ -161,12 +181,11 @@ def load_sweep_series(
 
     .. deprecated::
         Use :func:`sweep_many` with :func:`utilization_axis`.
+        Warns once per process.
     """
-    warnings.warn(
-        "load_sweep_series is deprecated; use "
-        "sweep_many(base_model, utilization_axis(...), metric, ...) instead",
-        DeprecationWarning,
-        stacklevel=2,
+    _warn_deprecated_once(
+        "load_sweep_series",
+        "sweep_many(base_model, utilization_axis(...), metric, ...)",
     )
     base = FgBgModel(
         arrival=arrival,
@@ -190,12 +209,11 @@ def idle_wait_sweep_series(
 
     .. deprecated::
         Use :func:`sweep_many` with :func:`idle_wait_axis`.
+        Warns once per process.
     """
-    warnings.warn(
-        "idle_wait_sweep_series is deprecated; use "
-        "sweep_many(base_model, idle_wait_axis(...), metric, ...) instead",
-        DeprecationWarning,
-        stacklevel=2,
+    _warn_deprecated_once(
+        "idle_wait_sweep_series",
+        "sweep_many(base_model, idle_wait_axis(...), metric, ...)",
     )
     base = FgBgModel(
         arrival=arrival,

@@ -21,6 +21,8 @@ import math
 import numpy as np
 from scipy.optimize import least_squares
 
+from repro.contracts.checks import check_generator, check_nonnegative
+from repro.contracts.decorator import contracted
 from repro.processes.ipp import InterruptedPoissonProcess
 from repro.processes.mmpp import MMPP
 
@@ -123,6 +125,14 @@ def _slow_switching_start(
     return v1, v2, l1, l2
 
 
+def _check_fitted_mmpp(result: MMPP, *args: object, **kwargs: object) -> None:
+    """Postcondition of the MMPP fitters: the returned process must be a
+    structurally valid MAP (generator phase process, non-negative D1)."""
+    check_generator(result.generator, "fitted MMPP(2) D0+D1")
+    check_nonnegative(result.d1, "fitted MMPP(2) D1")
+
+
+@contracted(post=_check_fitted_mmpp)
 def fit_mmpp2(
     rate: float,
     scv: float,

@@ -65,6 +65,10 @@ class MarkovianArrivalProcess:
         self._d0.setflags(write=False)
         self._d1 = d1
         self._d1.setflags(write=False)
+        #: Construction certificate consumed by the contract layer: D0+D1
+        #: passed validate_generator above and both matrices are frozen,
+        #: so downstream models need not re-validate the phase process.
+        self._generator_validated = True
 
     # ------------------------------------------------------------------
     # Basic structure

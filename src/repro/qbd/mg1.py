@@ -66,9 +66,9 @@ class MG1Process:
     repeating_blocks: tuple[np.ndarray, ...]
 
     def __post_init__(self) -> None:
-        bs = tuple(np.asarray(b, dtype=float) for b in self.boundary_blocks)
-        a_blocks = tuple(np.asarray(a, dtype=float) for a in self.repeating_blocks)
-        c = np.asarray(self.down_block, dtype=float)
+        bs = tuple(np.array(b, dtype=float) for b in self.boundary_blocks)
+        a_blocks = tuple(np.array(a, dtype=float) for a in self.repeating_blocks)
+        c = np.array(self.down_block, dtype=float)
         if len(bs) < 2:
             raise ValueError("need at least [B0, B1] boundary blocks")
         if len(a_blocks) < 2:
@@ -108,6 +108,9 @@ class MG1Process:
         rep = sum(a.sum(axis=1) for a in a_blocks)
         if np.any(np.abs(rep) > _ATOL * scale):
             raise ValueError("repeating rows (sum of all Ak) must sum to zero")
+        c.setflags(write=False)
+        for block in (*bs, *a_blocks):
+            block.setflags(write=False)
         object.__setattr__(self, "boundary_blocks", bs)
         object.__setattr__(self, "down_block", c)
         object.__setattr__(self, "repeating_blocks", a_blocks)

@@ -26,6 +26,14 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from repro.contracts.checks import (
+    check_finite,
+    check_generator,
+    check_nonnegative,
+    check_r_matrix,
+    contracts_enabled,
+)
+from repro.contracts.errors import ContractViolation
 from repro.markov.stationary import stationary_distribution
 
 __all__ = [
@@ -415,22 +423,46 @@ def r_matrix_natural_iteration(
     return r_matrix_from_g(a0, a1, a2, g)
 
 
-def _r_logred_impl(a0, a1, a2, tol, initial_r=None) -> tuple[np.ndarray, int]:
+def _r_logred_impl(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    initial_r: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
     g, iters = _logred_impl(a0, a1, a2, tol, 64)
     return r_matrix_from_g(a0, a1, a2, g), iters
 
 
-def _r_natural_impl(a0, a1, a2, tol, initial_r=None) -> tuple[np.ndarray, int]:
+def _r_natural_impl(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    initial_r: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
     g, iters = _natural_impl(a0, a1, a2, tol, DEFAULT_MAX_ITER)
     return r_matrix_from_g(a0, a1, a2, g), iters
 
 
-def _r_functional_impl(a0, a1, a2, tol, initial_r=None) -> tuple[np.ndarray, int]:
+def _r_functional_impl(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    initial_r: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
     max_iter = DEFAULT_MAX_ITER if initial_r is None else WARM_MAX_ITER
     return _functional_impl(a0, a1, a2, tol, max_iter, initial_r)
 
 
-def _r_newton_impl(a0, a1, a2, tol, initial_r=None) -> tuple[np.ndarray, int]:
+def _r_newton_impl(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    initial_r: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
     return _newton_impl(a0, a1, a2, tol, NEWTON_MAX_ITER, initial_r)
 
 
@@ -454,6 +486,7 @@ def r_matrix(
     tol: float = DEFAULT_TOL,
     initial_r: np.ndarray | None = None,
     return_stats: bool = False,
+    blocks_validated: bool = False,
 ) -> np.ndarray | tuple[np.ndarray, SolveStats]:
     """Minimal non-negative solution of ``A0 + R A1 + R^2 A2 = 0``.
 
@@ -474,6 +507,13 @@ def r_matrix(
         therefore always agrees with a cold solve to ``tol``.
     return_stats:
         When True, return ``(R, SolveStats)`` instead of just ``R``.
+    blocks_validated:
+        Caller's certificate that ``(a0, a1, a2)`` already passed the
+        generator/split precondition and are frozen read-only -- true for
+        blocks taken off a :class:`~repro.qbd.structure.QBDProcess`, whose
+        constructor validates exactly these invariants.  Skips the
+        redundant re-validation; the R postcondition still runs.  Never
+        pass True for matrices assembled by hand.
 
     Raises
     ------
@@ -486,6 +526,16 @@ def r_matrix(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
         )
+    if not blocks_validated and contracts_enabled():
+        # The repeating blocks must form a generator row-split into
+        # non-negative up/down parts; a violated precondition here would
+        # otherwise converge to plausible-looking garbage.
+        a0_arr = np.asarray(a0, float)
+        a1_arr = np.asarray(a1, float)
+        a2_arr = np.asarray(a2, float)
+        check_nonnegative(a0_arr, "A0")
+        check_nonnegative(a2_arr, "A2")
+        check_generator(a0_arr + a1_arr + a2_arr, "A0+A1+A2")
     if not is_stable(a0, a1, a2):
         raise ValueError(
             f"QBD is not positive recurrent (drift {drift(a0, a1, a2):.6g} >= 0); "
@@ -501,10 +551,14 @@ def r_matrix(
     if initial_r is not None:
         initial_r = np.asarray(initial_r, float)
         if initial_r.shape != np.asarray(a0).shape:
-            raise ValueError(
-                f"initial_r must have shape {np.asarray(a0).shape}, "
-                f"got {initial_r.shape}"
+            # Unconditional (not gated on contracts_enabled): a wrong-shape
+            # seed would crash deep inside the iteration otherwise.
+            raise ContractViolation(
+                "check_shape",
+                "initial_r",
+                f"expected shape {np.asarray(a0).shape}, got {initial_r.shape}",
             )
+        check_finite(initial_r, "initial_r")
         if initial_r.shape[0] <= NEWTON_MAX_PHASES:
             warm_impl, warm_name = _r_newton_impl, "newton"
         else:
@@ -554,6 +608,9 @@ def r_matrix(
             f"computed R has a significantly negative entry ({r.min():.3g})"
         )
     r = np.clip(r, 0.0, None)
+    # Postcondition: the accepted R -- cold, warm-started or a fallback --
+    # must be the minimal solution, i.e. finite, non-negative, sp(R) < 1.
+    check_r_matrix(r, "R")
     if not return_stats:
         return r
     stats = SolveStats(

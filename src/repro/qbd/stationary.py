@@ -6,6 +6,11 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.contracts.checks import (
+    check_probability_vector,
+    contracts_enabled,
+)
+from repro.contracts.errors import ContractViolation
 from repro.qbd.boundary import solve_boundary
 from repro.qbd.rmatrix import SolveStats, r_matrix
 from repro.qbd.structure import QBDProcess
@@ -132,9 +137,32 @@ def solve_qbd(
     :func:`repro.qbd.rmatrix.r_matrix`); the returned distribution carries
     the per-solve :class:`~repro.qbd.rmatrix.SolveStats`.
     """
+    # QBDProcess.__post_init__ already validated the generator row-split
+    # and froze the blocks read-only, so that precondition cannot go
+    # stale -- certify it instead of re-validating on every solve.
     r, stats = r_matrix(
         qbd.a0, qbd.a1, qbd.a2, algorithm=algorithm, tol=tol,
-        initial_r=initial_r, return_stats=True,
+        initial_r=initial_r, return_stats=True, blocks_validated=True,
     )
     pi_boundary, pi_first = solve_boundary(qbd, r)
-    return QBDStationaryDistribution(qbd, r, pi_boundary, pi_first, solve_stats=stats)
+    distribution = QBDStationaryDistribution(
+        qbd, r, pi_boundary, pi_first, solve_stats=stats
+    )
+    if contracts_enabled():
+        # The R preconditions/postconditions ran inside r_matrix; here the
+        # end-to-end invariant is that the assembled distribution is one:
+        # non-negative boundary mass and total mass 1 (the level sums are
+        # closed forms in R, so a bad boundary solve shows up here).
+        # Fast path: two vector mins and the (cached) total mass; NaNs
+        # fail the comparisons and land in the diagnostic branch.
+        least = min(float(pi_boundary.min()), float(pi_first.min()))
+        total = distribution.total_mass
+        if not (least > -1e-6) or not (abs(total - 1.0) <= 1e-8):
+            check_probability_vector(pi_boundary, "pi_boundary", total=None)
+            check_probability_vector(pi_first, "pi_1", total=None)
+            raise ContractViolation(
+                "check_solution",
+                "QBD stationary distribution",
+                f"total mass {total:.10g}, expected 1",
+            )
+    return distribution

@@ -51,12 +51,12 @@ class QBDProcess:
     a2: np.ndarray
 
     def __post_init__(self) -> None:
-        b00 = np.asarray(self.b00, dtype=float)
-        b01 = np.asarray(self.b01, dtype=float)
-        b10 = np.asarray(self.b10, dtype=float)
-        a0 = np.asarray(self.a0, dtype=float)
-        a1 = np.asarray(self.a1, dtype=float)
-        a2 = np.asarray(self.a2, dtype=float)
+        b00 = np.array(self.b00, dtype=float)
+        b01 = np.array(self.b01, dtype=float)
+        b10 = np.array(self.b10, dtype=float)
+        a0 = np.array(self.a0, dtype=float)
+        a1 = np.array(self.a1, dtype=float)
+        a2 = np.array(self.a2, dtype=float)
         for name, block in (("b00", b00), ("a1", a1)):
             if block.ndim != 2 or block.shape[0] != block.shape[1]:
                 raise ValueError(f"{name} must be square, got shape {block.shape}")
@@ -98,6 +98,12 @@ class QBDProcess:
             raise ValueError(
                 f"repeating-level row {i} sums to {repeat_sums[i]}, expected 0"
             )
+        b00.setflags(write=False)
+        b01.setflags(write=False)
+        b10.setflags(write=False)
+        a0.setflags(write=False)
+        a1.setflags(write=False)
+        a2.setflags(write=False)
         object.__setattr__(self, "b00", b00)
         object.__setattr__(self, "b01", b01)
         object.__setattr__(self, "b10", b10)

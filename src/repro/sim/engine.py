@@ -55,11 +55,11 @@ class Simulator:
         """Number of scheduled (possibly cancelled) events."""
         return sum(1 for e in self._heap if not e.handle.cancelled)
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` to fire ``delay`` time units from now."""
-        if delay < 0:
-            raise ValueError(f"delay must be non-negative, got {delay}")
-        handle = EventHandle(self._now + delay, callback)
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay_ms`` milliseconds from now."""
+        if delay_ms < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_ms}")
+        handle = EventHandle(self._now + delay_ms, callback)
         heapq.heappush(self._heap, _HeapEntry(handle.time, next(self._counter), handle))
         return handle
 

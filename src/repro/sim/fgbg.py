@@ -99,9 +99,10 @@ class FgBgSimulator:
         event then delivers ``b`` foreground jobs with probability ``q_b``
         (used to validate the :class:`~repro.core.batch.BatchFgBgModel`
         extension).
-    idle_wait:
-        Optional phase-type idle-wait distribution overriding the model's
-        exponential timer (used to validate the PH-idle-wait extension).
+    idle_wait_ph:
+        Optional phase-type idle-wait distribution (samples in ms)
+        overriding the model's exponential timer (used to validate the
+        PH-idle-wait extension).
     """
 
     def __init__(
@@ -110,9 +111,9 @@ class FgBgSimulator:
         service: PhaseType | None = None,
         arrival_trace: np.ndarray | None = None,
         batch_probabilities: tuple[float, ...] | None = None,
-        idle_wait: PhaseType | None = None,
+        idle_wait_ph: PhaseType | None = None,
     ) -> None:
-        self._idle_wait = idle_wait
+        self._idle_wait = idle_wait_ph
         self._model = model
         self._service = service
         if batch_probabilities is not None:
@@ -204,17 +205,17 @@ class _Run:
         service: PhaseType | None = None,
         arrival_trace: np.ndarray | None = None,
         batch_probabilities: tuple[float, ...] | None = None,
-        idle_wait: PhaseType | None = None,
+        idle_wait_ph: PhaseType | None = None,
     ) -> None:
         self.batch_thresholds = (
             np.cumsum(batch_probabilities) if batch_probabilities is not None else None
         )
-        if idle_wait is None:
+        if idle_wait_ph is None:
             self.draw_idle_wait = lambda: rng.exponential(
                 1.0 / model.effective_idle_wait_rate
             )
         else:
-            self.draw_idle_wait = lambda: float(idle_wait.sample(rng, size=1)[0])
+            self.draw_idle_wait = lambda: float(idle_wait_ph.sample(rng, size=1)[0])
         self.model = model
         self.rng = rng
         if service is None:

@@ -25,7 +25,7 @@ def model_with_wait(wait, rho=0.4, p=0.6, **kwargs) -> PhServiceFgBgModel:
         arrival=PoissonProcess(rho * MU),
         service=PhaseType.exponential(MU),
         bg_probability=p,
-        idle_wait=wait,
+        idle_wait_ph=wait,
         **kwargs,
     )
 
@@ -38,7 +38,7 @@ class TestValidation:
                 service=PhaseType.exponential(MU),
                 bg_probability=0.3,
                 idle_wait_rate=MU,
-                idle_wait=PhaseType.exponential(MU),
+                idle_wait_ph=PhaseType.exponential(MU),
             )
 
     def test_rejects_non_ph_wait(self):
@@ -74,7 +74,7 @@ class TestExponentialEquivalence:
             arrival=arrival,
             service=PhaseType.exponential(MU),
             bg_probability=0.6,
-            idle_wait=PhaseType.exponential(MU / 2),
+            idle_wait_ph=PhaseType.exponential(MU / 2),
         ).solve()
         base = FgBgModel(
             arrival=arrival,
@@ -106,7 +106,7 @@ class TestDeterministicTimer:
         proxy = FgBgModel(
             arrival=PoissonProcess(0.4 * MU), service_rate=MU, bg_probability=0.6
         )
-        sim = FgBgSimulator(proxy, idle_wait=wait).run(
+        sim = FgBgSimulator(proxy, idle_wait_ph=wait).run(
             500_000.0, np.random.default_rng(5)
         )
         for name in SHARED_METRICS:

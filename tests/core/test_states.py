@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.states import BoundaryGroup, RepeatingGroup, StateKind, StateSpace
+from repro.core.states import BoundaryGroup, StateKind, StateSpace
 
 
 class TestCounts:

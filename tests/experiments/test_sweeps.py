@@ -18,10 +18,19 @@ from repro.experiments.sweeps import (
     sweep_many,
     utilization_axis,
 )
+from repro.experiments import sweeps as sweeps_module
 from repro.processes import PoissonProcess
 from repro.workloads import SERVICE_RATE_PER_MS
 
 MU = SERVICE_RATE_PER_MS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecation_registry():
+    """The wrappers warn once per *process*; tests need once per *test*."""
+    sweeps_module._warned_deprecations.clear()
+    yield
+    sweeps_module._warned_deprecations.clear()
 
 
 def poisson_base(p=0.0, **kwargs):
@@ -123,34 +132,73 @@ class TestSweepMany:
 
 
 class TestDeprecatedWrappers:
-    def test_load_sweep_warns_exactly_once(self):
+    @staticmethod
+    def call_load_sweep():
+        return load_sweep_series(
+            PoissonProcess(0.01),
+            utilizations=[0.2],
+            bg_probabilities=[0.1],
+            metric=lambda s: s.fg_queue_length,
+        )
+
+    def test_load_sweep_warns_exactly_once_per_process(self):
         with warnings.catch_warnings(record=True) as caught:
+            # "always" would re-emit per call if the wrapper relied on the
+            # default __warningregistry__ dedup; ours must not.
             warnings.simplefilter("always")
-            load_sweep_series(
-                PoissonProcess(0.01),
-                utilizations=[0.2],
-                bg_probabilities=[0.1],
-                metric=lambda s: s.fg_queue_length,
-            )
+            self.call_load_sweep()
+            self.call_load_sweep()
+            self.call_load_sweep()
         deprecations = [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
         assert len(deprecations) == 1
         assert "sweep_many" in str(deprecations[0].message)
 
-    def test_idle_wait_sweep_warns_exactly_once(self):
+    def test_idle_wait_sweep_warns_exactly_once_per_process(self):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            idle_wait_sweep_series(
-                PoissonProcess(0.3 * MU),
-                idle_wait_multiples=[1.0],
-                bg_probabilities=[0.6],
-                metric=lambda s: s.bg_completion_rate,
-            )
+            for _ in range(2):
+                idle_wait_sweep_series(
+                    PoissonProcess(0.3 * MU),
+                    idle_wait_multiples=[1.0],
+                    bg_probabilities=[0.6],
+                    metric=lambda s: s.bg_completion_rate,
+                )
         deprecations = [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
         assert len(deprecations) == 1
+
+    def test_warning_points_at_caller(self):
+        """stacklevel must attribute the warning to *this* file, not sweeps.py."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            self.call_load_sweep()
+        (record,) = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert record.filename == __file__
+
+    def test_second_call_survives_error_filter(self):
+        """Under ``-W error::DeprecationWarning`` only the first call raises."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning):
+                self.call_load_sweep()
+            # Same wrapper again: silent, so sweep loops keep running.
+            series = self.call_load_sweep()
+        assert series
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            # The *other* wrapper still gets its own first warning.
+            with pytest.raises(DeprecationWarning):
+                idle_wait_sweep_series(
+                    PoissonProcess(0.3 * MU),
+                    idle_wait_multiples=[1.0],
+                    bg_probabilities=[0.6],
+                    metric=lambda s: s.bg_completion_rate,
+                )
 
     def test_load_sweep_delegates_to_sweep_many(self):
         with pytest.warns(DeprecationWarning):
@@ -213,6 +261,7 @@ class TestLoadSweep:
         assert series.y[0] == pytest.approx(1.0, rel=1e-9)
 
     def test_model_kwargs_forwarded(self):
+        # One pytest.warns block: the wrapper only warns on the first call.
         with pytest.warns(DeprecationWarning):
             (small,) = load_sweep_series(
                 PoissonProcess(0.01),
@@ -221,7 +270,6 @@ class TestLoadSweep:
                 metric=lambda s: s.bg_completion_rate,
                 bg_buffer=1,
             )
-        with pytest.warns(DeprecationWarning):
             (large,) = load_sweep_series(
                 PoissonProcess(0.01),
                 utilizations=[0.5],

@@ -14,7 +14,7 @@ def run_example(name: str, *args: str) -> str:
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
-        timeout=300,
+        timeout=300,  # noqa: RL003 -- subprocess API, seconds by contract
     )
     assert result.returncode == 0, result.stderr
     return result.stdout

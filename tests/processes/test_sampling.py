@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.processes import MAPSampler, MMPP, PoissonProcess, describe_sample
+from repro.processes import MAPSampler, PoissonProcess, describe_sample
 
 
 class TestMAPSampler:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import FgBgModel
-from repro.processes import MAPSampler, PoissonProcess
+from repro.processes import PoissonProcess
 from repro.sim import FgBgSimulator
 from repro.workloads import email, generate_trace
 

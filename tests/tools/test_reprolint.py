@@ -1,0 +1,206 @@
+"""Self-tests of tools.reprolint against its seeded fixtures.
+
+Every rule has a ``bad`` fixture with known violations and a corrected
+``good`` twin that must be clean; the suite also exercises noqa
+suppression, syntax-error reporting, the CLI exit codes, and -- the
+acceptance criterion -- that the repo's own ``src`` and ``tests`` trees
+lint clean.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import lint_file, lint_paths, lint_source, render
+from tools.reprolint.core import iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = REPO_ROOT / "tools" / "reprolint" / "fixtures"
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: every rule fires on its bad twin, stays quiet on its good twin.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("name", "expected"),
+    [
+        ("rl001", ["RL001", "RL001"]),
+        ("rl002", ["RL002", "RL002"]),
+        ("rl003", ["RL003", "RL003", "RL003"]),
+        ("rl004", ["RL004", "RL004"]),
+        ("rl005", ["RL005", "RL005"]),
+    ],
+)
+def test_bad_fixture_fires(name, expected):
+    violations = lint_file(FIXTURES / f"{name}_bad.py")
+    assert codes(violations) == expected
+
+
+@pytest.mark.parametrize("name", ["rl001", "rl002", "rl003", "rl004", "rl005"])
+def test_good_fixture_is_clean(name):
+    assert lint_file(FIXTURES / f"{name}_good.py") == []
+
+
+def test_violations_carry_location_and_render():
+    violations = lint_file(FIXTURES / "rl001_bad.py")
+    first = violations[0]
+    assert first.line == 11  # the plain self.rate assignment
+    rendered = first.render()
+    assert rendered.startswith(str(FIXTURES / "rl001_bad.py"))
+    assert ":11:" in rendered
+    assert "RL001" in rendered
+
+
+# ---------------------------------------------------------------------------
+# noqa suppression
+# ---------------------------------------------------------------------------
+
+
+def test_bare_noqa_silences_line():
+    source = "def f(timeout):  # noqa\n    return timeout\n"
+    assert lint_source(source) == []
+
+
+def test_coded_noqa_silences_matching_rule():
+    source = "def f(timeout):  # noqa: RL003\n    return timeout\n"
+    assert lint_source(source) == []
+
+
+def test_coded_noqa_for_other_rule_does_not_silence():
+    source = "def f(timeout):  # noqa: RL001\n    return timeout\n"
+    assert codes(lint_source(source)) == ["RL003"]
+
+
+def test_mixed_ruff_and_reprolint_codes():
+    source = "def f(timeout):  # noqa: E501, RL003\n    return timeout\n"
+    assert lint_source(source) == []
+
+
+# ---------------------------------------------------------------------------
+# Rule-specific edge cases (beyond the fixture twins)
+# ---------------------------------------------------------------------------
+
+
+def test_rl001_non_frozen_dataclass_is_quiet():
+    source = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Mutable:\n"
+        "    x: int = 0\n"
+        "    def bump(self):\n"
+        "        self.x += 1\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_rl002_plain_class_is_quiet():
+    source = (
+        "import numpy as np\n"
+        "class Holder:\n"
+        "    def __init__(self):\n"
+        "        self.a = np.zeros(3)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_rl003_ms_suffix_is_quiet():
+    assert lint_source("def f(timeout_ms):\n    return timeout_ms\n") == []
+
+
+def test_rl003_flags_wrong_unit_suffix():
+    assert codes(lint_source("def f(delay_sec):\n    return delay_sec\n")) == [
+        "RL003"
+    ]
+
+
+def test_rl004_suppression_without_bg_metric_is_quiet():
+    source = (
+        "import numpy as np\n"
+        "def safe_ratio(a, b):\n"
+        "    with np.errstate(divide='ignore'):\n"
+        "        return a / b\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_rl005_ignores_two_term_sums():
+    source = (
+        "def f(a0, a1):\n"
+        "    return stationary_distribution(a0 + a1)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_syntax_error_reports_rl000():
+    violations = lint_source("def broken(:\n")
+    assert codes(violations) == ["RL000"]
+
+
+# ---------------------------------------------------------------------------
+# Discovery and the repo-wide acceptance criterion
+# ---------------------------------------------------------------------------
+
+
+def test_iter_python_files_skips_fixture_dirs():
+    found = list(iter_python_files([REPO_ROOT / "tools"]))
+    assert all("fixtures" not in p.parts for p in found)
+    assert any(p.name == "rules.py" for p in found)
+
+
+def test_explicit_fixture_path_is_still_linted():
+    assert lint_paths([FIXTURES / "rl003_bad.py"]) != []
+
+
+def test_repo_src_and_tests_are_clean():
+    violations = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert violations == [], render(violations)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,  # noqa: RL003 -- subprocess API, seconds by contract
+    )
+
+
+def test_cli_exits_zero_on_clean_tree():
+    result = run_cli("src", "tests")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 violations" in result.stdout
+
+
+def test_cli_exits_one_on_violations():
+    result = run_cli(str(FIXTURES / "rl001_bad.py"))
+    assert result.returncode == 1
+    assert "RL001" in result.stdout
+
+
+def test_cli_exits_two_on_missing_path():
+    result = run_cli("no/such/dir")
+    assert result.returncode == 2
+    assert "no such path" in result.stderr
+
+
+def test_cli_list_rules():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for code in ["RL001", "RL002", "RL003", "RL004", "RL005"]:
+        assert code in result.stdout

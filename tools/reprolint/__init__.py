@@ -1,0 +1,24 @@
+"""reprolint -- repo-specific AST linter for the repro codebase.
+
+Run as ``python -m tools.reprolint src tests``.  See
+:mod:`tools.reprolint.rules` for the rule catalogue (RL001-RL005).
+"""
+
+from tools.reprolint.core import (
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render,
+)
+from tools.reprolint.rules import ALL_RULES, RULE_SUMMARIES
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_SUMMARIES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render",
+]

@@ -1,0 +1,60 @@
+"""Command-line entry point: ``python -m tools.reprolint src tests``.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage
+errors (e.g. a named path that does not exist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint.core import lint_paths, render
+from tools.reprolint.rules import RULE_SUMMARIES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Repo-specific linter for repro invariants (RL001-RL005).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress output when there are no violations",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for code in sorted(RULE_SUMMARIES):
+            print(f"{code}  {RULE_SUMMARIES[code]}")
+        return 0
+
+    paths = [Path(p) for p in options.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"reprolint: no such path: {p}", file=sys.stderr)
+        return 2
+
+    violations = lint_paths(paths)
+    if violations or not options.quiet:
+        print(render(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Core machinery of reprolint: file discovery, noqa handling, reporting.
+
+reprolint is a repo-specific AST linter for invariants a generic linter
+cannot know: frozen-model mutation discipline, read-only numpy storage,
+millisecond units, the deliberate-NaN policy around ``bg_completion_rate``
+and the SCC-aware stationary solve of reducible phase processes.  The
+rules live in :mod:`tools.reprolint.rules`; this module turns paths into
+violations and violations into a report.
+
+Suppression: a violation is dropped when its source line carries a
+``# noqa`` comment, either bare or naming the rule
+(``# noqa: RL003`` -- comma-separated lists and mixed ruff/reprolint
+codes are fine, unknown codes are ignored).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Violation", "lint_file", "lint_paths", "lint_source", "render"]
+
+#: Directory parts never descended into during discovery.
+EXCLUDED_PARTS = {"__pycache__", ".git", ".hypothesis", "fixtures"}
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+def _suppressed(violation: Violation, source_lines: Sequence[str]) -> bool:
+    if not 1 <= violation.line <= len(source_lines):
+        return False
+    match = _NOQA.search(source_lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare "# noqa" silences everything on the line
+    return violation.code.upper() in {
+        c.strip().upper() for c in codes.split(",") if c.strip()
+    }
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Lint one source string; returns the unsuppressed violations."""
+    from tools.reprolint.rules import ALL_RULES
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        col = (exc.offset or 1) - 1
+        return [Violation(path, line, col, "RL000", f"syntax error: {exc.msg}")]
+    lines = source.splitlines()
+    violations: list[Violation] = []
+    for rule in ALL_RULES:
+        violations.extend(rule(tree, path))
+    return sorted(
+        (v for v in violations if not _suppressed(v, lines)),
+        key=lambda v: (v.line, v.col, v.code),
+    )
+
+
+def lint_file(path: Path) -> list[Violation]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path))
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the set of Python files to lint.
+
+    Directories are walked recursively, skipping :data:`EXCLUDED_PARTS`
+    (the linter's own seeded-violation fixtures are under a ``fixtures``
+    directory and are only linted when named explicitly as files).
+    """
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not EXCLUDED_PARTS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[Path]) -> list[Violation]:
+    """Lint every Python file under ``paths``; returns all violations."""
+    violations: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        violations.extend(lint_file(file_path))
+    return violations
+
+
+def render(violations: Sequence[Violation]) -> str:
+    """Human-readable report, one line per violation plus a summary."""
+    lines = [v.render() for v in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"reprolint: {len(violations)} {noun}")
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Fixture: frozen-dataclass mutation outside __post_init__ (RL001 x2)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BadModel:
+    rate: float
+
+    def __post_init__(self):
+        self.rate = max(self.rate, 0.0)  # plain assignment, even here
+
+    def rescale(self, factor):
+        object.__setattr__(self, "rate", self.rate * factor)

@@ -1,0 +1,14 @@
+"""Fixture twin: the sanctioned frozen-dataclass idiom (no RL001)."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GoodModel:
+    rate: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "rate", max(self.rate, 0.0))
+
+    def rescale(self, factor):
+        return replace(self, rate=self.rate * factor)

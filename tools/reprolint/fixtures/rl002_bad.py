@@ -1,0 +1,17 @@
+"""Fixture: writable numpy arrays stored on a dataclass (RL002 x2)."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BadBlocks:
+    n: int
+    up: object = field(init=False)
+    down: object = field(init=False)
+
+    def __post_init__(self):
+        up = np.eye(self.n)
+        object.__setattr__(self, "up", up)
+        object.__setattr__(self, "down", np.zeros((self.n, self.n)))

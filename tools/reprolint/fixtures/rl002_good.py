@@ -1,0 +1,20 @@
+"""Fixture twin: arrays made read-only before storing (no RL002)."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GoodBlocks:
+    n: int
+    up: object = field(init=False)
+    down: object = field(init=False)
+
+    def __post_init__(self):
+        up = np.eye(self.n)
+        up.setflags(write=False)
+        object.__setattr__(self, "up", up)
+        down = np.zeros((self.n, self.n))
+        down.flags.writeable = False
+        object.__setattr__(self, "down", down)

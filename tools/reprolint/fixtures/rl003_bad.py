@@ -1,0 +1,13 @@
+"""Fixture: unitless / wrong-unit time names at boundaries (RL003 x3)."""
+
+
+def simulate(horizon_ms, timeout):
+    return horizon_ms - timeout
+
+
+def warm_up(delay_seconds):
+    return delay_seconds
+
+
+def run():
+    return simulate(1_000.0, timeout=250.0)

@@ -1,0 +1,13 @@
+"""Fixture twin: milliseconds named as such (no RL003)."""
+
+
+def simulate(horizon_ms, timeout_ms):
+    return horizon_ms - timeout_ms
+
+
+def warm_up(delay_ms):
+    return delay_ms
+
+
+def run():
+    return simulate(1_000.0, timeout_ms=250.0)

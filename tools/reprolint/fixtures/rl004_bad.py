@@ -1,0 +1,16 @@
+"""Fixture: suppression around the deliberate NaN (RL004 x2)."""
+
+import warnings
+
+import numpy as np
+
+
+def completion_metrics(solution):
+    with np.errstate(invalid="ignore"):
+        rate = solution.bg_completion_rate * 2.0
+    return rate
+
+
+def tabulate(solutions):
+    warnings.simplefilter("ignore")
+    return [s.bg_completion_rate for s in solutions]

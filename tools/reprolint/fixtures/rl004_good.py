@@ -1,0 +1,15 @@
+"""Fixture twin: the NaN is guarded, not suppressed (no RL004)."""
+
+import math
+
+NEAR_ZERO_BG_PROBABILITY = 1e-9
+
+
+def completion_metrics(solution, bg_probability):
+    if bg_probability < NEAR_ZERO_BG_PROBABILITY:
+        return math.nan
+    return solution.bg_completion_rate * 2.0
+
+
+def tabulate(solutions, bg_probability):
+    return [completion_metrics(s, bg_probability) for s in solutions]

@@ -1,0 +1,16 @@
+"""Fixture: plain stationary solve of the phase sum (RL005 x2)."""
+
+import numpy as np
+
+from repro.markov.ctmc import stationary_distribution
+
+
+def drift_direct(a0, a1, a2):
+    phi = stationary_distribution(np.asarray(a0) + a1 + a2)
+    return phi @ a0 - phi @ a2
+
+
+def drift_via_name(a0, a1, a2):
+    generator = a0 + a1 + a2
+    phi = stationary_distribution(generator)
+    return phi @ a0 - phi @ a2

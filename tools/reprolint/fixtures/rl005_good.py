@@ -1,0 +1,17 @@
+"""Fixture twin: the SCC-aware drift, and solves on other matrices (no RL005)."""
+
+from repro.markov.ctmc import stationary_distribution
+from repro.qbd.rmatrix import drift
+
+
+def stable(a0, a1, a2):
+    return drift(a0, a1, a2) < 0.0
+
+
+def phase_probabilities(generator_q):
+    # A solve on a plain (irreducible) generator is fine.
+    return stationary_distribution(generator_q)
+
+
+def scc_block(sub):
+    return stationary_distribution(sub)

@@ -1,0 +1,492 @@
+"""The reprolint rules RL001-RL005.
+
+Each rule is a callable ``(tree, path) -> Iterator[Violation]``.  The
+rules encode repo-specific invariants (see DESIGN.md and the gotchas in
+CLAUDE.md):
+
+RL001
+    Mutation of a frozen-dataclass attribute outside the
+    ``__post_init__`` / ``object.__setattr__`` idiom.  Plain
+    ``self.attr = ...`` in a frozen dataclass raises at runtime; an
+    ``object.__setattr__`` outside ``__post_init__`` silently breaks the
+    immutability the solve cache and fingerprinting rely on.
+RL002
+    A numpy array stored on a dataclass without a read-only guard
+    (``.setflags(write=False)`` or ``.flags.writeable = False``).
+    Models are frozen and content-addressed; a writable array makes the
+    frozen dataclass silently mutable and the fingerprint stale.
+RL003
+    A time-like parameter or keyword argument crossing a function
+    boundary without a ``_ms`` unit (bare ``timeout``/``idle_wait``/... or
+    a ``_sec``-style suffix).  Time is milliseconds repo-wide; unit bugs
+    produce plausible numbers, not errors.
+RL004
+    A blanket ``np.errstate(...="ignore")`` / ``warnings.simplefilter``
+    suppression inside a scope that touches ``bg_completion_rate``.  The
+    NaN there is deliberate and guarded (``NEAR_ZERO_BG_PROBABILITY``);
+    suppression hides genuine numerical failures.
+RL005
+    A plain stationary solve of the phase-process sum ``A0+A1+A2``.  The
+    FG/BG phase process is *reducible*; use the SCC-aware
+    ``repro.qbd.rmatrix.drift`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.core import Violation
+
+__all__ = ["ALL_RULES", "RULE_SUMMARIES"]
+
+RULE_SUMMARIES = {
+    "RL001": "frozen-dataclass attribute mutated outside __post_init__",
+    "RL002": "numpy array stored on a dataclass without a read-only guard",
+    "RL003": "time-like name crosses a function boundary without a _ms unit",
+    "RL004": "error/warning suppression around bg_completion_rate",
+    "RL005": "plain stationary solve on the reducible phase sum A0+A1+A2",
+}
+
+_NUMPY_MODULES = {"np", "numpy"}
+_ARRAY_FACTORIES = {
+    "array",
+    "asarray",
+    "ascontiguousarray",
+    "asfortranarray",
+    "copy",
+    "empty",
+    "empty_like",
+    "eye",
+    "full",
+    "full_like",
+    "ones",
+    "ones_like",
+    "zeros",
+    "zeros_like",
+}
+
+# RL003 vocabulary: bare names that are times without saying so, and
+# suffixes that say so in the wrong unit.
+_BARE_TIME_NAMES = {
+    "timeout",
+    "idle_wait",
+    "delay",
+    "interval",
+    "duration",
+    "wait_time",
+    "sleep_time",
+}
+_BAD_UNIT_SUFFIXES = (
+    "_sec",
+    "_secs",
+    "_seconds",
+    "_minutes",
+    "_hours",
+    "_us",
+    "_micros",
+    "_ns",
+    "_nanos",
+)
+
+
+def _dataclass_decoration(node: ast.ClassDef) -> tuple[bool, bool]:
+    """``(is_dataclass, is_frozen)`` from the class's decorator list."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name != "dataclass":
+            continue
+        frozen = False
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "frozen":
+                    frozen = bool(
+                        isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    )
+        return True, frozen
+    return False, False
+
+
+def _is_object_setattr_on_self(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__setattr__"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "object"
+        and bool(node.args)
+        and isinstance(node.args[0], ast.Name)
+        and node.args[0].id == "self"
+    )
+
+
+def _methods(node: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+def rl001_frozen_mutation(tree: ast.AST, path: str) -> Iterator[Violation]:
+    """RL001: frozen-dataclass mutation outside the sanctioned idiom."""
+    for class_node in ast.walk(tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        is_dc, frozen = _dataclass_decoration(class_node)
+        if not (is_dc and frozen):
+            continue
+        for method in _methods(class_node):
+            in_post_init = method.name == "__post_init__"
+            for node in ast.walk(method):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            yield Violation(
+                                path,
+                                node.lineno,
+                                node.col_offset,
+                                "RL001",
+                                f"assignment to frozen attribute "
+                                f"'self.{target.attr}' in "
+                                f"{class_node.name}.{method.name}; frozen "
+                                "dataclasses are initialised via "
+                                "object.__setattr__ in __post_init__ only",
+                            )
+                elif isinstance(node, ast.Call) and _is_object_setattr_on_self(node):
+                    if not in_post_init:
+                        attr = "?"
+                        if len(node.args) > 1 and isinstance(
+                            node.args[1], ast.Constant
+                        ):
+                            attr = str(node.args[1].value)
+                        yield Violation(
+                            path,
+                            node.lineno,
+                            node.col_offset,
+                            "RL001",
+                            f"object.__setattr__ on frozen attribute {attr!r} "
+                            f"outside __post_init__ (in "
+                            f"{class_node.name}.{method.name}); frozen models "
+                            "must stay immutable after construction",
+                        )
+
+
+def _is_array_factory_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _ARRAY_FACTORIES
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in _NUMPY_MODULES
+    )
+
+
+def rl002_writable_array_on_dataclass(
+    tree: ast.AST, path: str
+) -> Iterator[Violation]:
+    """RL002: numpy array stored on a dataclass while still writeable."""
+    for class_node in ast.walk(tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        is_dc, _ = _dataclass_decoration(class_node)
+        if not is_dc:
+            continue
+        for method in _methods(class_node):
+            if method.name not in {"__post_init__", "__init__"}:
+                continue
+            array_names: set[str] = set()
+            protected: set[str] = set()
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and _is_array_factory_call(
+                    node.value
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            array_names.add(target.id)
+                elif isinstance(node, ast.Call):
+                    # x.setflags(write=False)
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "setflags"
+                        and isinstance(func.value, ast.Name)
+                    ):
+                        protected.add(func.value.id)
+                elif isinstance(node, ast.Assign):
+                    # x.flags.writeable = False
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and target.attr == "writeable"
+                            and isinstance(target.value, ast.Attribute)
+                            and target.value.attr == "flags"
+                            and isinstance(target.value.value, ast.Name)
+                        ):
+                            protected.add(target.value.value.id)
+
+            def unprotected(value: ast.expr) -> bool:
+                if _is_array_factory_call(value):
+                    return True
+                return (
+                    isinstance(value, ast.Name)
+                    and value.id in array_names
+                    and value.id not in protected
+                )
+
+            for node in ast.walk(method):
+                attr: str | None = None
+                value: ast.expr | None = None
+                if isinstance(node, ast.Call) and _is_object_setattr_on_self(node):
+                    if len(node.args) == 3 and isinstance(
+                        node.args[1], ast.Constant
+                    ):
+                        attr = str(node.args[1].value)
+                        value = node.args[2]
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            attr = target.attr
+                            value = node.value
+                if attr is not None and value is not None and unprotected(value):
+                    yield Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "RL002",
+                        f"numpy array stored on dataclass attribute "
+                        f"{class_node.name}.{attr} without a read-only guard; "
+                        "call .setflags(write=False) before storing",
+                    )
+
+
+def _time_name_problem(name: str) -> str | None:
+    if name in _BARE_TIME_NAMES:
+        return (
+            f"time-like name {name!r} has no unit; time is milliseconds "
+            f"repo-wide -- rename to '{name}_ms' or convert explicitly"
+        )
+    for suffix in _BAD_UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return (
+                f"time-like name {name!r} is not in milliseconds; convert "
+                "at the boundary and pass a '_ms' name"
+            )
+    return None
+
+
+def rl003_unitless_time(tree: ast.AST, path: str) -> Iterator[Violation]:
+    """RL003: time-like names crossing function boundaries without _ms."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ]:
+                if arg.arg in {"self", "cls"}:
+                    continue
+                problem = _time_name_problem(arg.arg)
+                if problem is not None:
+                    yield Violation(
+                        path,
+                        arg.lineno,
+                        arg.col_offset,
+                        "RL003",
+                        f"parameter of {node.name}(): {problem}",
+                    )
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                problem = _time_name_problem(keyword.arg)
+                if problem is not None:
+                    yield Violation(
+                        path,
+                        keyword.value.lineno,
+                        keyword.value.col_offset,
+                        "RL003",
+                        f"keyword argument: {problem}",
+                    )
+
+
+def _mentions_bg_completion_rate(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Name) and node.id == "bg_completion_rate":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "bg_completion_rate":
+            return True
+        if isinstance(node, ast.keyword) and node.arg == "bg_completion_rate":
+            return True
+    return False
+
+
+def _suppression_nodes(scope: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.withitem):
+            expr = node.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "errstate"
+                and isinstance(expr.func.value, ast.Name)
+                and expr.func.value.id in _NUMPY_MODULES
+                and any(
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value == "ignore"
+                    for kw in expr.keywords
+                )
+            ):
+                yield expr, "np.errstate(...='ignore')"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in {"simplefilter", "filterwarnings"}
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "warnings"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == "ignore"
+            ):
+                yield node, f"warnings.{func.attr}('ignore')"
+
+
+def rl004_suppression_near_nan_guard(
+    tree: ast.AST, path: str
+) -> Iterator[Violation]:
+    """RL004: blanket suppression in scopes touching bg_completion_rate."""
+    scopes: list[ast.AST] = [tree]
+    scopes.extend(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    seen: set[tuple[int, int]] = set()
+    for scope in scopes:
+        if isinstance(scope, ast.Module):
+            # Only consider module-level statements outside functions, or
+            # every function would be double-reported via the module scope.
+            continue
+        if not _mentions_bg_completion_rate(scope):
+            continue
+        for node, what in _suppression_nodes(scope):
+            key = (node.lineno, node.col_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Violation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "RL004",
+                f"{what} in a scope computing bg_completion_rate; the NaN "
+                "there is deliberate (NEAR_ZERO_BG_PROBABILITY guard) -- "
+                "do not blanket-suppress numerical errors around it",
+            )
+
+
+def _phase_sum_leaves(expr: ast.expr) -> list[str] | None:
+    """Leaf names of a ``+`` chain, looking through ``np.asarray(...)``."""
+    if isinstance(expr, ast.BinOp):
+        if not isinstance(expr.op, ast.Add):
+            return None
+        left = _phase_sum_leaves(expr.left)
+        right = _phase_sum_leaves(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if _is_array_factory_call(expr):
+        call = expr  # type: ignore[assignment]
+        if isinstance(call, ast.Call) and call.args:
+            return _phase_sum_leaves(call.args[0])
+        return None
+    if isinstance(expr, ast.Name):
+        return [expr.id]
+    if isinstance(expr, ast.Attribute):
+        return [expr.attr]
+    return None
+
+
+def _is_phase_process_sum(expr: ast.expr) -> bool:
+    leaves = _phase_sum_leaves(expr)
+    if leaves is None or len(leaves) != 3:
+        return False
+    return {leaf.lower() for leaf in leaves} == {"a0", "a1", "a2"}
+
+
+def rl005_stationary_on_phase_sum(
+    tree: ast.AST, path: str
+) -> Iterator[Violation]:
+    """RL005: stationary solve on A0+A1+A2 instead of the SCC-aware drift."""
+    # Track names assigned from a phase-process sum, per enclosing scope.
+    # A function body is walked both as its own scope and as part of the
+    # module scope; dedupe by source location.
+    seen: set[tuple[int, int]] = set()
+    for scope in ast.walk(tree):
+        if not isinstance(
+            scope, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        summed: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and _is_phase_process_sum(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        summed.add(target.id)
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name != "stationary_distribution" or not node.args:
+                continue
+            arg = node.args[0]
+            direct = _is_phase_process_sum(arg)
+            via_name = isinstance(arg, ast.Name) and arg.id in summed
+            key = (node.lineno, node.col_offset)
+            if (direct or via_name) and key not in seen:
+                seen.add(key)
+                yield Violation(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "RL005",
+                    "stationary solve on the phase sum A0+A1+A2: the FG/BG "
+                    "phase process is reducible (transient BG groups, one "
+                    "closed class per full-buffer occupancy); use the "
+                    "SCC-aware repro.qbd.rmatrix.drift instead",
+                )
+
+
+ALL_RULES = (
+    rl001_frozen_mutation,
+    rl002_writable_array_on_dataclass,
+    rl003_unitless_time,
+    rl004_suppression_near_nan_guard,
+    rl005_stationary_on_phase_sum,
+)
