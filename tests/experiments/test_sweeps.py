@@ -134,7 +134,7 @@ class TestSweepMany:
 class TestDeprecatedWrappers:
     @staticmethod
     def call_load_sweep():
-        return load_sweep_series(
+        return load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
             PoissonProcess(0.01),
             utilizations=[0.2],
             bg_probabilities=[0.1],
@@ -159,7 +159,7 @@ class TestDeprecatedWrappers:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             for _ in range(2):
-                idle_wait_sweep_series(
+                idle_wait_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                     PoissonProcess(0.3 * MU),
                     idle_wait_multiples=[1.0],
                     bg_probabilities=[0.6],
@@ -193,7 +193,7 @@ class TestDeprecatedWrappers:
             warnings.simplefilter("error", DeprecationWarning)
             # The *other* wrapper still gets its own first warning.
             with pytest.raises(DeprecationWarning):
-                idle_wait_sweep_series(
+                idle_wait_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                     PoissonProcess(0.3 * MU),
                     idle_wait_multiples=[1.0],
                     bg_probabilities=[0.6],
@@ -202,7 +202,7 @@ class TestDeprecatedWrappers:
 
     def test_load_sweep_delegates_to_sweep_many(self):
         with pytest.warns(DeprecationWarning):
-            old = load_sweep_series(
+            old = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                 PoissonProcess(0.01),
                 utilizations=[0.2, 0.4],
                 bg_probabilities=[0.1, 0.9],
@@ -222,7 +222,7 @@ class TestDeprecatedWrappers:
     def test_idle_wait_delegates_to_sweep_many(self):
         arrival = PoissonProcess(0.3 * MU)
         with pytest.warns(DeprecationWarning):
-            old = idle_wait_sweep_series(
+            old = idle_wait_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                 arrival,
                 idle_wait_multiples=[0.5, 2.0],
                 bg_probabilities=[0.6],
@@ -240,7 +240,7 @@ class TestDeprecatedWrappers:
 class TestLoadSweep:
     def test_one_series_per_probability(self):
         with pytest.warns(DeprecationWarning):
-            series = load_sweep_series(
+            series = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                 PoissonProcess(0.01),
                 utilizations=[0.2, 0.4],
                 bg_probabilities=[0.1, 0.9],
@@ -251,7 +251,7 @@ class TestLoadSweep:
 
     def test_metric_applied(self):
         with pytest.warns(DeprecationWarning):
-            (series,) = load_sweep_series(
+            (series,) = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                 PoissonProcess(0.01),
                 utilizations=[0.5],
                 bg_probabilities=[0.0],
@@ -263,14 +263,14 @@ class TestLoadSweep:
     def test_model_kwargs_forwarded(self):
         # One pytest.warns block: the wrapper only warns on the first call.
         with pytest.warns(DeprecationWarning):
-            (small,) = load_sweep_series(
+            (small,) = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                 PoissonProcess(0.01),
                 utilizations=[0.5],
                 bg_probabilities=[0.9],
                 metric=lambda s: s.bg_completion_rate,
                 bg_buffer=1,
             )
-            (large,) = load_sweep_series(
+            (large,) = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                 PoissonProcess(0.01),
                 utilizations=[0.5],
                 bg_probabilities=[0.9],
@@ -287,7 +287,7 @@ class TestIdleWaitSweep:
     def test_x_axis_is_multiples(self):
         arrival = PoissonProcess(0.3 * SERVICE_RATE_PER_MS)
         with pytest.warns(DeprecationWarning):
-            (series,) = idle_wait_sweep_series(
+            (series,) = idle_wait_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
                 arrival,
                 idle_wait_multiples=[0.5, 1.0, 2.0],
                 bg_probabilities=[0.6],

@@ -1,0 +1,63 @@
+"""Baseline (ratchet) tests: load, apply, update, tolerance."""
+
+from __future__ import annotations
+
+import json
+
+from tools.reprolint.baseline import (
+    apply_baseline,
+    load_baseline,
+    update_baseline,
+)
+from tools.reprolint.core import Violation
+
+
+def v(path, code, line=1):
+    return Violation(path, line, 0, code, f"{code} at {path}:{line}")
+
+
+def test_update_then_load_round_trips(tmp_path):
+    target = tmp_path / "baseline.json"
+    violations = [v("a.py", "RL007"), v("a.py", "RL007", 9), v("b.py", "RL003")]
+    update_baseline(target, violations)
+    baseline = load_baseline(target)
+    assert baseline == {"a.py": {"RL007": 2}, "b.py": {"RL003": 1}}
+
+
+def test_apply_masks_counts_and_surfaces_excess():
+    baseline = {"a.py": {"RL007": 1}}
+    violations = [v("a.py", "RL007", 3), v("a.py", "RL007", 8)]
+    kept, dropped = apply_baseline(violations, baseline)
+    assert dropped == 1
+    assert kept == [violations[1]]  # the first occurrence is consumed
+
+
+def test_apply_does_not_mask_other_rules_or_files():
+    baseline = {"a.py": {"RL007": 5}}
+    violations = [v("a.py", "RL003"), v("b.py", "RL007")]
+    kept, dropped = apply_baseline(violations, baseline)
+    assert dropped == 0
+    assert kept == violations
+
+
+def test_missing_or_malformed_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert load_baseline(bad) == {}
+    wrong_version = tmp_path / "wrong.json"
+    wrong_version.write_text(
+        json.dumps({"version": 99, "entries": {"a.py": {"RL007": 1}}}),
+        encoding="utf-8",
+    )
+    assert load_baseline(wrong_version) == {}
+
+
+def test_update_baseline_writes_sorted_deterministic_file(tmp_path):
+    target = tmp_path / "baseline.json"
+    update_baseline(target, [v("b.py", "RL007"), v("a.py", "RL003")])
+    first = target.read_text(encoding="utf-8")
+    update_baseline(target, [v("a.py", "RL003"), v("b.py", "RL007")])
+    assert target.read_text(encoding="utf-8") == first
+    data = json.loads(first)
+    assert list(data["entries"]) == ["a.py", "b.py"]

@@ -1,0 +1,201 @@
+"""Unit tests of the intraprocedural dataflow pass behind RL006/RL008."""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint import dataflow
+
+
+def analyze(source: str) -> dataflow.FunctionAnalysis:
+    tree = ast.parse(source)
+    funcs = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    assert len(funcs) == 1, "test source must define exactly one function"
+    return dataflow.analyze_function(funcs[0])
+
+
+# ---------------------------------------------------------------------------
+# Array and read-only facts
+# ---------------------------------------------------------------------------
+
+
+def test_factory_call_produces_array_fact():
+    analysis = analyze(
+        "def f(self):\n"
+        "    a = np.zeros((2, 2))\n"
+        "    object.__setattr__(self, 'a', a)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == ["self.a"]
+
+
+def test_setflags_freezes_on_the_straight_path():
+    analysis = analyze(
+        "def f(self):\n"
+        "    a = np.zeros((2, 2))\n"
+        "    a.setflags(write=False)\n"
+        "    object.__setattr__(self, 'a', a)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == []
+
+
+def test_flags_writeable_assignment_freezes_too():
+    analysis = analyze(
+        "def f(self):\n"
+        "    a = np.eye(3)\n"
+        "    a.flags.writeable = False\n"
+        "    object.__setattr__(self, 'a', a)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == []
+
+
+def test_freeze_on_one_branch_only_is_not_enough():
+    analysis = analyze(
+        "def f(self, flag):\n"
+        "    a = np.zeros(3)\n"
+        "    if flag:\n"
+        "        a.setflags(write=False)\n"
+        "    object.__setattr__(self, 'a', a)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == ["self.a"]
+
+
+def test_freeze_on_both_branches_holds():
+    analysis = analyze(
+        "def f(self, flag):\n"
+        "    a = np.zeros(3)\n"
+        "    if flag:\n"
+        "        a.setflags(write=False)\n"
+        "    else:\n"
+        "        a.setflags(write=False)\n"
+        "    object.__setattr__(self, 'a', a)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == []
+
+
+def test_copy_of_frozen_array_is_writable_again():
+    analysis = analyze(
+        "def f(self):\n"
+        "    a = np.zeros(3)\n"
+        "    a.setflags(write=False)\n"
+        "    object.__setattr__(self, 'a', a.copy())\n"
+    )
+    assert analysis.unfrozen_self_arrays() == ["self.a"]
+
+
+def test_arithmetic_yields_fresh_writable_array():
+    analysis = analyze(
+        "def f(self):\n"
+        "    a = np.zeros(3)\n"
+        "    a.setflags(write=False)\n"
+        "    b = a + a\n"
+        "    object.__setattr__(self, 'b', b)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == ["self.b"]
+
+
+def test_reassignment_kills_readonly_fact():
+    analysis = analyze(
+        "def f(self):\n"
+        "    a = np.zeros(3)\n"
+        "    a.setflags(write=False)\n"
+        "    a = np.ones(3)\n"
+        "    object.__setattr__(self, 'a', a)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == ["self.a"]
+
+
+def test_self_attribute_freeze_after_store():
+    # The map_process idiom: store first, freeze through self.
+    analysis = analyze(
+        "def f(self, d0):\n"
+        "    self._d0 = np.asarray(d0, dtype=float)\n"
+        "    self._d0.setflags(write=False)\n"
+        "    self._generator_validated = True\n"
+    )
+    assert analysis.unfrozen_self_arrays() == []
+    assert [c.attr for c in analysis.certificates] == ["_generator_validated"]
+
+
+# ---------------------------------------------------------------------------
+# Certificates and exits
+# ---------------------------------------------------------------------------
+
+
+def test_certificate_recorded_for_object_setattr():
+    analysis = analyze(
+        "def f(self):\n"
+        "    object.__setattr__(self, '_generator_validated', True)\n"
+    )
+    assert len(analysis.certificates) == 1
+
+
+def test_raise_path_does_not_reach_exit_state():
+    # The array is unfrozen only on the raising path; the certificate
+    # never becomes observable there.
+    analysis = analyze(
+        "def f(self, bad):\n"
+        "    a = np.zeros(3)\n"
+        "    if bad:\n"
+        "        raise ValueError(a)\n"
+        "    a.setflags(write=False)\n"
+        "    object.__setattr__(self, 'a', a)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == []
+
+
+def test_loop_body_freeze_does_not_certify():
+    # A for body may run zero times; the skip path keeps a writable.
+    analysis = analyze(
+        "def f(self, items):\n"
+        "    a = np.zeros(3)\n"
+        "    for _ in items:\n"
+        "        a.setflags(write=False)\n"
+        "    object.__setattr__(self, 'a', a)\n"
+    )
+    assert analysis.unfrozen_self_arrays() == ["self.a"]
+
+
+# ---------------------------------------------------------------------------
+# Unit evidence and call events
+# ---------------------------------------------------------------------------
+
+
+def test_unit_evidence_of_name():
+    assert dataflow.unit_evidence_of_name("timeout_ms") == dataflow.MS
+    assert dataflow.unit_evidence_of_name("delay_sec") == dataflow.OTHERUNIT
+    assert dataflow.unit_evidence_of_name("timeout") == dataflow.BARETIME
+    assert dataflow.unit_evidence_of_name("count") is None
+
+
+def test_unit_evidence_propagates_through_assignment():
+    analysis = analyze(
+        "def f(budget_ms):\n"
+        "    t = budget_ms\n"
+        "    g(t)\n"
+    )
+    (call,) = analysis.calls
+    assert call.pos_facts[0] is not None
+    assert dataflow.MS in call.pos_facts[0]
+
+
+def test_arithmetic_strips_unit_evidence():
+    analysis = analyze(
+        "def f(budget_ms):\n"
+        "    g(budget_ms / 1000.0)\n"
+    )
+    (call,) = analysis.calls
+    assert not call.pos_facts[0] or dataflow.MS not in call.pos_facts[0]
+
+
+def test_keyword_arguments_are_observed():
+    analysis = analyze(
+        "def f(budget_ms):\n"
+        "    g(limit=budget_ms)\n"
+    )
+    (call,) = analysis.calls
+    assert dataflow.MS in call.kw_facts["limit"]
+    assert call.kw_names["limit"] == "budget_ms"

@@ -1,0 +1,205 @@
+"""Autofix tests: stale-noqa surgery, RL010 rewrite, idempotence, behavior."""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from tools.reprolint.fix import fix_paths, fixable
+from tools.reprolint.project import Project
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Stale-noqa surgery (RL009)
+# ---------------------------------------------------------------------------
+
+
+def test_fully_stale_comment_is_removed(tmp_path):
+    target = write(
+        tmp_path, "mod.py", "x = 1  # noqa: RL005 -- stale reason\ny = 2\n"
+    )
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {str(target): 1}
+    assert target.read_text(encoding="utf-8") == "x = 1\ny = 2\n"
+
+
+def test_partially_stale_comment_keeps_live_codes_and_reason(tmp_path):
+    target = write(
+        tmp_path,
+        "mod.py",
+        "def f(timeout):  # noqa: RL003, RL005 -- timeout is seconds here\n"
+        "    return timeout\n",
+    )
+    fix_paths([target], root=tmp_path)
+    first_line = target.read_text(encoding="utf-8").splitlines()[0]
+    assert first_line == (
+        "def f(timeout):  # noqa: RL003 -- timeout is seconds here"
+    )
+
+
+def test_non_rl_codes_survive_surgery(tmp_path):
+    target = write(
+        tmp_path, "mod.py", "import os  # noqa: F401, RL005 -- keep F401\n"
+    )
+    fix_paths([target], root=tmp_path)
+    assert (
+        target.read_text(encoding="utf-8")
+        == "import os  # noqa: F401 -- keep F401\n"
+    )
+
+
+def test_missing_reason_is_not_autofixed(tmp_path):
+    source = "def f(timeout):  # noqa: RL003\n    return timeout\n"
+    target = write(tmp_path, "mod.py", source)
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {}
+    assert target.read_text(encoding="utf-8") == source
+    violations = Project([target], root=tmp_path).lint()
+    assert codes(violations) == ["RL009"]
+    assert not any(fixable(v) for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# RL010 rewrite
+# ---------------------------------------------------------------------------
+
+LEGACY = """\
+from repro.experiments.sweeps import load_sweep_series
+
+
+def series(arrival, metric):
+    return load_sweep_series(arrival, [0.2, 0.4], [0.1], metric)
+"""
+
+
+def test_rl010_rewrite_and_import_management(tmp_path):
+    target = write(tmp_path, "mod.py", LEGACY)
+    fix_paths([target], root=tmp_path)
+    fixed = target.read_text(encoding="utf-8")
+    assert "load_sweep_series" not in fixed
+    assert "sweep_many(FgBgModel(arrival=arrival, " in fixed
+    assert "from repro.core import FgBgModel" in fixed
+    assert "from repro.experiments.sweeps import sweep_many, utilization_axis" in fixed
+    assert "from repro.workloads.paper import SERVICE_RATE_PER_MS" in fixed
+    assert Project([target], root=tmp_path).lint() == []
+
+
+def test_rl010_explicit_service_rate_is_passed_through(tmp_path):
+    target = write(
+        tmp_path,
+        "mod.py",
+        "from repro.experiments.sweeps import idle_wait_sweep_series\n"
+        "\n"
+        "def series(arrival, metric):\n"
+        "    return idle_wait_sweep_series(\n"
+        "        arrival, [1.0, 2.0], [0.6], metric, service_rate=0.25\n"
+        "    )\n",
+    )
+    fix_paths([target], root=tmp_path)
+    fixed = target.read_text(encoding="utf-8")
+    assert "service_rate=0.25" in fixed
+    assert "SERVICE_RATE_PER_MS" not in fixed
+    assert "idle_wait_axis([1.0, 2.0])" in fixed
+
+
+def test_rl010_keyword_call_shape_is_rewritten(tmp_path):
+    target = write(
+        tmp_path,
+        "mod.py",
+        "from repro.experiments.sweeps import load_sweep_series\n"
+        "\n"
+        "def series(arrival, metric):\n"
+        "    return load_sweep_series(\n"
+        "        arrival,\n"
+        "        utilizations=[0.2],\n"
+        "        bg_probabilities=[0.1],\n"
+        "        metric=metric,\n"
+        "    )\n",
+    )
+    fix_paths([target], root=tmp_path)
+    fixed = target.read_text(encoding="utf-8")
+    assert "load_sweep_series" not in fixed
+    assert "utilization_axis([0.2])" in fixed
+
+
+def test_rl010_model_kwargs_shape_is_left_alone(tmp_path):
+    source = (
+        "from repro.experiments.sweeps import load_sweep_series\n"
+        "\n"
+        "def series(arrival, metric):\n"
+        "    return load_sweep_series(arrival, [0.2], [0.1], metric, bg_buffer=5)\n"
+    )
+    target = write(tmp_path, "mod.py", source)
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {}
+    assert target.read_text(encoding="utf-8") == source
+    assert codes(Project([target], root=tmp_path).lint()) == ["RL010"]
+
+
+def test_rl010_waived_call_is_not_rewritten(tmp_path):
+    source = (
+        "from repro.experiments.sweeps import load_sweep_series\n"
+        "\n"
+        "def series(arrival, metric):\n"
+        "    return load_sweep_series(arrival, [0.2], [0.1], metric)"
+        "  # noqa: RL010 -- exercising the deprecated wrapper\n"
+    )
+    target = write(tmp_path, "mod.py", source)
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {}
+    assert target.read_text(encoding="utf-8") == source
+
+
+def test_fix_is_idempotent(tmp_path):
+    target = write(tmp_path, "mod.py", LEGACY)
+    write(tmp_path, "noqa_mod.py", "x = 1  # noqa: RL005 -- stale\n")
+    first = fix_paths([tmp_path], root=tmp_path)
+    assert first.total == 2
+    snapshot = {
+        p.name: p.read_text(encoding="utf-8") for p in tmp_path.glob("*.py")
+    }
+    second = fix_paths([tmp_path], root=tmp_path)
+    assert second.total == 0
+    assert snapshot == {
+        p.name: p.read_text(encoding="utf-8") for p in tmp_path.glob("*.py")
+    }
+
+
+# ---------------------------------------------------------------------------
+# Behavior preservation: the rewrite computes the same series
+# ---------------------------------------------------------------------------
+
+
+def test_rl010_rewrite_preserves_results(tmp_path):
+    target = write(tmp_path, "mod.py", LEGACY)
+
+    def run(source: str):
+        namespace: dict = {}
+        exec(compile(source, str(target), "exec"), namespace)
+        from repro.processes import PoissonProcess
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return namespace["series"](
+                PoissonProcess(0.01), lambda s: s.fg_queue_length
+            )
+
+    before = run(LEGACY)
+    fix_paths([target], root=tmp_path)
+    after = run(target.read_text(encoding="utf-8"))
+    assert [s.label for s in before] == [s.label for s in after]
+    for old, new in zip(before, after):
+        np.testing.assert_allclose(old.x, new.x)
+        np.testing.assert_allclose(old.y, new.y)

@@ -1,0 +1,171 @@
+"""Report renderer tests: text, GitHub annotations, SARIF 2.1.0."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tools.reprolint.core import Violation
+from tools.reprolint.formats import (
+    FORMATS,
+    render_github,
+    render_report,
+    render_sarif,
+    sarif_log,
+)
+from tools.reprolint.rules import RULE_SUMMARIES
+
+VIOLATIONS = [
+    Violation("src/repro/a.py", 10, 4, "RL003", "time-like name 'timeout'"),
+    Violation("src/repro/b.py", 2, 0, "RL007", "no contract coverage"),
+]
+
+#: Structural subset of the SARIF 2.1.0 schema covering everything the
+#: GitHub code-scanning ingester requires of a log we emit.  The full
+#: OASIS schema is several thousand lines; this keeps the load-bearing
+#: constraints (required properties, types, 1-based region columns).
+SARIF_21_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def test_github_renderer_emits_workflow_commands():
+    out = render_github(VIOLATIONS)
+    lines = out.splitlines()
+    assert lines[0].startswith("::error file=src/repro/a.py,line=10,col=5,")
+    assert "title=reprolint RL003" in lines[0]
+    assert lines[-1] == "reprolint: 2 violations"
+
+
+def test_sarif_log_structure():
+    log = sarif_log(VIOLATIONS)
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(RULE_SUMMARIES)
+    assert len(run["results"]) == 2
+    first = run["results"][0]
+    assert first["ruleId"] == "RL003"
+    region = first["locations"][0]["physicalLocation"]["region"]
+    # SARIF columns are 1-based; Violation.col is 0-based.
+    assert region == {"startLine": 10, "startColumn": 5}
+    # ruleIndex must point into the rules array.
+    assert rule_ids[first["ruleIndex"]] == "RL003"
+
+
+def test_sarif_round_trips_through_json():
+    log = json.loads(render_sarif(VIOLATIONS))
+    assert log == sarif_log(VIOLATIONS)
+
+
+def test_sarif_validates_against_schema_subset():
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(sarif_log(VIOLATIONS), SARIF_21_SUBSET_SCHEMA)
+    jsonschema.validate(sarif_log([]), SARIF_21_SUBSET_SCHEMA)
+
+
+def test_render_report_dispatch_and_unknown_format():
+    assert set(FORMATS) == {"text", "github", "sarif"}
+    assert "RL003" in render_report(VIOLATIONS, "text")
+    with pytest.raises(ValueError, match="unknown format"):
+        render_report(VIOLATIONS, "xml")

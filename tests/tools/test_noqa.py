@@ -1,0 +1,139 @@
+"""noqa edge cases: anchors, decorators, multi-line spans, odd codes."""
+
+from __future__ import annotations
+
+from tools.reprolint.core import find_noqa, lint_source, noqa_map
+from tools.reprolint.project import Project
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def test_lowercase_codes_are_normalised():
+    comment = find_noqa("x = 1  # noqa: rl003", 1)
+    assert comment is not None
+    assert comment.codes == ("RL003",)
+    assert comment.suppresses("RL003")
+
+
+def test_unknown_codes_do_not_suppress_others():
+    source = "def f(timeout):  # noqa: RL999\n    return timeout\n"
+    assert codes(lint_source(source)) == ["RL003"]
+
+
+def test_mixed_ruff_and_rl_codes_parse():
+    comment = find_noqa("x = call()  # noqa: E501, rl003, F401", 1)
+    assert comment is not None
+    assert comment.codes == ("E501", "RL003", "F401")
+    assert comment.rl_codes == ("RL003",)
+
+
+def test_reason_trailer_detection():
+    with_reason = find_noqa("x  # noqa: RL003 -- legacy API", 1)
+    without = find_noqa("x  # noqa: RL003", 1)
+    dashes_only = find_noqa("x  # noqa: RL003 --", 1)
+    assert with_reason is not None and with_reason.has_reason
+    assert without is not None and not without.has_reason
+    assert dashes_only is not None and not dashes_only.has_reason
+
+
+def test_noqa_inside_string_literal_is_not_a_suppression():
+    source = 'text = "def f(timeout):  # noqa: RL003"\n'
+    assert noqa_map(source) == {}
+
+
+def test_noqa_map_survives_syntax_errors():
+    source = "def broken(:  # noqa: RL000\n"
+    comments = noqa_map(source)
+    assert 1 in comments
+    assert comments[1].codes == ("RL000",)
+
+
+# ---------------------------------------------------------------------------
+# Anchoring across physical lines
+# ---------------------------------------------------------------------------
+
+
+def test_def_line_noqa_suppresses_multiline_signature_param():
+    source = (
+        "def f(  # noqa: RL003 -- legacy signature kept for callers\n"
+        "    timeout,\n"
+        "):\n"
+        "    return timeout\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_noqa_on_wrong_line_of_multiline_signature_does_not_suppress():
+    source = (
+        "def f(\n"
+        "    timeout,\n"
+        "):  # noqa: RL003\n"
+        "    return timeout\n"
+    )
+    assert codes(lint_source(source)) == ["RL003"]
+
+
+def test_decorated_def_anchors_at_def_line_not_decorator():
+    suppressed = (
+        "@staticmethod\n"
+        "def f(  # noqa: RL003 -- decorated, still waived at the def\n"
+        "    timeout,\n"
+        "):\n"
+        "    return timeout\n"
+    )
+    assert lint_source(suppressed) == []
+    on_decorator = (
+        "@staticmethod  # noqa: RL003\n"
+        "def f(\n"
+        "    timeout,\n"
+        "):\n"
+        "    return timeout\n"
+    )
+    assert codes(lint_source(on_decorator)) == ["RL003"]
+
+
+def test_multiline_call_keyword_waivable_at_call_head():
+    source = (
+        "configure(\n"
+        "    timeout=5,\n"
+        ")\n"
+    )
+    assert codes(lint_source(source)) == ["RL003"]
+    waived = (
+        "configure(  # noqa: RL003 -- third-party API takes seconds\n"
+        "    timeout=5,\n"
+        ")\n"
+    )
+    assert lint_source(waived) == []
+
+
+# ---------------------------------------------------------------------------
+# RL009 interaction with the anchors above
+# ---------------------------------------------------------------------------
+
+
+def test_def_line_waiver_of_multiline_signature_is_live_not_stale(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "def f(  # noqa: RL003 -- legacy signature kept for callers\n"
+        "    timeout,\n"
+        "):\n"
+        "    return timeout\n",
+        encoding="utf-8",
+    )
+    assert Project([target], root=tmp_path).lint() == []
+
+
+def test_unknown_rl_code_is_audited_as_stale(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1  # noqa: RL999 -- typo'd code\n", encoding="utf-8")
+    violations = Project([target], root=tmp_path).lint()
+    assert codes(violations) == ["RL009"]
+    assert "RL999" in violations[0].message

@@ -1,0 +1,296 @@
+"""Project-level analyzer tests: symbol table, cache, cross-file rules."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from tools.reprolint.core import lint_source
+from tools.reprolint.project import Project, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> list[Path]:
+    paths = []
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        paths.append(target)
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# Module naming and symbol resolution
+# ---------------------------------------------------------------------------
+
+
+def test_module_name_strips_src_prefix():
+    root = REPO_ROOT
+    assert (
+        module_name_for(root / "src" / "repro" / "qbd" / "rmatrix.py", root)
+        == "repro.qbd.rmatrix"
+    )
+    assert (
+        module_name_for(root / "src" / "repro" / "qbd" / "__init__.py", root)
+        == "repro.qbd"
+    )
+
+
+def test_resolve_follows_reexport_chain(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from pkg.impl import solve\n__all__ = ['solve']\n",
+            "pkg/impl.py": "def solve(x):\n    return x\n",
+        },
+    )
+    project = Project([tmp_path / "pkg"], root=tmp_path)
+    modules = {a.module: a for a in project.analyze().values()}
+    assert project.resolve("pkg", "solve", modules) == (
+        "function",
+        "pkg.impl",
+        "solve",
+    )
+
+
+def test_resolve_relative_import(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from .impl import solve\n__all__ = ['solve']\n",
+            "pkg/impl.py": "def solve(x):\n    return x\n",
+        },
+    )
+    project = Project([tmp_path / "pkg"], root=tmp_path)
+    modules = {a.module: a for a in project.analyze().values()}
+    assert project.resolve("pkg", "solve", modules) == (
+        "function",
+        "pkg.impl",
+        "solve",
+    )
+
+
+# ---------------------------------------------------------------------------
+# RL007: contract coverage
+# ---------------------------------------------------------------------------
+
+
+def test_rl007_flags_uncovered_reexported_entry_point(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from .impl import solve\n__all__ = ['solve']\n",
+            "pkg/impl.py": "def solve(x):\n    return x\n",
+        },
+    )
+    project = Project(
+        [tmp_path / "pkg"], root=tmp_path, contract_packages=("pkg",)
+    )
+    violations = project.lint()
+    assert codes(violations) == ["RL007"]
+    assert violations[0].path.endswith("impl.py")
+
+
+def test_rl007_base_class_evidence_is_inherited(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/__init__.py": (
+                "from .impl import Checked, Derived\n"
+                "__all__ = ['Checked', 'Derived']\n"
+            ),
+            "pkg/impl.py": (
+                "class Checked:\n"
+                "    def __init__(self, x):\n"
+                "        if x is None:\n"
+                "            raise ValueError('x')\n"
+                "        self.x = x\n"
+                "\n"
+                "class Derived(Checked):\n"
+                "    pass\n"
+            ),
+        },
+    )
+    project = Project(
+        [tmp_path / "pkg"], root=tmp_path, contract_packages=("pkg",)
+    )
+    assert project.lint() == []
+
+
+def test_rl007_waivable_with_reasoned_noqa(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from .impl import solve\n__all__ = ['solve']\n",
+            "pkg/impl.py": (
+                "def solve(x):  # noqa: RL007 -- pure accessor, nothing to check\n"
+                "    return x\n"
+            ),
+        },
+    )
+    project = Project(
+        [tmp_path / "pkg"], root=tmp_path, contract_packages=("pkg",)
+    )
+    assert project.lint() == []
+
+
+# ---------------------------------------------------------------------------
+# RL008: cross-module unit flow
+# ---------------------------------------------------------------------------
+
+
+def test_rl008_fires_across_modules(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "unitpkg/callee.py": "def serve(slice_ms):\n    return slice_ms\n",
+            "unitpkg/caller.py": (
+                "from unitpkg.callee import serve\n"
+                "def go(quantum_sec):  # noqa: RL003 -- unit bug under test\n"
+                "    return serve(quantum_sec)\n"
+            ),
+        },
+    )
+    project = Project([tmp_path / "unitpkg"], root=tmp_path)
+    violations = project.lint()
+    assert codes(violations) == ["RL008"]
+    assert violations[0].path.endswith("caller.py")
+
+
+def test_rl008_module_attribute_call(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "unitpkg/callee.py": "def serve(slice_ms):\n    return slice_ms\n",
+            "unitpkg/caller.py": (
+                "from unitpkg import callee\n"
+                "def go(budget_ms):\n"
+                "    return callee.serve(budget_ms)\n"
+            ),
+        },
+    )
+    project = Project([tmp_path / "unitpkg"], root=tmp_path)
+    assert project.lint() == []
+
+
+def test_rl008_quiet_without_unit_evidence_on_either_side(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "unitpkg/callee.py": "def serve(count):\n    return count\n",
+            "unitpkg/caller.py": (
+                "from unitpkg.callee import serve\n"
+                "def go(budget_ms):\n"
+                "    return serve(budget_ms)\n"
+            ),
+        },
+    )
+    project = Project([tmp_path / "unitpkg"], root=tmp_path)
+    assert project.lint() == []
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+
+def test_cache_cold_then_warm(tmp_path):
+    files = write_tree(
+        tmp_path,
+        {f"mod{i}.py": f"def f{i}(x):\n    return x\n" for i in range(5)},
+    )
+    cache = tmp_path / "cache.json"
+    cold = Project(files, root=tmp_path, cache_path=cache)
+    cold.analyze()
+    assert cold.stats == {"analyzed": 5, "cache_hits": 0}
+    warm = Project(files, root=tmp_path, cache_path=cache)
+    warm.analyze()
+    assert warm.stats == {"analyzed": 0, "cache_hits": 5}
+
+
+def test_cache_invalidated_by_content_change(tmp_path):
+    files = write_tree(tmp_path, {"mod.py": "def f(x):\n    return x\n"})
+    cache = tmp_path / "cache.json"
+    Project(files, root=tmp_path, cache_path=cache).analyze()
+    files[0].write_text("def f(timeout):\n    return timeout\n", encoding="utf-8")
+    project = Project(files, root=tmp_path, cache_path=cache)
+    violations = project.lint()
+    assert project.stats["analyzed"] == 1
+    assert codes(violations) == ["RL003"]
+
+
+def test_cache_survives_touch_via_content_hash(tmp_path):
+    files = write_tree(tmp_path, {"mod.py": "def f(x):\n    return x\n"})
+    cache = tmp_path / "cache.json"
+    Project(files, root=tmp_path, cache_path=cache).analyze()
+    stat = files[0].stat()
+    import os
+
+    os.utime(files[0], ns=(stat.st_atime_ns, stat.st_mtime_ns + 10_000_000))
+    warm = Project(files, root=tmp_path, cache_path=cache)
+    warm.analyze()
+    assert warm.stats == {"analyzed": 0, "cache_hits": 1}
+
+
+def test_parallel_jobs_match_serial(tmp_path):
+    files = write_tree(
+        tmp_path,
+        {
+            f"mod{i}.py": f"def f{i}(timeout):\n    return timeout\n"
+            for i in range(8)
+        },
+    )
+    serial = Project(files, root=tmp_path).lint()
+    parallel = Project(files, root=tmp_path, jobs=4).lint()
+    assert serial == parallel
+    assert len(serial) == 8
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: an injected mutable-array certificate is caught
+# ---------------------------------------------------------------------------
+
+
+def test_injected_writable_certificate_is_caught_by_rl006():
+    path = REPO_ROOT / "src" / "repro" / "processes" / "map_process.py"
+    source = path.read_text(encoding="utf-8")
+    assert codes(lint_source(source, str(path))) == []  # the real file is sound
+    mutated = source.replace("        self._d0.setflags(write=False)\n", "")
+    mutated = mutated.replace("        self._d1.setflags(write=False)\n", "")
+    assert mutated != source
+    violations = lint_source(mutated, str(path))
+    assert "RL006" in codes(violations)
+    (rl006,) = [v for v in violations if v.code == "RL006"]
+    assert "_generator_validated" in rl006.message
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: performance (coarse thresholds)
+# ---------------------------------------------------------------------------
+
+
+def test_lint_src_tests_cold_under_5s_and_warm_2x(tmp_path):
+    cache = tmp_path / "cache.json"
+    paths = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+
+    start = time.perf_counter()
+    cold = Project(paths, root=REPO_ROOT, cache_path=cache)
+    cold.lint()
+    cold_elapsed = time.perf_counter() - start
+    assert cold.stats["cache_hits"] == 0
+    assert cold_elapsed < 5.0, f"cold lint took {cold_elapsed:.2f}s"
+
+    start = time.perf_counter()
+    warm = Project(paths, root=REPO_ROOT, cache_path=cache)
+    warm.lint()
+    warm_elapsed = time.perf_counter() - start
+    assert warm.stats["analyzed"] == 0
+    assert warm_elapsed < cold_elapsed / 2.0, (
+        f"warm {warm_elapsed:.2f}s vs cold {cold_elapsed:.2f}s"
+    )

@@ -1,0 +1,30 @@
+"""Run mypy on the analytic spine when it is installed (CI always is).
+
+The container used for day-to-day development may not ship mypy; the
+typecheck then runs only in CI (see .github/workflows/ci.yml).  This
+test keeps the two in sync: wherever mypy *is* available, the same
+configuration that gates CI must pass.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_mypy_passes_on_the_analytic_spine():
+    if shutil.which("mypy") is None:
+        pytest.skip("mypy not installed; the CI typecheck job covers this")
+    result = subprocess.run(
+        ["mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,  # noqa: RL003 -- subprocess API, seconds by contract
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,9 +1,17 @@
-"""reprolint -- repo-specific AST linter for the repro codebase.
+"""reprolint -- repo-specific static analyzer for the repro codebase.
 
 Run as ``python -m tools.reprolint src tests``.  See
-:mod:`tools.reprolint.rules` for the rule catalogue (RL001-RL005).
+:mod:`tools.reprolint.rules` for the rule catalogue (RL001-RL010):
+per-file AST rules plus project-level analyses (certificate soundness,
+contract coverage, unit flow, noqa audit) driven by
+:class:`tools.reprolint.project.Project`.
 """
 
+from tools.reprolint.baseline import (
+    apply_baseline,
+    load_baseline,
+    update_baseline,
+)
 from tools.reprolint.core import (
     Violation,
     lint_file,
@@ -11,14 +19,26 @@ from tools.reprolint.core import (
     lint_source,
     render,
 )
-from tools.reprolint.rules import ALL_RULES, RULE_SUMMARIES
+from tools.reprolint.fix import fix_paths
+from tools.reprolint.formats import render_github, render_report, render_sarif
+from tools.reprolint.project import Project
+from tools.reprolint.rules import ALL_RULES, FILE_RULES, RULE_SUMMARIES
 
 __all__ = [
     "ALL_RULES",
+    "FILE_RULES",
+    "Project",
     "RULE_SUMMARIES",
     "Violation",
+    "apply_baseline",
+    "fix_paths",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "render",
+    "render_github",
+    "render_report",
+    "render_sarif",
+    "update_baseline",
 ]

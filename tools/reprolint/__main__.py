@@ -1,7 +1,19 @@
 """Command-line entry point: ``python -m tools.reprolint src tests``.
 
-Exit status: 0 when clean, 1 when violations were found, 2 on usage
-errors (e.g. a named path that does not exist).
+Exit status: 0 when clean (modulo an applied baseline), 1 when
+violations were found, 2 on usage errors (e.g. a named path that does
+not exist).
+
+Common invocations::
+
+    python -m tools.reprolint src tests tools benchmarks examples
+    python -m tools.reprolint --format sarif --output reprolint.sarif src
+    python -m tools.reprolint --update-baseline src tests
+    python -m tools.reprolint --fix tests
+    python -m tools.reprolint --cache --jobs 4 src tests
+
+A committed ``.reprolint-baseline.json`` in the working directory is
+applied automatically; pass ``--no-baseline`` to see the full debt.
 """
 
 from __future__ import annotations
@@ -10,20 +22,92 @@ import argparse
 import sys
 from pathlib import Path
 
-from tools.reprolint.core import lint_paths, render
+from tools.reprolint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    update_baseline,
+)
+from tools.reprolint.fix import fix_paths
+from tools.reprolint.formats import FORMATS, render_report
+from tools.reprolint.project import Project
 from tools.reprolint.rules import RULE_SUMMARIES
 
+DEFAULT_CACHE_NAME = ".reprolint-cache.json"
 
-def main(argv: list[str] | None = None) -> int:
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.reprolint",
-        description="Repo-specific linter for repro invariants (RL001-RL005).",
+        description=(
+            "Repo-specific linter for repro invariants (RL001-RL010): "
+            "per-file AST rules plus project-wide certificate-soundness, "
+            "contract-coverage, unit-flow and noqa-audit analyses."
+        ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src", "tests"],
         help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=sorted(FORMATS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of accepted violations "
+            f"(default: {DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report the full debt",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept the current violations, then exit",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes (stale noqa removal, RL010 rewrite) first",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=f"cache per-file results in {DEFAULT_CACHE_NAME} across runs",
+    )
+    parser.add_argument(
+        "--cache-file",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="cache location (implies --cache)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse/analyze files with N worker processes (default: 1)",
     )
     parser.add_argument(
         "--list-rules",
@@ -36,6 +120,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress output when there are no violations",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     options = parser.parse_args(argv)
 
     if options.list_rules:
@@ -49,10 +138,55 @@ def main(argv: list[str] | None = None) -> int:
         for p in missing:
             print(f"reprolint: no such path: {p}", file=sys.stderr)
         return 2
+    if options.jobs < 1:
+        print("reprolint: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
-    violations = lint_paths(paths)
-    if violations or not options.quiet:
-        print(render(violations))
+    if options.fix:
+        outcome = fix_paths(paths, jobs=options.jobs)
+        if not options.quiet and outcome.total:
+            for path, count in sorted(outcome.fixes.items()):
+                noun = "fix" if count == 1 else "fixes"
+                print(f"reprolint: applied {count} {noun} in {path}")
+
+    cache_path = options.cache_file
+    if cache_path is None and options.cache:
+        cache_path = Path(DEFAULT_CACHE_NAME)
+    project = Project(paths, cache_path=cache_path, jobs=options.jobs)
+    violations = project.lint()
+
+    baseline_path = options.baseline
+    if baseline_path is None:
+        default = Path(DEFAULT_BASELINE_NAME)
+        if default.exists():
+            baseline_path = default
+
+    if options.update_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        update_baseline(target, violations)
+        if not options.quiet:
+            noun = "violation" if len(violations) == 1 else "violations"
+            print(
+                f"reprolint: baseline {target} now accepts "
+                f"{len(violations)} {noun}"
+            )
+        return 0
+
+    dropped = 0
+    if baseline_path is not None and not options.no_baseline:
+        violations, dropped = apply_baseline(
+            violations, load_baseline(baseline_path)
+        )
+
+    report = render_report(violations, options.fmt)
+    if options.output is not None:
+        options.output.write_text(report + "\n", encoding="utf-8")
+        if not options.quiet:
+            print(f"reprolint: report written to {options.output}")
+    elif violations or not options.quiet or options.fmt == "sarif":
+        print(report)
+    if dropped and not options.quiet and options.fmt == "text":
+        print(f"reprolint: {dropped} baselined violation(s) not shown")
     return 1 if violations else 0
 
 

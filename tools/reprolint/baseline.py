@@ -1,0 +1,103 @@
+"""Baseline (ratchet) support: land strict rules without big-bang cleanups.
+
+A baseline records the *accepted* violation count per ``(file, rule)``
+pair.  ``--baseline .reprolint-baseline.json`` subtracts those from the
+report, so existing debt stays visible in the committed file (reviewable
+line by line) while any **new** violation of the same rule in the same
+file still fails the build.  Counts ratchet down implicitly: fixing a
+violation leaves the stale allowance unused, and ``--update-baseline``
+rewrites the file to the current state (dropping the slack).
+
+Counts are keyed by file+rule rather than line numbers so unrelated
+edits do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from tools.reprolint.core import Violation
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "load_baseline",
+    "update_baseline",
+]
+
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+_VERSION = 1
+
+Baseline = dict[str, dict[str, int]]
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; missing/invalid files mean an empty baseline."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        return {}
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        return {}
+    baseline: Baseline = {}
+    for file_path, by_code in entries.items():
+        if not isinstance(by_code, dict):
+            continue
+        baseline[file_path] = {
+            code: int(count)
+            for code, count in by_code.items()
+            if isinstance(count, int) and count > 0
+        }
+    return baseline
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> tuple[list[Violation], int]:
+    """Drop baselined violations; returns ``(new_violations, n_dropped)``.
+
+    Violations are consumed in report order, so the baseline masks the
+    first N occurrences of a rule in a file and surfaces the rest.
+    """
+    budget = {
+        (file_path, code): count
+        for file_path, by_code in baseline.items()
+        for code, count in by_code.items()
+    }
+    kept: list[Violation] = []
+    dropped = 0
+    for violation in violations:
+        key = (violation.path, violation.code)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            dropped += 1
+        else:
+            kept.append(violation)
+    return kept, dropped
+
+
+def update_baseline(path: Path, violations: Sequence[Violation]) -> Baseline:
+    """Write the baseline matching the current violations; returns it."""
+    entries: Baseline = {}
+    for violation in violations:
+        by_code = entries.setdefault(violation.path, {})
+        by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    payload = {
+        "version": _VERSION,
+        "comment": (
+            "Accepted reprolint debt, counted per (file, rule). New "
+            "violations beyond these counts still fail; regenerate with "
+            "--update-baseline after reviewed cleanups."
+        ),
+        "entries": {
+            file_path: dict(sorted(by_code.items()))
+            for file_path, by_code in sorted(entries.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries

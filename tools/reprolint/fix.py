@@ -1,0 +1,390 @@
+"""Mechanical fixes: stale-noqa removal (RL009) and the RL010 rewrite.
+
+``fix_paths`` runs the project analysis, applies every mechanical fix,
+and re-lints until nothing fixable remains -- so a second invocation is
+always a no-op (idempotence is guaranteed by construction, and the CLI
+asserts it).  Only two fix classes exist, both behavior-preserving:
+
+* **stale noqa codes** are removed from their comment (the whole comment
+  goes when no codes remain and nothing else was suppressed);
+  missing-``-- reason`` findings are *not* auto-fixed -- a tool cannot
+  write the reason;
+* **deprecated sweep calls** (``load_sweep_series`` /
+  ``idle_wait_sweep_series``) are rewritten to the exact delegation the
+  deprecated wrapper performs (``sweep_many`` over the matching axis and
+  an explicit ``FgBgModel``), provided the call shape is simple enough
+  to rewrite faithfully (no ``**kwargs``, no unknown keywords);
+  missing imports are added, and a deprecated import left without
+  references is dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.reprolint.core import NoqaComment, Violation, noqa_map
+from tools.reprolint.project import Project
+
+__all__ = ["FixOutcome", "fix_paths", "fixable"]
+
+_MAX_PASSES = 4
+
+_DEPRECATED = {
+    "load_sweep_series": ("utilization_axis", "utilizations"),
+    "idle_wait_sweep_series": ("idle_wait_axis", "idle_wait_multiples"),
+}
+_WRAPPER_PARAMS = ("arrival", None, "bg_probabilities", "metric", "service_rate")
+
+
+def fixable(violation: Violation) -> bool:
+    """True when ``--fix`` can mechanically resolve this violation."""
+    if violation.code == "RL010":
+        return True
+    return violation.code == "RL009" and "stale" in violation.message
+
+
+@dataclass
+class FixOutcome:
+    """What one ``--fix`` run did."""
+
+    passes: int = 0
+    #: path -> number of individual fixes applied there.
+    fixes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.fixes.values())
+
+
+# ---------------------------------------------------------------------------
+# RL009: noqa comment surgery
+# ---------------------------------------------------------------------------
+
+
+def _stale_noqa_codes(
+    project: Project, path: str
+) -> dict[int, tuple[NoqaComment, list[str]]]:
+    """Per line: the noqa comment and its provably stale RL codes."""
+    raw = project.raw_violations().get(path, [])
+    anchored: dict[int, set[str]] = {}
+    for violation in raw:
+        if violation.code == "RL009":
+            continue  # the audit itself does not anchor suppressions
+        for line in (violation.line, *violation.extra_noqa_lines):
+            anchored.setdefault(line, set()).add(violation.code)
+    analysis = project.files.get(path)
+    if analysis is None:
+        return {}
+    out: dict[int, tuple[NoqaComment, list[str]]] = {}
+    for comment in analysis.noqa.values():
+        rl_codes = comment.rl_codes
+        if not rl_codes or "RL009" in rl_codes:
+            continue  # opted out of the audit on this line
+        present = anchored.get(comment.line, set())
+        stale = [code for code in rl_codes if code not in present]
+        if stale:
+            out[comment.line] = (comment, stale)
+    return out
+
+
+def _rewrite_noqa_line(line: str, comment: NoqaComment, stale: list[str]) -> str:
+    assert comment.codes is not None
+    keep = [code for code in comment.codes if code not in stale]
+    head = line[: comment.col].rstrip()
+    if not keep:
+        return head
+    tail = line[comment.end_col :]
+    reason = ""
+    if comment.has_reason:
+        trailer = line[comment.col : comment.end_col]
+        marker = trailer.find("--")
+        if marker != -1:
+            reason = " " + trailer[marker:].rstrip()
+    rebuilt = f"# noqa: {', '.join(keep)}{reason}"
+    spacer = "  " if head else ""
+    return f"{head}{spacer}{rebuilt}{tail.rstrip()}"
+
+
+def _apply_noqa_fixes(
+    source: str, stale_map: dict[int, tuple[NoqaComment, list[str]]]
+) -> tuple[str, int]:
+    if not stale_map:
+        return source, 0
+    lines = source.splitlines(keepends=True)
+    applied = 0
+    for line_number, (comment, stale) in stale_map.items():
+        index = line_number - 1
+        if not 0 <= index < len(lines):
+            continue
+        text = lines[index]
+        ending = "\n" if text.endswith("\n") else ""
+        rewritten = _rewrite_noqa_line(text.rstrip("\n"), comment, stale)
+        lines[index] = rewritten.rstrip() + ending if rewritten.strip() else ending
+        applied += len(stale)
+    return "".join(lines), applied
+
+
+# ---------------------------------------------------------------------------
+# RL010: deprecated sweep call rewrite
+# ---------------------------------------------------------------------------
+
+
+def _offsets(source: str) -> list[int]:
+    starts = [0]
+    for line in source.splitlines(keepends=True):
+        starts.append(starts[-1] + len(line))
+    return starts
+
+
+def _abs_offset(starts: list[int], line: int, col: int) -> int:
+    return starts[line - 1] + col
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _wrapper_arguments(
+    node: ast.Call, axis_value_name: str
+) -> dict[str, ast.expr] | None:
+    """Map a deprecated call's args to wrapper parameter names, or None."""
+    names = [
+        "arrival",
+        axis_value_name,
+        "bg_probabilities",
+        "metric",
+        "service_rate",
+    ]
+    bound: dict[str, ast.expr] = {}
+    if len(node.args) > len(names):
+        return None
+    for index, arg in enumerate(node.args):
+        if isinstance(arg, ast.Starred):
+            return None
+        bound[names[index]] = arg
+    for keyword in node.keywords:
+        if keyword.arg is None or keyword.arg not in names:
+            return None  # **model_kwargs or unknown keyword: not mechanical
+        if keyword.arg in bound:
+            return None
+        bound[keyword.arg] = keyword.value
+    if not all(name in bound for name in names[:4]):
+        return None
+    return bound
+
+
+def _rewrite_deprecated_calls(source: str, path: str) -> tuple[str, int]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source, 0
+    comments = noqa_map(source)
+    starts = _offsets(source)
+    edits: list[tuple[int, int, str]] = []
+    needed: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in _DEPRECATED:
+            continue
+        comment = comments.get(node.lineno)
+        if comment is not None and comment.suppresses("RL010"):
+            continue
+        axis_fn, axis_value_name = _DEPRECATED[name]
+        bound = _wrapper_arguments(node, axis_value_name)
+        if bound is None:
+            continue
+
+        def segment(key: str) -> str | None:
+            expr = bound.get(key)
+            return None if expr is None else ast.get_source_segment(source, expr)
+
+        arrival = segment("arrival")
+        values = segment(axis_value_name)
+        probabilities = segment("bg_probabilities")
+        metric = segment("metric")
+        if None in (arrival, values, probabilities, metric):
+            continue
+        service = segment("service_rate")
+        if service is None:
+            service = "SERVICE_RATE_PER_MS"
+            needed.add("SERVICE_RATE_PER_MS")
+        needed.update({"sweep_many", axis_fn, "FgBgModel"})
+        replacement = (
+            f"sweep_many(FgBgModel(arrival={arrival}, "
+            f"service_rate={service}, bg_probability=0.0), "
+            f"{axis_fn}({values}), {metric}, {probabilities})"
+        )
+        begin = _abs_offset(starts, node.lineno, node.col_offset)
+        end = _abs_offset(starts, node.end_lineno or node.lineno, node.end_col_offset or 0)
+        edits.append((begin, end, replacement))
+    if not edits:
+        return source, 0
+    for begin, end, replacement in sorted(edits, reverse=True):
+        source = source[:begin] + replacement + source[end:]
+    source = _ensure_imports(source, path, needed)
+    source = _drop_unused_deprecated_imports(source, path)
+    return source, len(edits)
+
+
+_IMPORT_LINES = {
+    "FgBgModel": "from repro.core import FgBgModel",
+    "SERVICE_RATE_PER_MS": "from repro.workloads.paper import SERVICE_RATE_PER_MS",
+    "sweep_many": "from repro.experiments.sweeps import sweep_many",
+    "utilization_axis": "from repro.experiments.sweeps import utilization_axis",
+    "idle_wait_axis": "from repro.experiments.sweeps import idle_wait_axis",
+}
+
+
+def _bound_names(tree: ast.Module) -> set[str]:
+    bound: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".", maxsplit=1)[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+def _ensure_imports(source: str, path: str, needed: set[str]) -> str:
+    if not needed:
+        return source
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source
+    missing = sorted(needed - _bound_names(tree))
+    if not missing:
+        return source
+    sweeps_names = [
+        name
+        for name in ("sweep_many", "utilization_axis", "idle_wait_axis")
+        if name in missing
+    ]
+    lines: list[str] = []
+    if "FgBgModel" in missing:
+        lines.append(_IMPORT_LINES["FgBgModel"])
+    if sweeps_names:
+        lines.append(
+            f"from repro.experiments.sweeps import {', '.join(sweeps_names)}"
+        )
+    if "SERVICE_RATE_PER_MS" in missing:
+        lines.append(_IMPORT_LINES["SERVICE_RATE_PER_MS"])
+    last_import_end = 0
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            last_import_end = stmt.end_lineno or stmt.lineno
+    source_lines = source.splitlines(keepends=True)
+    insertion = "".join(f"{line}\n" for line in lines)
+    if last_import_end == 0:
+        # No imports yet: insert after a module docstring if present.
+        docstring_end = 0
+        if (
+            tree.body
+            and isinstance(tree.body[0], ast.Expr)
+            and isinstance(tree.body[0].value, ast.Constant)
+            and isinstance(tree.body[0].value.value, str)
+        ):
+            docstring_end = tree.body[0].end_lineno or 0
+        prefix = "".join(source_lines[:docstring_end])
+        suffix = "".join(source_lines[docstring_end:])
+        separator = "\n" if docstring_end else ""
+        return f"{prefix}{separator}{insertion}{suffix}"
+    prefix = "".join(source_lines[:last_import_end])
+    suffix = "".join(source_lines[last_import_end:])
+    return f"{prefix}{insertion}{suffix}"
+
+
+def _drop_unused_deprecated_imports(source: str, path: str) -> str:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            used.add(node.attr)
+    starts = _offsets(source)
+    edits: list[tuple[int, int, str]] = []
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ImportFrom):
+            continue
+        dead = [
+            alias
+            for alias in stmt.names
+            if alias.name in _DEPRECATED and (alias.asname or alias.name) not in used
+        ]
+        if not dead:
+            continue
+        keep = [alias for alias in stmt.names if alias not in dead]
+        begin = _abs_offset(starts, stmt.lineno, stmt.col_offset)
+        end_line = stmt.end_lineno or stmt.lineno
+        end = _abs_offset(starts, end_line, stmt.end_col_offset or 0)
+        if not keep:
+            # Swallow the trailing newline with the statement.
+            if end < len(source) and source[end] == "\n":
+                end += 1
+            edits.append((begin, end, ""))
+        else:
+            rendered = ", ".join(
+                alias.name if alias.asname is None else f"{alias.name} as {alias.asname}"
+                for alias in keep
+            )
+            module = "." * stmt.level + (stmt.module or "")
+            edits.append((begin, end, f"from {module} import {rendered}"))
+    for begin, end, replacement in sorted(edits, reverse=True):
+        source = source[:begin] + replacement + source[end:]
+    return source
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+
+
+def fix_paths(
+    paths: list[Path],
+    *,
+    root: Path | None = None,
+    jobs: int = 1,
+) -> FixOutcome:
+    """Apply every mechanical fix under ``paths`` until none remain."""
+    outcome = FixOutcome()
+    for _ in range(_MAX_PASSES):
+        project = Project(paths, root=root, jobs=jobs)
+        project.analyze()
+        changed = False
+        for path in sorted(project.files):
+            source = Path(path).read_text(encoding="utf-8")
+            new_source, n_noqa = _apply_noqa_fixes(
+                source, _stale_noqa_codes(project, path)
+            )
+            new_source, n_calls = _rewrite_deprecated_calls(new_source, path)
+            if new_source != source:
+                Path(path).write_text(new_source, encoding="utf-8")
+                outcome.fixes[path] = (
+                    outcome.fixes.get(path, 0) + n_noqa + n_calls
+                )
+                changed = True
+        outcome.passes += 1
+        if not changed:
+            break
+    return outcome

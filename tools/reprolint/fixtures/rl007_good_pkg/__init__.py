@@ -1,0 +1,23 @@
+"""Fixture twin package: every export carries contract evidence (no RL007)."""
+
+from repro.contracts import check_generator
+
+__all__ = ["GuardedResult", "checked_solve", "guarded_solve"]
+
+
+class GuardedResult:
+    def __init__(self, value):
+        if value is None:
+            raise ValueError("value must not be None")
+        self.value = value
+
+
+def guarded_solve(model):
+    if model is None:
+        raise ValueError("model must not be None")
+    return GuardedResult(model)
+
+
+def checked_solve(generator):
+    check_generator(generator)
+    return GuardedResult(generator)

@@ -1,0 +1,19 @@
+"""Fixture: unit mismatches across call sites (RL008 x2)."""
+
+
+def schedule(delay_seconds):  # noqa: RL003 -- fixture: wrong-unit callee under test
+    return delay_seconds * 1000.0
+
+
+def poll(poll_interval_ms):
+    # RL008: milliseconds value into a seconds parameter.
+    return schedule(poll_interval_ms)
+
+
+def serve(slice_ms):
+    return slice_ms
+
+
+def misuse(quantum_sec):  # noqa: RL003 -- fixture: wrong-unit caller under test
+    # RL008: seconds value into a milliseconds parameter.
+    return serve(quantum_sec)

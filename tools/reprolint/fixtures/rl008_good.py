@@ -1,0 +1,13 @@
+"""Fixture twin: matched units, and explicit boundary conversion (no RL008)."""
+
+
+def serve(slice_ms):
+    return slice_ms
+
+
+def relay(budget_ms):
+    return serve(budget_ms)
+
+
+def convert(quantum_sec):  # noqa: RL003 -- fixture: converted at the boundary
+    return serve(quantum_sec * 1000.0)

@@ -1,0 +1,9 @@
+"""Fixture: stale and reason-less noqa suppressions (RL009 x2)."""
+
+
+def plain_helper(x):
+    return x + 1  # noqa: RL005 -- stale: nothing fires on this line
+
+
+def waived(timeout):  # noqa: RL003
+    return timeout

@@ -1,0 +1,5 @@
+"""Fixture twin: a live, reasoned suppression (no RL009)."""
+
+
+def waived(timeout):  # noqa: RL003 -- subprocess API, seconds by contract
+    return timeout

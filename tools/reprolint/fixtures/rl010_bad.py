@@ -1,0 +1,13 @@
+"""Fixture: deprecated sweep API call sites (RL010 x2)."""
+
+from repro.experiments.sweeps import idle_wait_sweep_series, load_sweep_series
+
+
+def legacy_series(arrival, metric):
+    utilizations = [0.5, 0.7]
+    bg_probabilities = [0.01, 0.05]
+    by_load = load_sweep_series(arrival, utilizations, bg_probabilities, metric)
+    by_wait = idle_wait_sweep_series(
+        arrival, [1.0, 2.0], bg_probabilities, metric
+    )
+    return by_load, by_wait

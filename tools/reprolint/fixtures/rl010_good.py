@@ -1,0 +1,8 @@
+"""Fixture twin: the sweep-engine API (no RL010)."""
+
+from repro.experiments.sweeps import sweep_many, utilization_axis
+
+
+def modern_series(base_model, metric):
+    axis = utilization_axis([0.5, 0.7])
+    return sweep_many(base_model, axis, metric, [0.01, 0.05])

@@ -1,0 +1,125 @@
+"""Report renderers: plain text, GitHub workflow commands, SARIF 2.1.0.
+
+``render_sarif`` emits a static-analysis log suitable for GitHub code
+scanning upload (one run, one ``reportingDescriptor`` per rule, one
+``result`` per violation with a physical location).  Columns follow the
+SARIF convention of 1-based ``startLine``/``startColumn``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import PurePath
+from typing import Any
+
+from tools.reprolint.core import Violation, render
+from tools.reprolint.rules import RULE_SUMMARIES
+
+__all__ = ["FORMATS", "render_github", "render_report", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_URI = "https://github.com/repro/repro/tree/main/tools/reprolint"
+
+
+def render_github(violations: Sequence[Violation]) -> str:
+    """GitHub Actions workflow commands (inline PR annotations)."""
+    lines = [
+        f"::error file={v.path},line={v.line},col={v.col + 1},"
+        f"title=reprolint {v.code}::{v.message}"
+        for v in violations
+    ]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"reprolint: {len(violations)} {noun}")
+    return "\n".join(lines)
+
+
+def _artifact_uri(path: str) -> str:
+    pure = PurePath(path)
+    if pure.is_absolute():
+        return pure.as_posix()
+    return "/".join(pure.parts)
+
+
+def sarif_log(violations: Sequence[Violation]) -> dict[str, Any]:
+    """The SARIF 2.1.0 log object for ``violations``."""
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+            "helpUri": _TOOL_URI,
+        }
+        for code, summary in sorted(RULE_SUMMARIES.items())
+    ]
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results = []
+    for violation in violations:
+        result: dict[str, Any] = {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(violation.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.code in rule_index:
+            result["ruleIndex"] = rule_index[violation.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": _TOOL_URI,
+                        "version": "2.0.0",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    return json.dumps(sarif_log(violations), indent=2, sort_keys=False)
+
+
+FORMATS = {
+    "text": render,
+    "github": render_github,
+    "sarif": render_sarif,
+}
+
+
+def render_report(violations: Sequence[Violation], fmt: str) -> str:
+    """Render ``violations`` in ``fmt`` (one of :data:`FORMATS`)."""
+    try:
+        renderer = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; choose from {sorted(FORMATS)}"
+        ) from None
+    return renderer(violations)

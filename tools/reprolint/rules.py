@@ -1,8 +1,10 @@
-"""The reprolint rules RL001-RL005.
+"""The reprolint rules.
 
-Each rule is a callable ``(tree, path) -> Iterator[Violation]``.  The
-rules encode repo-specific invariants (see DESIGN.md and the gotchas in
-CLAUDE.md):
+Per-file rules are callables ``(tree, path) -> Iterator[Violation]``
+collected in :data:`FILE_RULES`; the cross-file rules (RL007-RL009)
+run inside :mod:`tools.reprolint.project` where the symbol table and
+raw-violation map exist.  The rules encode repo-specific invariants
+(see DESIGN.md and the gotchas in CLAUDE.md):
 
 RL001
     Mutation of a frozen-dataclass attribute outside the
@@ -29,6 +31,20 @@ RL005
     A plain stationary solve of the phase-process sum ``A0+A1+A2``.  The
     FG/BG phase process is *reducible*; use the SCC-aware
     ``repro.qbd.rmatrix.drift`` instead.
+RL006
+    Certificate soundness.  A construction certificate
+    (``self._generator_validated = True``, or a call passing
+    ``blocks_validated=True``) claims the certified arrays are validated
+    *and frozen*; issuing one where the arrays are not provably
+    read-only on all paths (``setflags(write=False)``) makes the
+    contract layer skip re-validation of data that can still mutate --
+    the exact bug class CLAUDE.md warns silently corrupts every solve.
+    A warm-start seed (``initial_r=``) built locally and still writable
+    is flagged when it rides in under such a certificate.
+RL010
+    Call of a deprecated sweep entry point (``load_sweep_series`` /
+    ``idle_wait_sweep_series``); mechanically rewritable to
+    ``sweep_many`` over the matching axis (``--fix`` applies it).
 """
 
 from __future__ import annotations
@@ -36,9 +52,10 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from tools.reprolint import dataflow
 from tools.reprolint.core import Violation
 
-__all__ = ["ALL_RULES", "RULE_SUMMARIES"]
+__all__ = ["ALL_RULES", "FILE_RULES", "RULE_SUMMARIES"]
 
 RULE_SUMMARIES = {
     "RL001": "frozen-dataclass attribute mutated outside __post_init__",
@@ -46,6 +63,11 @@ RULE_SUMMARIES = {
     "RL003": "time-like name crosses a function boundary without a _ms unit",
     "RL004": "error/warning suppression around bg_completion_rate",
     "RL005": "plain stationary solve on the reducible phase sum A0+A1+A2",
+    "RL006": "construction certificate issued over arrays not provably frozen",
+    "RL007": "public entry point without contract coverage or waiver",
+    "RL008": "unit mismatch between argument and parameter across a call site",
+    "RL009": "stale # noqa suppression, or one missing its '-- reason' trailer",
+    "RL010": "call of a deprecated sweep API (load/idle_wait_sweep_series)",
 }
 
 _NUMPY_MODULES = {"np", "numpy"}
@@ -306,12 +328,16 @@ def rl003_unitless_time(tree: ast.AST, path: str) -> Iterator[Violation]:
                     continue
                 problem = _time_name_problem(arg.arg)
                 if problem is not None:
+                    # A noqa on the `def` line also suppresses, so a
+                    # multi-line signature can be waived in one place.
+                    anchors = (node.lineno,) if node.lineno != arg.lineno else ()
                     yield Violation(
                         path,
                         arg.lineno,
                         arg.col_offset,
                         "RL003",
                         f"parameter of {node.name}(): {problem}",
+                        extra_noqa_lines=anchors,
                     )
         elif isinstance(node, ast.Call):
             for keyword in node.keywords:
@@ -319,12 +345,19 @@ def rl003_unitless_time(tree: ast.AST, path: str) -> Iterator[Violation]:
                     continue
                 problem = _time_name_problem(keyword.arg)
                 if problem is not None:
+                    # Anchor multi-line calls at the call's first line too.
+                    anchors = (
+                        (node.lineno,)
+                        if node.lineno != keyword.value.lineno
+                        else ()
+                    )
                     yield Violation(
                         path,
                         keyword.value.lineno,
                         keyword.value.col_offset,
                         "RL003",
                         f"keyword argument: {problem}",
+                        extra_noqa_lines=anchors,
                     )
 
 
@@ -483,10 +516,124 @@ def rl005_stationary_on_phase_sum(
                 )
 
 
-ALL_RULES = (
+def _function_nodes(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+_CERTIFIED_BLOCK_KWARGS = ("a0", "a1", "a2")
+
+
+def rl006_certificate_soundness(tree: ast.AST, path: str) -> Iterator[Violation]:
+    """RL006: certificates issued over arrays that may still be writable."""
+    for func in _function_nodes(tree):
+        analysis = dataflow.analyze_function(func)
+
+        if analysis.certificates:
+            unfrozen = analysis.unfrozen_self_arrays()
+            if unfrozen:
+                event = analysis.certificates[0]
+                attrs = ", ".join(unfrozen)
+                yield Violation(
+                    path,
+                    event.node.lineno,
+                    event.node.col_offset,
+                    "RL006",
+                    f"_generator_validated certificate set in {func.name}() "
+                    f"while {attrs} is not provably frozen on all paths; "
+                    "call .setflags(write=False) before certifying -- a "
+                    "writable certified array silently invalidates every "
+                    "downstream solve",
+                )
+
+        for call in analysis.calls:
+            flag = self_kw_value(call.node, "blocks_validated")
+            if not (isinstance(flag, ast.Constant) and flag.value is True):
+                continue
+            suspect: list[str] = []
+            for facts, name in zip(call.pos_facts, call.pos_names):
+                if (
+                    facts is not None
+                    and name is not None
+                    and dataflow.ARRAY in facts
+                    and dataflow.READONLY not in facts
+                ):
+                    suspect.append(name)
+            for kw, facts in call.kw_facts.items():
+                if kw not in (*_CERTIFIED_BLOCK_KWARGS, "initial_r"):
+                    continue
+                name = call.kw_names.get(kw)
+                if (
+                    facts is not None
+                    and name is not None
+                    and dataflow.ARRAY in facts
+                    and dataflow.READONLY not in facts
+                ):
+                    suspect.append(f"{kw}={name}" if kw == "initial_r" else name)
+            if suspect:
+                names = ", ".join(sorted(set(suspect)))
+                yield Violation(
+                    path,
+                    call.node.lineno,
+                    call.node.col_offset,
+                    "RL006",
+                    f"blocks_validated=True passed for hand-assembled, "
+                    f"still-writable arrays ({names}); the certificate is "
+                    "only sound for validated read-only blocks (e.g. off a "
+                    "QBDProcess) -- freeze with .setflags(write=False) and "
+                    "validate, or drop the certificate",
+                )
+
+
+def self_kw_value(call: ast.Call, name: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+_DEPRECATED_SWEEP_CALLS = {
+    "load_sweep_series": "sweep_many(base_model, utilization_axis(...), metric, ...)",
+    "idle_wait_sweep_series": "sweep_many(base_model, idle_wait_axis(...), metric, ...)",
+}
+
+
+def rl010_deprecated_sweep_api(tree: ast.AST, path: str) -> Iterator[Violation]:
+    """RL010: call sites of the deprecated pre-engine sweep entry points."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name in _DEPRECATED_SWEEP_CALLS:
+            yield Violation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "RL010",
+                f"{name} is deprecated; use "
+                f"{_DEPRECATED_SWEEP_CALLS[name]} instead "
+                "(mechanical rewrite available via --fix)",
+            )
+
+
+#: Single-file rules, runnable without cross-module context.
+FILE_RULES = (
     rl001_frozen_mutation,
     rl002_writable_array_on_dataclass,
     rl003_unitless_time,
     rl004_suppression_near_nan_guard,
     rl005_stationary_on_phase_sum,
+    rl006_certificate_soundness,
+    rl010_deprecated_sweep_api,
 )
+
+#: Backwards-compatible alias (pre-project-analyzer name).
+ALL_RULES = FILE_RULES
