@@ -19,6 +19,7 @@ checks freely.
 from repro.contracts.checks import (
     DEFAULT_ATOL,
     ENV_SWITCH,
+    certify_spectral_radius_below_one,
     check_drift_stable,
     check_finite,
     check_generator,
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULT_ATOL",
     "ENV_SWITCH",
     "ContractViolation",
+    "certify_spectral_radius_below_one",
     "check_drift_stable",
     "check_finite",
     "check_generator",

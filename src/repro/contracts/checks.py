@@ -27,6 +27,7 @@ from repro.contracts.errors import ContractViolation
 
 __all__ = [
     "contracts_enabled",
+    "certify_spectral_radius_below_one",
     "check_drift_stable",
     "check_finite",
     "check_generator",
@@ -267,6 +268,46 @@ def check_probability_vector(
 _CW_CERTIFICATES: dict[int, FloatArray] = {}
 
 
+def certify_spectral_radius_below_one(
+    r: ArrayLike, atol: float = DEFAULT_ATOL
+) -> bool:
+    """Tiered ``sp(r) < 1`` certificate; True iff the radius is below one.
+
+    A boolean query, not a gated check: it runs regardless of
+    ``REPRO_CONTRACTS`` (callers use it to *decide*, e.g. whether a
+    warm-started R iterate is the minimal solution, not merely to
+    validate).  Tiers, cheapest first:
+
+    1. ``||R||_inf < 1`` -- any induced norm bounds the spectral radius;
+    2. the cached Collatz-Wielandt vector of a nearby solve (one matvec);
+    3. a fresh M-matrix certificate: solve ``(I-R)x = e`` and verify
+       ``Rx <= theta x`` with ``x > 0``, ``theta < 1``;
+    4. full eigenvalues, for genuinely borderline matrices.
+
+    The input must be finite and square; non-negativity is assumed (tiers
+    2-3 are Collatz-Wielandt bounds, sound for non-negative matrices
+    only).
+    """
+    arr = np.asarray(r, dtype=float)
+    row_sums = arr.sum(axis=1)
+    if float(row_sums.max()) < 1.0 - atol:
+        return True
+    n = arr.shape[0]
+    x = _CW_CERTIFICATES.get(n)
+    if x is not None and float((arr @ x / x).max()) < 1.0 - atol:
+        return True
+    try:
+        x = np.linalg.solve(np.eye(n) - arr, np.ones(n))
+    except np.linalg.LinAlgError:
+        x = None
+    if x is not None and float(x.min()) > atol:
+        theta = float((arr @ x / x).max())
+        if theta < 1.0 - atol:
+            _CW_CERTIFICATES[n] = x
+            return True
+    return float(np.max(np.abs(np.linalg.eigvals(arr)))) < 1.0
+
+
 def check_r_matrix(
     r: ArrayLike, name: str = "R", atol: float = DEFAULT_ATOL
 ) -> None:
@@ -310,21 +351,8 @@ def check_r_matrix(
     # power certificate fails).
     if rmax < 1.0 - atol:
         return
-    n = arr.shape[0]
-    x = _CW_CERTIFICATES.get(n)
-    if x is not None and float((arr @ x / x).max()) < 1.0 - atol:
-        return
-    try:
-        x = np.linalg.solve(np.eye(n) - arr, np.ones(n))
-    except np.linalg.LinAlgError:
-        x = None
-    if x is not None and float(x.min()) > atol:
-        theta = float((arr @ x / x).max())
-        if theta < 1.0 - atol:
-            _CW_CERTIFICATES[n] = x
-            return
-    sp = float(np.max(np.abs(np.linalg.eigvals(arr))))
-    if sp >= 1.0:
+    if not certify_spectral_radius_below_one(arr, atol=atol):
+        sp = float(np.max(np.abs(np.linalg.eigvals(arr))))
         raise ContractViolation(
             "check_r_matrix",
             name,

@@ -11,6 +11,7 @@
 """
 
 from repro.core.batch import BatchFgBgModel, BatchFgBgSolution
+from repro.core.batched import solve_models_batched
 from repro.core.distributions import (
     bg_queue_length_pmf,
     fg_queue_length_pmf,
@@ -44,4 +45,5 @@ __all__ = [
     "bg_queue_length_pmf",
     "fg_queue_length_pmf",
     "fg_queue_length_quantile",
+    "solve_models_batched",
 ]

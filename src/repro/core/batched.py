@@ -1,0 +1,109 @@
+"""Model-level entry point of the batched matrix-geometric kernel.
+
+:func:`solve_models_batched` solves many :class:`~repro.core.model.FgBgModel`
+instances through :func:`repro.qbd.batched.solve_qbd_batched`: models are
+grouped by QBD block shape (models with ``bg_probability`` below
+``NEAR_ZERO_BG_PROBABILITY`` build their chain without background states
+and therefore land in their own group), each group runs as one stacked
+solve, and the per-model metrics come out of the same
+:func:`~repro.core.metrics.compute_metrics` pipeline as a sequential
+``model.solve()`` -- so batched and sequential solutions agree to solver
+tolerance (including the deliberate NaN ``bg_completion_rate`` of the
+near-zero-``p`` group).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Literal, cast, overload
+
+from repro.core.metrics import compute_metrics
+from repro.core.model import FgBgModel
+from repro.core.result import FgBgSolution
+from repro.qbd.batched import BatchedSolveReport, solve_qbd_batched
+
+__all__ = ["solve_models_batched"]
+
+
+@overload
+def solve_models_batched(
+    models: Iterable[FgBgModel],
+    tol: float = ...,
+    return_reports: Literal[False] = ...,
+) -> list[FgBgSolution]: ...
+
+
+@overload
+def solve_models_batched(
+    models: Iterable[FgBgModel],
+    tol: float = ...,
+    *,
+    return_reports: Literal[True],
+) -> tuple[list[FgBgSolution], list[BatchedSolveReport]]: ...
+
+
+def solve_models_batched(
+    models: Iterable[FgBgModel],
+    tol: float = 1e-12,
+    return_reports: bool = False,
+) -> list[FgBgSolution] | tuple[list[FgBgSolution], list[BatchedSolveReport]]:
+    """Solve many models through the batched kernel; order is preserved.
+
+    Parameters
+    ----------
+    models:
+        Non-empty sequence of :class:`~repro.core.model.FgBgModel`
+        instances.  Shapes may be mixed -- grouping happens here.
+    tol:
+        R-iteration tolerance (matches ``model.solve(tol=...)``).
+    return_reports:
+        When True, also return one :class:`BatchedSolveReport` per shape
+        group, in first-appearance order.
+
+    Raises
+    ------
+    ValueError
+        If ``models`` is empty or any model is unstable (same message a
+        sequential ``model.solve()`` raises, before any solving starts).
+    """
+    models = list(models)
+    if not models:
+        raise ValueError("solve_models_batched needs at least one model")
+    for model in models:
+        if not isinstance(model, FgBgModel):
+            raise TypeError(
+                f"expected FgBgModel instances, got {type(model).__name__}"
+            )
+        if not model.is_stable:
+            raise ValueError(
+                f"model is unstable: foreground utilization "
+                f"{model.fg_utilization:.4g} >= 1; no stationary regime exists"
+            )
+    groups: dict[tuple[int, int], list[int]] = {}
+    for index, model in enumerate(models):
+        qbd = model.qbd
+        groups.setdefault((qbd.boundary_size, qbd.phase_count), []).append(
+            index
+        )
+    solutions: list[FgBgSolution | None] = [None] * len(models)
+    reports: list[BatchedSolveReport] = []
+    for indices in groups.values():
+        distributions, report = solve_qbd_batched(
+            [models[i].qbd for i in indices], tol=tol, return_report=True
+        )
+        reports.append(report)
+        for i, distribution in zip(indices, distributions):
+            model = models[i]
+            solutions[i] = compute_metrics(
+                space=model.state_space,
+                qbd_solution=distribution,
+                arrival=model.arrival,
+                service_rate=model.service_rate,
+                bg_probability=model.bg_probability,
+            )
+    # Every index belongs to exactly one group, so no slot is left None;
+    # the cast records that invariant for the type checker.
+    solved = cast("list[FgBgSolution]", solutions)
+    if return_reports:
+        return solved, reports
+    return solved

@@ -12,10 +12,11 @@ drives this engine over a parameter axis.
 
 from repro.engine.cache import SolveCache, solve_key
 from repro.engine.engine import SweepEngine
-from repro.engine.stats import EngineStats, SolveRecord
+from repro.engine.stats import BatchGroupRecord, EngineStats, SolveRecord
 from repro.qbd.rmatrix import SolveStats
 
 __all__ = [
+    "BatchGroupRecord",
     "EngineStats",
     "SolveCache",
     "SolveRecord",

@@ -9,10 +9,16 @@ instances.  :class:`SweepEngine` exploits that structure three ways:
 * **warm-starting** -- within a chain of models that differ by one
   parameter step, the R matrix of the previous point seeds the next solve
   (Newton's method converts the closeness into a handful of iterations);
-* **parallelism** -- independent chains run across worker processes.
+* **parallelism** -- independent chains run across worker processes;
+* **batching** -- with ``batched=True`` the cache-miss models of a whole
+  sweep are grouped by QBD block shape and each group is solved in one
+  stacked kernel call (:mod:`repro.qbd.batched`), replacing N Python-level
+  solver loops with batched ``np.linalg`` primitives.
 
 Warm-started results agree with cold solves to solver tolerance; cached
-results are bit-identical to the solve that populated the entry.
+results are bit-identical to the solve that populated the entry; batched
+results agree with sequential results to solver tolerance (bitwise for
+the R matrices in practice).
 """
 
 from __future__ import annotations
@@ -23,10 +29,11 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.batched import solve_models_batched
 from repro.core.model import FgBgModel
 from repro.core.result import FgBgSolution
 from repro.engine.cache import SolveCache, solve_key
-from repro.engine.stats import EngineStats, SolveRecord
+from repro.engine.stats import BatchGroupRecord, EngineStats, SolveRecord
 
 __all__ = ["SweepEngine"]
 
@@ -68,6 +75,20 @@ class SweepEngine:
         Off by default: the default logarithmic-reduction solver is so
         fast on the paper's chains that cold solves win on wall time;
         warm Newton wins on iteration count (see ``benchmarks/bench_engine.py``).
+    batched:
+        Solve the cache-miss models of each :meth:`run_chain` /
+        :meth:`run_chains` call through the stacked kernel
+        (:mod:`repro.qbd.batched`): pending models are grouped by QBD
+        block shape and each group becomes one batched solve, recorded as
+        a :class:`~repro.engine.stats.BatchGroupRecord`.  Batched results
+        agree with sequential results to solver tolerance.  Requires the
+        default ``logarithmic-reduction`` algorithm; ``warm_start`` seeds
+        are not used on the batched path (stacked solves are cold by
+        construction -- and cold logred is the fast configuration here
+        anyway).  Caching composes: hits are served per model, only
+        misses enter a batch.  ``jobs`` is ignored while batching -- the
+        stacked BLAS calls replace process parallelism for the solve
+        stage.
     algorithm, tol:
         Passed through to :meth:`FgBgModel.solve`.
     """
@@ -78,16 +99,23 @@ class SweepEngine:
         jobs: int = 1,
         cache: SolveCache | str | os.PathLike | None = None,
         warm_start: bool = False,
+        batched: bool = False,
         algorithm: str = "logarithmic-reduction",
         tol: float = 1e-12,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if batched and algorithm != "logarithmic-reduction":
+            raise ValueError(
+                "batched solving supports only the logarithmic-reduction "
+                f"algorithm, got {algorithm!r}"
+            )
         self.jobs = jobs
         if cache is not None and not isinstance(cache, SolveCache):
             cache = SolveCache(cache)
         self.cache = cache
         self.warm_start = warm_start
+        self.batched = batched
         self.algorithm = algorithm
         self.tol = tol
         self.stats = EngineStats()
@@ -123,6 +151,79 @@ class SweepEngine:
         return solution
 
     # ------------------------------------------------------------------
+    # Batches
+    # ------------------------------------------------------------------
+    def solve_batch(self, models: Iterable[FgBgModel]) -> list[FgBgSolution]:
+        """Solve many models through the batched kernel, cache first.
+
+        Cache hits (and duplicate models) are served individually; the
+        remaining misses are deduplicated, grouped by QBD block shape and
+        solved by :func:`~repro.core.batched.solve_models_batched` -- one
+        stacked kernel call per group, recorded in
+        :attr:`stats` ``.batch_groups``.  Solutions come back in input
+        order and fresh ones populate the cache, so a later sequential or
+        batched run over the same models is all hits.
+        """
+        models = list(models)
+        if not models:
+            return []
+        keys = [
+            solve_key(m.fingerprint(), self.algorithm, self.tol)
+            for m in models
+        ]
+        served: dict[str, FgBgSolution] = {}
+        pending: dict[str, FgBgModel] = {}
+        for model, key in zip(models, keys):
+            if key in served or key in pending:
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    served[key] = cached
+                    continue
+            pending[key] = model
+        if pending:
+            pending_keys = list(pending)
+            solutions, reports = solve_models_batched(
+                list(pending.values()), tol=self.tol, return_reports=True
+            )
+            # solve_models_batched groups by shape in first-appearance
+            # order, so the reports align with the shapes in that order.
+            group_shapes: list[tuple[int, int]] = []
+            for model in pending.values():
+                qbd = model.qbd
+                shape = (qbd.boundary_size, qbd.phase_count)
+                if shape not in group_shapes:
+                    group_shapes.append(shape)
+            for shape, report in zip(group_shapes, reports):
+                self.stats.add_batch_group(
+                    BatchGroupRecord(
+                        boundary_size=shape[0],
+                        phase_count=shape[1],
+                        report=report,
+                    )
+                )
+            for key, solution in zip(pending_keys, solutions):
+                if self.cache is not None:
+                    self.cache.put(key, solution)
+                served[key] = solution
+        fresh_remaining = set(pending)
+        results: list[FgBgSolution] = []
+        for model, key in zip(models, keys):
+            solution = served[key]
+            cache_hit = key not in fresh_remaining
+            fresh_remaining.discard(key)
+            self.stats.add(
+                SolveRecord(
+                    model.fingerprint(),
+                    cache_hit=cache_hit,
+                    stats=solution.solve_stats,
+                )
+            )
+            results.append(solution)
+        return results
+
+    # ------------------------------------------------------------------
     # Chains
     # ------------------------------------------------------------------
     def run_chain(self, models: Iterable[FgBgModel]) -> list[FgBgSolution]:
@@ -130,8 +231,12 @@ class SweepEngine:
 
         With :attr:`warm_start` on, each solve is seeded with the previous
         solution's R matrix -- order the chain so neighbours are close in
-        parameter space (a sweep axis already is).
+        parameter space (a sweep axis already is).  With :attr:`batched`
+        on, the chain is handed to :meth:`solve_batch` instead (output is
+        identical to solver tolerance).
         """
+        if self.batched:
+            return self.solve_batch(models)
         solutions: list[FgBgSolution] = []
         prev_r: np.ndarray | None = None
         for model in models:
@@ -148,8 +253,22 @@ class SweepEngine:
 
         Results are returned in chain order regardless of completion
         order, so parallel output is identical to serial output.
+
+        With :attr:`batched` on, all chains pool into one
+        :meth:`solve_batch` call (cross-chain duplicates are solved once)
+        and the stacked kernel supplies the parallelism -- no worker
+        processes are spawned.
         """
         chains = [list(chain) for chain in chains]
+        if self.batched:
+            flat = [model for chain in chains for model in chain]
+            solutions = self.solve_batch(flat)
+            results: list[list[FgBgSolution]] = []
+            cursor = 0
+            for chain in chains:
+                results.append(solutions[cursor : cursor + len(chain)])
+                cursor += len(chain)
+            return results
         if self.jobs <= 1 or len(chains) <= 1:
             return [self.run_chain(chain) for chain in chains]
         # Chains fully present in the parent cache are served directly --
@@ -196,6 +315,6 @@ class SweepEngine:
     def __repr__(self) -> str:
         return (
             f"SweepEngine(jobs={self.jobs}, cache={self.cache!r}, "
-            f"warm_start={self.warm_start}, algorithm={self.algorithm!r}, "
-            f"tol={self.tol:g})"
+            f"warm_start={self.warm_start}, batched={self.batched}, "
+            f"algorithm={self.algorithm!r}, tol={self.tol:g})"
         )

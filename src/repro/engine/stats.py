@@ -13,9 +13,38 @@ from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.qbd.batched import BatchedSolveReport
 from repro.qbd.rmatrix import SolveStats
 
-__all__ = ["EngineStats", "SolveRecord"]
+__all__ = ["BatchGroupRecord", "EngineStats", "SolveRecord"]
+
+
+@dataclass(frozen=True)
+class BatchGroupRecord:
+    """One batched kernel call: one shape group of cache-miss models.
+
+    Wraps the kernel's :class:`~repro.qbd.batched.BatchedSolveReport`
+    (batch size, masked iteration total, wall time, fallback indices)
+    together with the engine-level shape key the group was formed under.
+    """
+
+    boundary_size: int
+    phase_count: int
+    report: BatchedSolveReport
+
+    def __post_init__(self) -> None:
+        if self.boundary_size < 0 or self.phase_count < 0:
+            raise ValueError(
+                f"block shape must be non-negative, got "
+                f"({self.boundary_size}, {self.phase_count})"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "boundary_size": self.boundary_size,
+            "phase_count": self.phase_count,
+            **self.report.as_dict(),
+        }
 
 
 @dataclass(frozen=True)
@@ -39,12 +68,16 @@ class EngineStats:
     """Aggregated solve statistics of a :class:`~repro.engine.SweepEngine`."""
 
     records: list[SolveRecord] = field(default_factory=list)
+    batch_groups: list[BatchGroupRecord] = field(default_factory=list)
 
     def add(self, record: SolveRecord) -> None:
         self.records.append(record)
 
     def extend(self, records: list[SolveRecord]) -> None:
         self.records.extend(records)
+
+    def add_batch_group(self, record: BatchGroupRecord) -> None:
+        self.batch_groups.append(record)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -115,7 +148,7 @@ class EngineStats:
     # ------------------------------------------------------------------
     def summary(self) -> dict:
         """JSON-serializable aggregate record (no per-solve detail)."""
-        return {
+        payload = {
             "solves": self.solves,
             "cache_hits": self.cache_hits,
             "solver_calls": self.solver_calls,
@@ -125,6 +158,9 @@ class EngineStats:
             "max_spectral_radius": self.max_spectral_radius,
             "algorithms": self.algorithm_counts(),
         }
+        if self.batch_groups:
+            payload["batch_groups"] = [g.as_dict() for g in self.batch_groups]
+        return payload
 
     def write_json(
         self, path: str | os.PathLike, include_records: bool = False
@@ -137,6 +173,7 @@ class EngineStats:
 
     def clear(self) -> None:
         self.records.clear()
+        self.batch_groups.clear()
 
     def __repr__(self) -> str:
         return (

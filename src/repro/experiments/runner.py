@@ -15,14 +15,24 @@ __all__ = ["main"]
 
 def _build_engine(args):
     """The shared SweepEngine of this run, or ``None`` for plain solving."""
-    if args.jobs == 1 and args.cache is None and not args.warm_start:
+    if (
+        args.jobs == 1
+        and args.cache is None
+        and not args.warm_start
+        and not args.batched
+    ):
         return None
     from repro.engine import SolveCache, SweepEngine
 
     cache = None
     if args.cache is not None:
         cache = SolveCache(args.cache if args.cache != "" else None)
-    return SweepEngine(jobs=args.jobs, cache=cache, warm_start=args.warm_start)
+    return SweepEngine(
+        jobs=args.jobs,
+        cache=cache,
+        warm_start=args.warm_start,
+        batched=args.batched,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -67,6 +77,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="seed each R-matrix solve with the previous point of the "
         "sweep (results agree with cold solves to solver tolerance)",
+    )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="solve each sweep's cache misses through the stacked "
+        "matrix-geometric kernel, grouped by chain shape (results agree "
+        "with sequential solves to solver tolerance)",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:

@@ -99,15 +99,19 @@ def sweep(
     *,
     engine: SweepEngine | None = None,
     label: str | None = None,
+    batched: bool = False,
 ) -> Series:
     """Evaluate one metric along one axis; returns one :class:`Series`.
 
     ``metric`` is a key of :data:`repro.core.METRICS` (e.g. ``"qlen_fg"``)
-    or any callable on :class:`FgBgSolution`.
+    or any callable on :class:`FgBgSolution`.  ``batched=True`` without an
+    explicit engine solves the whole axis through the stacked kernel
+    (:class:`SweepEngine` with ``batched=True``); with an engine supplied,
+    the engine's own configuration wins.
     """
     metric_fn = resolve_metric(metric)
     if engine is None:
-        engine = SweepEngine()
+        engine = SweepEngine(batched=batched)
     solutions = engine.run_chain(axis.models(base_model))
     values = np.asarray([metric_fn(s) for s in solutions], dtype=float)
     return Series(
@@ -122,15 +126,18 @@ def sweep_many(
     bg_probabilities: Sequence[float],
     *,
     engine: SweepEngine | None = None,
+    batched: bool = False,
 ) -> list[Series]:
     """One curve per background probability along ``axis``.
 
     Each probability is an independent chain, so an engine with
-    ``jobs > 1`` solves the curves in parallel.
+    ``jobs > 1`` solves the curves in parallel; ``batched=True`` (without
+    an explicit engine) pools every curve's points into stacked kernel
+    calls instead.
     """
     metric_fn = resolve_metric(metric)
     if engine is None:
-        engine = SweepEngine()
+        engine = SweepEngine(batched=batched)
     chains = [
         axis.models(base_model.with_bg_probability(p)) for p in bg_probabilities
     ]

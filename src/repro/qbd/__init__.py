@@ -32,11 +32,17 @@ from repro.qbd.rmatrix import (
     r_matrix_natural_iteration,
     r_matrix_newton,
 )
+from repro.qbd.batched import (
+    BatchedSolveReport,
+    batched_r_matrix,
+    solve_qbd_batched,
+)
 from repro.qbd.boundary import solve_boundary
 from repro.qbd.mg1 import MG1Process, MG1StationaryDistribution, g_matrix_mg1, solve_mg1
 from repro.qbd.stationary import QBDStationaryDistribution, solve_qbd
 
 __all__ = [
+    "BatchedSolveReport",
     "QBDProcess",
     "SolveStats",
     "drift",
@@ -48,7 +54,9 @@ __all__ = [
     "r_matrix_newton",
     "r_matrix_from_g",
     "g_matrix_logarithmic_reduction",
+    "batched_r_matrix",
     "solve_boundary",
+    "solve_qbd_batched",
     "MG1Process",
     "MG1StationaryDistribution",
     "g_matrix_mg1",

@@ -27,6 +27,7 @@ import networkx as nx
 import numpy as np
 
 from repro.contracts.checks import (
+    certify_spectral_radius_below_one,
     check_finite,
     check_generator,
     check_nonnegative,
@@ -568,8 +569,14 @@ def r_matrix(
             total_iterations += iters
             # The minimal solution is the unique one with sp(R) < 1 (the
             # QBD is positive recurrent here), so this certifies that the
-            # warm start did not land on a spurious fixed point.
-            if _spectral_radius(cand) < 1.0 and not np.any(cand < -1e-9):
+            # warm start did not land on a spurious fixed point.  The
+            # tiered certificate (inf-norm, then Collatz-Wielandt, then
+            # eigenvalues) avoids a full eigenvalue solve on every warm
+            # point; its Collatz-Wielandt tiers need a non-negative
+            # iterate, so reject negative entries first.
+            if not np.any(cand < -1e-9) and certify_spectral_radius_below_one(
+                np.clip(cand, 0.0, None)
+            ):
                 r, used, warm_started = cand, warm_name, True
             else:
                 attempted.append(f"{warm_name}(warm)")

@@ -5,6 +5,7 @@ from __future__ import annotations
 from functools import cached_property
 
 import numpy as np
+import scipy.linalg
 
 from repro.contracts.checks import (
     check_probability_vector,
@@ -42,6 +43,18 @@ class QBDStationaryDistribution:
         self._pi_boundary = np.asarray(pi_boundary, dtype=float)
         self._pi_first = np.asarray(pi_first, dtype=float)
         self._solve_stats = solve_stats
+        # Memoized levels pi_1, pi_2, ... built by vector recurrence
+        # pi_{k+1} = pi_k R; grows on demand (level/tail_mass/residual).
+        self._levels: list[np.ndarray] = [self._pi_first]
+
+    def __setstate__(self, state: dict) -> None:
+        # Solutions pickled before the LU refactor carry neither the level
+        # memo nor the LU slot; re-derive what is missing and drop the
+        # stale dense-inverse cache so old on-disk cache entries keep
+        # working.
+        self.__dict__.update(state)
+        self.__dict__.pop("_inv_i_minus_r", None)
+        self.__dict__.setdefault("_levels", [self._pi_first])
 
     @property
     def qbd(self) -> QBDProcess:
@@ -65,31 +78,57 @@ class QBDStationaryDistribution:
         return self._pi_boundary
 
     @cached_property
-    def _inv_i_minus_r(self) -> np.ndarray:
-        return np.linalg.inv(np.eye(self._r.shape[0]) - self._r)
+    def _i_minus_r_lu(self) -> tuple[np.ndarray, np.ndarray]:
+        """LU factorization of ``I - R``, shared by every level sum.
+
+        Factoring once replaces the repeated ``inv(I-R)``-sized work of
+        ``repeating_mass``/``repeating_level_weighted``/``tail_mass`` with
+        one O(m^3) factorization plus O(m^2) triangular solves.
+        """
+        return scipy.linalg.lu_factor(np.eye(self._r.shape[0]) - self._r)
+
+    def _apply_inv_i_minus_r(self, row: np.ndarray) -> np.ndarray:
+        """``row (I-R)^{-1}`` via the cached LU (transposed solve)."""
+        return scipy.linalg.lu_solve(self._i_minus_r_lu, row, trans=1)
 
     def level(self, k: int) -> np.ndarray:
         """Stationary probabilities of repeating level ``k`` (k >= 1)."""
         if k < 1:
             raise ValueError(f"repeating levels are numbered from 1, got {k}")
-        return self._pi_first @ np.linalg.matrix_power(self._r, k - 1)
+        while len(self._levels) < k:
+            self._levels.append(self._levels[-1] @ self._r)
+        return self._levels[k - 1]
 
     @cached_property
     def repeating_mass(self) -> np.ndarray:
         """``sum_{k>=1} pi_k`` -- total phase mass of the repeating portion."""
-        return self._pi_first @ self._inv_i_minus_r
+        return self._apply_inv_i_minus_r(self._pi_first)
 
     @cached_property
     def repeating_level_weighted(self) -> np.ndarray:
         """``sum_{k>=1} k pi_k = pi_1 (I-R)^{-2}``."""
-        return self._pi_first @ self._inv_i_minus_r @ self._inv_i_minus_r
+        return self._apply_inv_i_minus_r(self.repeating_mass)
 
     def tail_mass(self, from_level: int) -> np.ndarray:
         """``sum_{k>=from_level} pi_k`` for ``from_level >= 1``."""
         if from_level < 1:
             raise ValueError(f"from_level must be >= 1, got {from_level}")
-        power = np.linalg.matrix_power(self._r, from_level - 1)
-        return self._pi_first @ power @ self._inv_i_minus_r
+        return self._apply_inv_i_minus_r(self.level(from_level))
+
+    def _seed_level_sums(
+        self, repeating_mass: np.ndarray, repeating_level_weighted: np.ndarray
+    ) -> None:
+        """Pre-populate the cached level sums.
+
+        The batched kernel (:mod:`repro.qbd.batched`) computes the
+        ``(I-R)^{-1}`` sums for a whole stack of solutions in one batched
+        solve; seeding the ``cached_property`` slots here lets the per-item
+        distributions reuse that work.  Seeded values must agree with the
+        lazy LU path to solver accuracy -- they are the same linear systems
+        solved by a different (batched) factorization.
+        """
+        self.__dict__["repeating_mass"] = repeating_mass
+        self.__dict__["repeating_level_weighted"] = repeating_level_weighted
 
     @cached_property
     def total_mass(self) -> float:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.contracts import (
     ContractViolation,
+    certify_spectral_radius_below_one,
     check_drift_stable,
     check_finite,
     check_generator,
@@ -154,6 +155,41 @@ class TestRMatrixCheck:
         check_r_matrix(np.array([[0.1, 0.95], [0.05, 0.1]]), "R")
         with pytest.raises(ContractViolation, match="spectral radius"):
             check_r_matrix(np.array([[0.1, 1.2], [1.2, 0.1]]), "R")
+
+
+class TestSpectralRadiusCertificate:
+    def test_inf_norm_fast_path(self):
+        assert certify_spectral_radius_below_one(
+            np.array([[0.3, 0.1], [0.0, 0.2]])
+        )
+
+    def test_collatz_wielandt_tier(self):
+        # ||R||_inf > 1 but sp(R) < 1: needs a tier beyond the norm.
+        assert certify_spectral_radius_below_one(
+            np.array([[0.1, 0.95], [0.05, 0.1]])
+        )
+
+    def test_rejects_radius_at_least_one(self):
+        assert not certify_spectral_radius_below_one(np.array([[1.0]]))
+        assert not certify_spectral_radius_below_one(
+            np.array([[0.1, 1.2], [1.2, 0.1]])
+        )
+
+    def test_matches_eigenvalue_oracle_on_random_matrices(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            n = rng.integers(1, 6)
+            r = rng.uniform(0.0, 0.6, size=(n, n))
+            certified = certify_spectral_radius_below_one(r)
+            truth = float(np.max(np.abs(np.linalg.eigvals(r)))) < 1.0
+            assert certified == truth
+
+    def test_runs_with_contracts_disabled(self, monkeypatch):
+        # A boolean query, not a gated check: callers (the warm-start
+        # minimality test) rely on it regardless of the switch.
+        monkeypatch.setenv(ENV_SWITCH, "off")
+        assert certify_spectral_radius_below_one(np.array([[0.5]]))
+        assert not certify_spectral_radius_below_one(np.array([[2.0]]))
 
 
 class TestDriftCheck:

@@ -103,6 +103,54 @@ class TestDiagnostics:
             solve_boundary(qbd, np.eye(2))
 
 
+class TestLevelSumFactorization:
+    """The LU refactor must not change any published quantity."""
+
+    def test_residual_unchanged_by_lu_refactor(self):
+        # The residual is the solution-quality oracle: computing the level
+        # sums through the shared LU factorization (instead of a dense
+        # inverse per quantity) must leave it at solver accuracy.
+        sol = solve_qbd(mmpp_m1_qbd(util=0.7))
+        assert sol.residual(levels=8) < 1e-9
+
+    def test_level_sums_match_explicit_inverse(self):
+        sol = solve_qbd(mmpp_m1_qbd(util=0.8))
+        inv = np.linalg.inv(np.eye(sol.r.shape[0]) - sol.r)
+        pi1 = sol.level(1)
+        np.testing.assert_allclose(
+            sol.repeating_mass, pi1 @ inv, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            sol.repeating_level_weighted, pi1 @ inv @ inv, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            sol.tail_mass(3), sol.level(3) @ inv, atol=1e-12
+        )
+
+    def test_levels_are_memoized(self):
+        sol = solve_qbd(mmpp_m1_qbd())
+        assert sol.level(4) is sol.level(4)
+
+    def test_old_pickle_state_restores(self):
+        # Cache entries pickled before the refactor restore __dict__
+        # directly: no _levels memo, plus a stale dense-inverse slot.
+        sol = solve_qbd(mmpp_m1_qbd(util=0.6))
+        expected = sol.repeating_mass.copy()
+        state = {
+            "_qbd": sol.qbd,
+            "_r": sol.r,
+            "_pi_boundary": sol.boundary,
+            "_pi_first": sol.level(1),
+            "_solve_stats": sol.solve_stats,
+            "_inv_i_minus_r": np.eye(sol.r.shape[0]),  # stale, must drop
+        }
+        restored = object.__new__(type(sol))
+        restored.__setstate__(state)
+        assert "_inv_i_minus_r" not in restored.__dict__
+        np.testing.assert_allclose(restored.repeating_mass, expected, atol=1e-12)
+        assert restored.residual(levels=6) < 1e-9
+
+
 class TestRepr:
     def test_repr_mentions_spectral_radius(self):
         assert "spectral_radius" in repr(solve_qbd(mm1_qbd()))
