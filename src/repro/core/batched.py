@@ -10,17 +10,29 @@ solve, and the per-model metrics come out of the same
 ``model.solve()`` -- so batched and sequential solutions agree to solver
 tolerance (including the deliberate NaN ``bg_completion_rate`` of the
 near-zero-``p`` group).
+
+With ``on_error="skip"|"collect"`` a poisoned item no longer sinks its
+group: its solution slot is ``None``, its failure is reported (with its
+index remapped to the *input* model order) in the group's
+:class:`~repro.qbd.batched.BatchedSolveReport`, and every other item
+solves normally.  ``escalate=True`` additionally routes failed items
+through the truncated dense-chain rung before giving up on them.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import replace
 from typing import Literal, cast, overload
 
 from repro.core.metrics import compute_metrics
 from repro.core.model import FgBgModel
 from repro.core.result import FgBgSolution
-from repro.qbd.batched import BatchedSolveReport, solve_qbd_batched
+from repro.qbd.batched import (
+    BatchedItemFailure,
+    BatchedSolveReport,
+    solve_qbd_batched,
+)
 
 __all__ = ["solve_models_batched"]
 
@@ -30,6 +42,8 @@ def solve_models_batched(
     models: Iterable[FgBgModel],
     tol: float = ...,
     return_reports: Literal[False] = ...,
+    on_error: Literal["raise"] = ...,
+    escalate: bool = ...,
 ) -> list[FgBgSolution]: ...
 
 
@@ -39,14 +53,33 @@ def solve_models_batched(
     tol: float = ...,
     *,
     return_reports: Literal[True],
+    on_error: Literal["raise"] = ...,
+    escalate: bool = ...,
 ) -> tuple[list[FgBgSolution], list[BatchedSolveReport]]: ...
+
+
+@overload
+def solve_models_batched(
+    models: Iterable[FgBgModel],
+    tol: float = ...,
+    *,
+    return_reports: Literal[True],
+    on_error: str,
+    escalate: bool = ...,
+) -> tuple[list[FgBgSolution | None], list[BatchedSolveReport]]: ...
 
 
 def solve_models_batched(
     models: Iterable[FgBgModel],
     tol: float = 1e-12,
     return_reports: bool = False,
-) -> list[FgBgSolution] | tuple[list[FgBgSolution], list[BatchedSolveReport]]:
+    on_error: str = "raise",
+    escalate: bool = False,
+) -> (
+    list[FgBgSolution]
+    | list[FgBgSolution | None]
+    | tuple[list[FgBgSolution | None], list[BatchedSolveReport]]
+):
     """Solve many models through the batched kernel; order is preserved.
 
     Parameters
@@ -58,41 +91,75 @@ def solve_models_batched(
         R-iteration tolerance (matches ``model.solve(tol=...)``).
     return_reports:
         When True, also return one :class:`BatchedSolveReport` per shape
-        group, in first-appearance order.
+        group, in first-appearance order; failure indices inside the
+        reports refer to the *input* model order.
+    on_error:
+        ``"raise"`` (default) propagates the first failure; ``"skip"`` /
+        ``"collect"`` isolate failures per item -- the failed model's
+        solution slot is ``None`` and its failure is reported, while the
+        rest of its shape group solves normally.
+    escalate:
+        Route items the matrix-geometric pipeline fails through the
+        truncated dense-chain rung before giving up (see
+        :func:`repro.qbd.batched.solve_qbd_batched`).
 
     Raises
     ------
     ValueError
-        If ``models`` is empty or any model is unstable (same message a
-        sequential ``model.solve()`` raises, before any solving starts).
+        If ``models`` is empty, or (in ``"raise"`` mode) any model is
+        unstable -- the same message a sequential ``model.solve()``
+        raises, before any solving starts.  Unstable models are never
+        escalated: no stationary regime exists to degrade to.
     """
     models = list(models)
     if not models:
         raise ValueError("solve_models_batched needs at least one model")
-    for model in models:
+    failures: dict[int, BatchedItemFailure] = {}
+    for index, model in enumerate(models):
         if not isinstance(model, FgBgModel):
             raise TypeError(
                 f"expected FgBgModel instances, got {type(model).__name__}"
             )
         if not model.is_stable:
-            raise ValueError(
+            error = ValueError(
                 f"model is unstable: foreground utilization "
                 f"{model.fg_utilization:.4g} >= 1; no stationary regime exists"
             )
+            if on_error == "raise":
+                raise error
+            failures[index] = BatchedItemFailure(
+                index=index,
+                stage="precheck",
+                error_type="ValueError",
+                message=str(error),
+                error=error,
+            )
     groups: dict[tuple[int, int], list[int]] = {}
     for index, model in enumerate(models):
+        if index in failures:
+            continue
         qbd = model.qbd
         groups.setdefault((qbd.boundary_size, qbd.phase_count), []).append(
             index
         )
     solutions: list[FgBgSolution | None] = [None] * len(models)
     reports: list[BatchedSolveReport] = []
-    for indices in groups.values():
+    for (boundary_size, phase_count), indices in groups.items():
         distributions, report = solve_qbd_batched(
-            [models[i].qbd for i in indices], tol=tol, return_report=True
+            [models[i].qbd for i in indices],
+            tol=tol,
+            return_report=True,
+            on_error=on_error,
+            escalate=escalate,
         )
-        reports.append(report)
+        # Group-local failure indices -> input model order.
+        group_failures = tuple(
+            replace(f, index=indices[f.index]) for f in report.failures
+        )
+        reports.append(replace(report, failures=group_failures))
         for i, distribution in zip(indices, distributions):
+            if distribution is None:
+                continue
             model = models[i]
             solutions[i] = compute_metrics(
                 space=model.state_space,
@@ -101,9 +168,28 @@ def solve_models_batched(
                 service_rate=model.service_rate,
                 bg_probability=model.bg_probability,
             )
-    # Every index belongs to exactly one group, so no slot is left None;
-    # the cast records that invariant for the type checker.
-    solved = cast("list[FgBgSolution]", solutions)
+    if failures:
+        # Precheck failures (unstable models) never reached a shape
+        # group; report them in a synthetic zero-work report so callers
+        # see every failure through the same channel.
+        reports.append(
+            BatchedSolveReport(
+                batch_size=len(failures),
+                phase_count=0,
+                iterations=0,
+                max_iterations=0,
+                wall_time_ms=0.0,
+                failures=tuple(failures[i] for i in sorted(failures)),
+            )
+        )
+    if on_error == "raise":
+        # Every index belongs to exactly one group and no failure was
+        # isolated, so no slot is left None; the cast records that
+        # invariant for the type checker.
+        solved = cast("list[FgBgSolution]", solutions)
+        if return_reports:
+            return solved, reports
+        return solved
     if return_reports:
-        return solved, reports
-    return solved
+        return solutions, reports
+    return solutions

@@ -172,6 +172,7 @@ class FgBgModel:
         algorithm: str = "logarithmic-reduction",
         tol: float = 1e-12,
         initial_r: np.ndarray | None = None,
+        escalate: bool = False,
     ) -> FgBgSolution:
         """Solve the model and return all stationary metrics.
 
@@ -187,11 +188,19 @@ class FgBgModel:
             ``solution.qbd_solution.r`` of a nearby parameter point; see
             :func:`repro.qbd.rmatrix.r_matrix`.  Warm-started results
             agree with cold solves to solver tolerance.
+        escalate:
+            Enable the truncated dense-chain rung of the escalation
+            ladder (see :func:`repro.qbd.stationary.solve_qbd`): when
+            every R iteration fails, the metrics come from an adaptively
+            truncated dense solve and
+            ``solution.qbd_solution.solve_stats.degraded`` is True.
 
         Raises
         ------
         ValueError
-            If the model is unstable (``fg_utilization >= 1``).
+            If the model is unstable (``fg_utilization >= 1``) -- with or
+            without ``escalate``; degradation never fabricates a
+            stationary regime.
         """
         if not self.is_stable:
             raise ValueError(
@@ -200,7 +209,8 @@ class FgBgModel:
             )
         qbd, space = self._qbd_and_space
         qbd_solution = solve_qbd(
-            qbd, algorithm=algorithm, tol=tol, initial_r=initial_r
+            qbd, algorithm=algorithm, tol=tol, initial_r=initial_r,
+            escalate=escalate,
         )
         return compute_metrics(
             space=space,

@@ -17,14 +17,36 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import signal
 from pathlib import Path
 
 from repro.contracts.errors import ContractViolation
 from repro.contracts.solution import check_solution
 from repro.core.model import FgBgModel
 from repro.core.result import FgBgSolution
+from repro.faults import fire as _fault_fire
 
 __all__ = ["SolveCache", "solve_key"]
+
+#: Suffix quarantined files get: corrupt entries become
+#: ``<key>.pkl.corrupt``, orphaned temp files ``<name>.orphan``.  Neither
+#: matches the ``<key>.pkl`` lookup pattern, so quarantined data can never
+#: be served -- but it stays on disk for post-mortems.
+CORRUPT_SUFFIX = ".corrupt"
+ORPHAN_SUFFIX = ".orphan"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid currently running?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    except OSError:  # pragma: no cover - platform oddity: assume alive
+        return True
+    return True
 
 
 def solve_key(
@@ -55,6 +77,33 @@ class SolveCache:
             self._directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries moved aside by :meth:`quarantine` (this process).
+        self.quarantined = 0
+        #: Orphaned ``*.tmp.<pid>`` files swept aside when the cache opened.
+        self.stale_tmp_swept = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Quarantine temp files abandoned by dead writers.
+
+        :meth:`put` writes ``<key>.pkl.tmp.<pid>`` and atomically renames
+        it into place; a writer killed mid-write leaves the temp file
+        behind.  On open, any temp file whose writer pid is no longer
+        alive (or whose name does not parse) is renamed to
+        ``*.orphan`` -- it can never be served, but a torn write stays
+        inspectable.  Temp files of live sibling writers are left alone.
+        """
+        if self._directory is None:
+            return 0
+        swept = 0
+        for tmp in self._directory.glob("*.pkl.tmp.*"):
+            if tmp.name.endswith(ORPHAN_SUFFIX):
+                continue
+            suffix = tmp.name.rsplit(".", 1)[-1]
+            if suffix.isdigit() and _pid_alive(int(suffix)):
+                continue
+            os.replace(tmp, tmp.with_name(tmp.name + ORPHAN_SUFFIX))
+            swept += 1
+        return swept
 
     @property
     def directory(self) -> Path | None:
@@ -106,6 +155,25 @@ class SolveCache:
         self.hits += 1
         return solution
 
+    def quarantine(self, key: str) -> Path | None:
+        """Move a corrupt entry aside so it is never served again.
+
+        The on-disk file is renamed to ``<key>.pkl.corrupt`` (clobbering
+        any earlier quarantine of the same key) and the in-memory copy is
+        dropped.  Returns the quarantine path, or ``None`` when there was
+        no on-disk entry to move.
+        """
+        self._memory.pop(key, None)
+        self.quarantined += 1
+        if self._directory is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        target = path.with_name(path.name + CORRUPT_SUFFIX)
+        os.replace(path, target)
+        return target
+
     def put(self, key: str, solution: FgBgSolution) -> None:
         """Store a solution under ``key`` (atomically on disk)."""
         self._memory[key] = solution
@@ -114,7 +182,21 @@ class SolveCache:
             tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
             with tmp.open("wb") as fh:
                 pickle.dump(solution, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            if _fault_fire("cache_corrupt"):
+                # Torn write / bit rot: keep only half the pickle, and
+                # drop the memory copy so this very process re-reads the
+                # truncated bytes (a real torn write implies the writer
+                # died, so no process holds the good copy in memory).
+                size = tmp.stat().st_size
+                with tmp.open("ab") as fh:
+                    fh.truncate(max(1, size // 2))
+                self._memory.pop(key, None)
             os.replace(tmp, path)
+            if _fault_fire("kill_run"):
+                # Crash-safety probe: die *after* the entry landed, the
+                # way a power cut ends a run -- resume tests replay from
+                # exactly this state.
+                os.kill(os.getpid(), signal.SIGKILL)
 
     def clear(self) -> None:
         """Drop the in-memory layer (on-disk entries are kept)."""

@@ -19,33 +19,76 @@ Warm-started results agree with cold solves to solver tolerance; cached
 results are bit-identical to the solve that populated the entry; batched
 results agree with sequential results to solver tolerance (bitwise for
 the R matrices in practice).
+
+Resilience (see :mod:`repro.engine.resilience`): ``on_error`` isolates
+per-point solve failures instead of sinking the sweep, ``escalate``
+enables the truncated dense-chain rung of the solver escalation ladder,
+corrupt cache entries are quarantined and re-solved, crashed or hung
+worker processes are retried with backoff, bounded-requeued, and finally
+replaced by an in-parent serial solve -- so a sweep either finishes with
+every healthy point intact or raises, never silently drops work.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import time
+import warnings
 from collections.abc import Iterable, Sequence
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
+from repro.contracts.errors import ContractViolation
 from repro.core.batched import solve_models_batched
 from repro.core.model import FgBgModel
 from repro.core.result import FgBgSolution
 from repro.engine.cache import SolveCache, solve_key
+from repro.engine.resilience import (
+    FailedSolve,
+    ResilienceWarning,
+    failure_from_exception,
+    validate_on_error,
+)
 from repro.engine.stats import BatchGroupRecord, EngineStats, SolveRecord
+from repro.faults import fire as _fault_fire
+from repro.qbd.rmatrix import QBDConvergenceError
 
 __all__ = ["SweepEngine"]
+
+#: Bounded-requeue depth: how many times a crashed/hung worker chain is
+#: re-submitted to a fresh pool before the parent solves it in-process.
+DEFAULT_MAX_RETRIES = 2
+
+#: Backoff before the first chain re-submission; doubles per retry round.
+DEFAULT_RETRY_BACKOFF_MS = 100.0
+
+#: Solve failures ``on_error`` isolates: solver divergence, a singular
+#: boundary system, an invalid/unstable model, a contract violation.
+#: Anything else (a TypeError, a genuine bug) always propagates.
+_SOLVE_FAILURES = (
+    QBDConvergenceError,
+    np.linalg.LinAlgError,
+    ContractViolation,
+    ValueError,
+)
 
 
 def _run_chain_worker(
     config: dict, models: list[FgBgModel]
-) -> tuple[list[FgBgSolution], list[SolveRecord]]:
+) -> tuple[list[FgBgSolution | None], list[SolveRecord], list[FailedSolve]]:
     """Solve one chain in a worker process (must be module-level to pickle).
 
     Workers share the parent's on-disk cache directory (if any); in-memory
-    entries are merged back by the parent from the returned records.
+    entries are merged back by the parent from the returned solutions, and
+    isolated failures ride back next to the records.
     """
+    if _fault_fire("worker_kill"):
+        # Chaos probe: die the way an OOM-killed worker dies -- no Python
+        # teardown, the parent sees a BrokenProcessPool and must requeue.
+        os.kill(os.getpid(), signal.SIGKILL)
     cache_dir = config["cache_dir"]
     engine = SweepEngine(
         jobs=1,
@@ -53,9 +96,26 @@ def _run_chain_worker(
         warm_start=config["warm_start"],
         algorithm=config["algorithm"],
         tol=config["tol"],
+        on_error=config["on_error"],
+        escalate=config["escalate"],
     )
     solutions = engine.run_chain(models)
-    return solutions, engine.stats.records
+    return solutions, engine.stats.records, engine.stats.failures
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Force-kill a pool's workers so a hung chain cannot block shutdown.
+
+    Reaches into the executor's process table (stable across supported
+    CPython versions); guarded so a missing attribute degrades to the
+    plain non-blocking shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
 
 
 class SweepEngine:
@@ -91,6 +151,33 @@ class SweepEngine:
         stage.
     algorithm, tol:
         Passed through to :meth:`FgBgModel.solve`.
+    on_error:
+        ``"raise"`` (default) propagates the first solve failure --
+        the historical behavior.  ``"skip"`` and ``"collect"`` isolate
+        failures per point: the failed point's solution slot is ``None``
+        (NaN in any derived series) and every healthy point still solves.
+        ``"skip"`` emits a :class:`~repro.engine.resilience.ResilienceWarning`
+        per failure and records :class:`ContractViolation` failures in
+        :attr:`stats` ``.failures`` (a contract violation is never
+        silently swallowed); ``"collect"`` records *every* failure as a
+        structured :class:`~repro.engine.resilience.FailedSolve` and
+        warns about none of them.
+    escalate:
+        Enable the truncated dense-chain rung of the solver escalation
+        ladder (see :func:`repro.qbd.stationary.solve_qbd`); escalated
+        solves are flagged ``degraded`` in their
+        :class:`~repro.qbd.rmatrix.SolveStats`.
+    max_retries:
+        How many times a crashed or hung worker chain is re-submitted
+        (with backoff) before the parent solves it serially in-process.
+        ``0`` goes straight to the in-parent fallback.
+    retry_backoff_ms:
+        Backoff before the first re-submission; doubles per retry round.
+    chain_timeout_ms:
+        Optional wall-time limit per worker chain; a chain that exceeds
+        it is treated like a crashed worker (requeue, then in-parent).
+        ``None`` (default) trusts the solver's own iteration/time budget
+        (``REPRO_SOLVER_BUDGET_MS``) to bound every solve.
     """
 
     def __init__(
@@ -102,6 +189,11 @@ class SweepEngine:
         batched: bool = False,
         algorithm: str = "logarithmic-reduction",
         tol: float = 1e-12,
+        on_error: str = "raise",
+        escalate: bool = False,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS,
+        chain_timeout_ms: float | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -109,6 +201,16 @@ class SweepEngine:
             raise ValueError(
                 "batched solving supports only the logarithmic-reduction "
                 f"algorithm, got {algorithm!r}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_ms < 0:
+            raise ValueError(
+                f"retry_backoff_ms must be >= 0, got {retry_backoff_ms}"
+            )
+        if chain_timeout_ms is not None and chain_timeout_ms <= 0:
+            raise ValueError(
+                f"chain_timeout_ms must be positive, got {chain_timeout_ms}"
             )
         self.jobs = jobs
         if cache is not None and not isinstance(cache, SolveCache):
@@ -118,31 +220,91 @@ class SweepEngine:
         self.batched = batched
         self.algorithm = algorithm
         self.tol = tol
+        self.on_error = validate_on_error(on_error)
+        self.escalate = escalate
+        self.max_retries = max_retries
+        self.retry_backoff_ms = retry_backoff_ms
+        self.chain_timeout_ms = chain_timeout_ms
         self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Failure bookkeeping
+    # ------------------------------------------------------------------
+    def _record_failure(self, failure: FailedSolve) -> None:
+        """Apply the ``on_error`` policy to one isolated failure.
+
+        Callers only reach this in ``"skip"``/``"collect"`` mode (or for
+        always-recoverable stages like cache quarantine and worker
+        crashes, which are isolated in every mode).
+        """
+        if self.on_error == "collect" or failure.contract_violation:
+            self.stats.add_failure(failure)
+        if self.on_error == "skip":
+            warnings.warn(str(failure), ResilienceWarning, stacklevel=3)
 
     # ------------------------------------------------------------------
     # Single solves
     # ------------------------------------------------------------------
+    def _cache_lookup(self, key: str, fingerprint: str) -> FgBgSolution | None:
+        """Cache get with quarantine: a corrupt entry is moved aside,
+        recorded as a ``"cache-load"`` failure (in *every* ``on_error``
+        mode -- the point is re-solved, so nothing is lost), and treated
+        as a miss."""
+        if self.cache is None:
+            return None
+        try:
+            return self.cache.get(key)
+        except ContractViolation as exc:
+            quarantined = self.cache.quarantine(key)
+            attempts = (
+                () if quarantined is None else (f"quarantined:{quarantined.name}",)
+            )
+            failure = failure_from_exception(
+                fingerprint, exc, stage="cache-load", attempts=attempts
+            )
+            self.stats.add_failure(failure)
+            if self.on_error == "skip":
+                warnings.warn(
+                    f"corrupt cache entry quarantined; re-solving: {failure}",
+                    ResilienceWarning,
+                    stacklevel=3,
+                )
+            return None
+
     def solve(
         self, model: FgBgModel, initial_r: np.ndarray | None = None
-    ) -> FgBgSolution:
+    ) -> FgBgSolution | None:
         """Solve one model, consulting the cache first.
 
         ``initial_r`` warm-starts the R iteration of a fresh solve; it is
         ignored on a cache hit (the cached solution is already exact).
+        With ``on_error="skip"``/``"collect"`` a failed solve returns
+        ``None`` instead of raising (see the class docstring); failed
+        points get no :class:`~repro.engine.stats.SolveRecord` -- their
+        :class:`~repro.engine.resilience.FailedSolve` is the record.
         """
         fingerprint = model.fingerprint()
         key = solve_key(fingerprint, self.algorithm, self.tol)
-        if self.cache is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                self.stats.add(
-                    SolveRecord(fingerprint, cache_hit=True, stats=cached.solve_stats)
-                )
-                return cached
-        solution = model.solve(
-            algorithm=self.algorithm, tol=self.tol, initial_r=initial_r
-        )
+        cached = self._cache_lookup(key, fingerprint)
+        if cached is not None:
+            self.stats.add(
+                SolveRecord(fingerprint, cache_hit=True, stats=cached.solve_stats)
+            )
+            return cached
+        try:
+            solution = model.solve(
+                algorithm=self.algorithm,
+                tol=self.tol,
+                initial_r=initial_r,
+                escalate=self.escalate,
+            )
+        except _SOLVE_FAILURES as exc:
+            if self.on_error == "raise":
+                raise
+            self._record_failure(
+                failure_from_exception(fingerprint, exc, stage="solve")
+            )
+            return None
         if self.cache is not None:
             self.cache.put(key, solution)
         self.stats.add(
@@ -153,7 +315,9 @@ class SweepEngine:
     # ------------------------------------------------------------------
     # Batches
     # ------------------------------------------------------------------
-    def solve_batch(self, models: Iterable[FgBgModel]) -> list[FgBgSolution]:
+    def solve_batch(
+        self, models: Iterable[FgBgModel]
+    ) -> list[FgBgSolution | None]:
         """Solve many models through the batched kernel, cache first.
 
         Cache hits (and duplicate models) are served individually; the
@@ -162,7 +326,10 @@ class SweepEngine:
         stacked kernel call per group, recorded in
         :attr:`stats` ``.batch_groups``.  Solutions come back in input
         order and fresh ones populate the cache, so a later sequential or
-        batched run over the same models is all hits.
+        batched run over the same models is all hits.  With
+        ``on_error="skip"``/``"collect"``, a poisoned item is isolated to
+        its own slot (``None``) per the kernel's item-level fallback --
+        the rest of its shape group solves normally.
         """
         models = list(models)
         if not models:
@@ -171,84 +338,95 @@ class SweepEngine:
             solve_key(m.fingerprint(), self.algorithm, self.tol)
             for m in models
         ]
-        served: dict[str, FgBgSolution] = {}
+        served: dict[str, FgBgSolution | None] = {}
         pending: dict[str, FgBgModel] = {}
         for model, key in zip(models, keys):
             if key in served or key in pending:
                 continue
-            if self.cache is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    served[key] = cached
-                    continue
+            cached = self._cache_lookup(key, model.fingerprint())
+            if cached is not None:
+                served[key] = cached
+                continue
             pending[key] = model
         if pending:
             pending_keys = list(pending)
+            pending_models = list(pending.values())
             solutions, reports = solve_models_batched(
-                list(pending.values()), tol=self.tol, return_reports=True
+                pending_models,
+                tol=self.tol,
+                return_reports=True,
+                on_error=self.on_error,
+                escalate=self.escalate,
             )
-            # solve_models_batched groups by shape in first-appearance
-            # order, so the reports align with the shapes in that order.
-            group_shapes: list[tuple[int, int]] = []
-            for model in pending.values():
-                qbd = model.qbd
-                shape = (qbd.boundary_size, qbd.phase_count)
-                if shape not in group_shapes:
-                    group_shapes.append(shape)
-            for shape, report in zip(group_shapes, reports):
+            for report in reports:
                 self.stats.add_batch_group(
                     BatchGroupRecord(
-                        boundary_size=shape[0],
-                        phase_count=shape[1],
+                        boundary_size=report.boundary_size,
+                        phase_count=report.phase_count,
                         report=report,
                     )
                 )
+                for item in report.failures:
+                    self._record_failure(
+                        FailedSolve(
+                            fingerprint=pending_models[item.index].fingerprint(),
+                            stage="batched",
+                            error_type=item.error_type,
+                            message=item.message,
+                            contract_violation=item.contract_violation,
+                            attempts=item.attempts,
+                        )
+                    )
             for key, solution in zip(pending_keys, solutions):
-                if self.cache is not None:
+                if solution is not None and self.cache is not None:
                     self.cache.put(key, solution)
                 served[key] = solution
         fresh_remaining = set(pending)
-        results: list[FgBgSolution] = []
+        results: list[FgBgSolution | None] = []
         for model, key in zip(models, keys):
             solution = served[key]
             cache_hit = key not in fresh_remaining
             fresh_remaining.discard(key)
-            self.stats.add(
-                SolveRecord(
-                    model.fingerprint(),
-                    cache_hit=cache_hit,
-                    stats=solution.solve_stats,
+            if solution is not None:
+                self.stats.add(
+                    SolveRecord(
+                        model.fingerprint(),
+                        cache_hit=cache_hit,
+                        stats=solution.solve_stats,
+                    )
                 )
-            )
             results.append(solution)
         return results
 
     # ------------------------------------------------------------------
     # Chains
     # ------------------------------------------------------------------
-    def run_chain(self, models: Iterable[FgBgModel]) -> list[FgBgSolution]:
+    def run_chain(
+        self, models: Iterable[FgBgModel]
+    ) -> list[FgBgSolution | None]:
         """Solve a sequence of related models in order.
 
         With :attr:`warm_start` on, each solve is seeded with the previous
         solution's R matrix -- order the chain so neighbours are close in
         parameter space (a sweep axis already is).  With :attr:`batched`
         on, the chain is handed to :meth:`solve_batch` instead (output is
-        identical to solver tolerance).
+        identical to solver tolerance).  Failed points (isolated by
+        ``on_error``) are ``None`` slots and never seed a warm start.
         """
         if self.batched:
             return self.solve_batch(models)
-        solutions: list[FgBgSolution] = []
+        solutions: list[FgBgSolution | None] = []
         prev_r: np.ndarray | None = None
         for model in models:
             solution = self.solve(model, initial_r=prev_r)
             if self.warm_start:
-                prev_r = solution.qbd_solution.r
+                prev_r = None if solution is None else solution.qbd_solution.r
             solutions.append(solution)
         return solutions
 
     def run_chains(
         self, chains: Sequence[Sequence[FgBgModel]]
-    ) -> list[list[FgBgSolution]]:
+    ) -> list[list[FgBgSolution | None]]:
         """Solve several independent chains, in parallel when ``jobs > 1``.
 
         Results are returned in chain order regardless of completion
@@ -258,12 +436,21 @@ class SweepEngine:
         :meth:`solve_batch` call (cross-chain duplicates are solved once)
         and the stacked kernel supplies the parallelism -- no worker
         processes are spawned.
+
+        A worker that crashes (``BrokenProcessPool``) or exceeds
+        :attr:`chain_timeout_ms` does not lose its chains: they are
+        re-submitted to a fresh pool up to :attr:`max_retries` times with
+        exponential backoff, then solved serially in the parent as a last
+        resort.  Each recovery is recorded as a ``"worker"``-stage
+        :class:`~repro.engine.resilience.FailedSolve` (the points
+        themselves still get correct values) and counted in
+        :attr:`stats` ``.worker_retries``.
         """
         chains = [list(chain) for chain in chains]
         if self.batched:
             flat = [model for chain in chains for model in chain]
             solutions = self.solve_batch(flat)
-            results: list[list[FgBgSolution]] = []
+            results: list[list[FgBgSolution | None]] = []
             cursor = 0
             for chain in chains:
                 results.append(solutions[cursor : cursor + len(chain)])
@@ -274,7 +461,7 @@ class SweepEngine:
         # Chains fully present in the parent cache are served directly --
         # worker processes cannot see the parent's in-memory layer.
         pending = list(range(len(chains)))
-        results_by_index: dict[int, list[FgBgSolution]] = {}
+        results_by_index: dict[int, list[FgBgSolution | None]] = {}
         if self.cache is not None:
             for index in list(pending):
                 keys = [
@@ -294,27 +481,120 @@ class SweepEngine:
             "warm_start": self.warm_start,
             "algorithm": self.algorithm,
             "tol": self.tol,
+            "on_error": self.on_error,
+            "escalate": self.escalate,
         }
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_chain_worker, config, chains[index])
-                for index in pending
-            ]
-            results = [future.result() for future in futures]
-        for index, (solutions, records) in zip(pending, results):
-            self.stats.extend(records)
-            if self.cache is not None:
-                for record, solution in zip(records, solutions):
-                    key = solve_key(record.fingerprint, self.algorithm, self.tol)
-                    if key not in self.cache:
-                        self.cache.put(key, solution)
-            results_by_index[index] = solutions
+        attempts = dict.fromkeys(pending, 0)
+        last_error: dict[int, BaseException] = {}
+        queue = list(pending)
+        while queue:
+            retry: list[int] = []
+            retry.extend(self._run_worker_round(chains, config, queue,
+                                                results_by_index, last_error))
+            queue = []
+            exhausted: list[int] = []
+            for index in retry:
+                attempts[index] += 1
+                self.stats.worker_retries += 1
+                if attempts[index] <= self.max_retries:
+                    queue.append(index)
+                else:
+                    exhausted.append(index)
+            for index in exhausted:
+                # Bounded requeue exhausted: solve in the parent, where a
+                # deterministic worker fault cannot reach, and record how
+                # the chain was recovered.
+                error = last_error[index]
+                self.stats.add_failure(
+                    FailedSolve(
+                        fingerprint=chains[index][0].fingerprint(),
+                        stage="worker",
+                        error_type=type(error).__name__,
+                        message=(
+                            f"worker chain {index} failed "
+                            f"{attempts[index]} time(s): {error}"
+                        ),
+                        attempts=tuple(
+                            f"worker-attempt-{n + 1}"
+                            for n in range(attempts[index])
+                        )
+                        + ("in-parent-serial",),
+                    )
+                )
+                results_by_index[index] = self.run_chain(chains[index])
+            if queue:
+                backoff_ms = self.retry_backoff_ms * (
+                    2 ** (min(attempts[i] for i in queue) - 1)
+                )
+                if backoff_ms > 0:
+                    time.sleep(backoff_ms / 1000.0)
         return [results_by_index[i] for i in range(len(chains))]
+
+    def _run_worker_round(
+        self,
+        chains: list[list[FgBgModel]],
+        config: dict,
+        queue: list[int],
+        results_by_index: dict[int, list[FgBgSolution | None]],
+        last_error: dict[int, BaseException],
+    ) -> list[int]:
+        """Submit one round of worker chains; return the indices to retry.
+
+        Chains whose future breaks (``BrokenProcessPool`` takes the whole
+        pool down, so one SIGKILLed worker can fail innocent siblings --
+        they are simply requeued) or times out are returned for retry;
+        completed chains are merged into stats, cache and results.  Solve
+        exceptions raised *inside* a worker (``on_error="raise"``)
+        propagate unchanged.
+        """
+        retry: list[int] = []
+        timeout_s = (
+            None if self.chain_timeout_ms is None
+            else self.chain_timeout_ms / 1000.0
+        )
+        workers = min(self.jobs, len(queue))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        timed_out = False
+        try:
+            futures: list[tuple[int, Future]] = [
+                (index, pool.submit(_run_chain_worker, config, chains[index]))
+                for index in queue
+            ]
+            for index, future in futures:
+                try:
+                    solutions, records, failures = future.result(
+                        timeout=timeout_s  # noqa: RL003 -- stdlib Future.result takes seconds; converted from chain_timeout_ms above
+                    )
+                except (BrokenExecutor, FutureTimeoutError, OSError) as exc:
+                    timed_out = timed_out or isinstance(
+                        exc, FutureTimeoutError
+                    )
+                    last_error[index] = exc
+                    retry.append(index)
+                    continue
+                self.stats.extend(records)
+                self.stats.extend_failures(failures)
+                if self.cache is not None:
+                    for model, solution in zip(chains[index], solutions):
+                        if solution is None:
+                            continue
+                        key = solve_key(
+                            model.fingerprint(), self.algorithm, self.tol
+                        )
+                        if key not in self.cache:
+                            self.cache.put(key, solution)
+                results_by_index[index] = solutions
+        finally:
+            if timed_out:
+                # A hung worker would block the normal shutdown join.
+                _kill_pool_processes(pool)
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        return retry
 
     def __repr__(self) -> str:
         return (
             f"SweepEngine(jobs={self.jobs}, cache={self.cache!r}, "
             f"warm_start={self.warm_start}, batched={self.batched}, "
-            f"algorithm={self.algorithm!r}, tol={self.tol:g})"
+            f"algorithm={self.algorithm!r}, tol={self.tol:g}, "
+            f"on_error={self.on_error!r}, escalate={self.escalate})"
         )

@@ -13,6 +13,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.engine.resilience import FailedSolve
 from repro.qbd.batched import BatchedSolveReport
 from repro.qbd.rmatrix import SolveStats
 
@@ -69,6 +70,12 @@ class EngineStats:
 
     records: list[SolveRecord] = field(default_factory=list)
     batch_groups: list[BatchGroupRecord] = field(default_factory=list)
+    #: Structured per-point failures isolated by ``on_error`` (see
+    #: :mod:`repro.engine.resilience`); failed points have no
+    #: :class:`SolveRecord` -- the :class:`FailedSolve` *is* their record.
+    failures: list[FailedSolve] = field(default_factory=list)
+    #: Crashed/hung worker chains that were re-queued (bounded requeue).
+    worker_retries: int = 0
 
     def add(self, record: SolveRecord) -> None:
         self.records.append(record)
@@ -78,6 +85,12 @@ class EngineStats:
 
     def add_batch_group(self, record: BatchGroupRecord) -> None:
         self.batch_groups.append(record)
+
+    def add_failure(self, failure: FailedSolve) -> None:
+        self.failures.append(failure)
+
+    def extend_failures(self, failures: list[FailedSolve]) -> None:
+        self.failures.extend(failures)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -143,6 +156,33 @@ class EngineStats:
             )
         )
 
+    @property
+    def failed(self) -> int:
+        """Points isolated as :class:`FailedSolve` records."""
+        return len(self.failures)
+
+    @property
+    def degraded_solves(self) -> int:
+        """Solves served by the truncated dense-chain escalation rung.
+
+        ``getattr`` default: cache entries pickled before the escalation
+        ladder carry :class:`SolveStats` without the ``degraded`` field.
+        """
+        return sum(
+            1
+            for r in self.records
+            if r.stats is not None and getattr(r.stats, "degraded", False)
+        )
+
+    @property
+    def cache_quarantined(self) -> int:
+        """Corrupt cache entries quarantined and re-solved."""
+        return sum(1 for f in self.failures if f.stage == "cache-load")
+
+    def failure_stage_counts(self) -> dict[str, int]:
+        """Isolated failures per pipeline stage."""
+        return dict(Counter(f.stage for f in self.failures))
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -160,6 +200,14 @@ class EngineStats:
         }
         if self.batch_groups:
             payload["batch_groups"] = [g.as_dict() for g in self.batch_groups]
+        if self.degraded_solves:
+            payload["degraded_solves"] = self.degraded_solves
+        if self.worker_retries:
+            payload["worker_retries"] = self.worker_retries
+        if self.failures:
+            payload["failed"] = self.failed
+            payload["failure_stages"] = self.failure_stage_counts()
+            payload["failures"] = [f.as_dict() for f in self.failures]
         return payload
 
     def write_json(
@@ -174,10 +222,13 @@ class EngineStats:
     def clear(self) -> None:
         self.records.clear()
         self.batch_groups.clear()
+        self.failures.clear()
+        self.worker_retries = 0
 
     def __repr__(self) -> str:
         return (
             f"EngineStats(solves={self.solves}, cache_hits={self.cache_hits}, "
             f"warm_started={self.warm_started}, "
-            f"total_iterations={self.total_iterations})"
+            f"total_iterations={self.total_iterations}, "
+            f"failed={self.failed})"
         )

@@ -10,6 +10,7 @@ command line.
 """
 
 from repro.experiments.result import ExperimentResult
+from repro.experiments.manifest import RunManifest
 from repro.experiments.figures import (
     ALL_FIGURES,
     fig1_trace_acf,
@@ -42,6 +43,7 @@ __all__ = [
     "ExperimentResult",
     "ALL_FIGURES",
     "BG_PROBABILITIES",
+    "RunManifest",
     "SweepAxis",
     "bg_probability_axis",
     "idle_wait_axis",

@@ -1,0 +1,108 @@
+"""Crash-safe run manifest: resume a killed figure run where it stopped.
+
+A figure run with an on-disk solve cache records each figure's rendered
+output in ``<cache_dir>/run-manifest.json`` the moment the figure
+completes (written atomically, like the cache entries themselves).  After
+a crash -- power cut, OOM kill, the ``kill_run`` fault of
+:mod:`repro.faults` -- ``python -m repro.experiments ... --resume``
+replays the completed figures *verbatim* from the manifest and recomputes
+only the rest; the solve cache makes the recomputation pick up mid-sweep,
+so the resumed run's output is byte-identical to an uninterrupted run.
+
+The manifest stores the run configuration it was written under (the
+flags that change figure output); a resume under a different
+configuration starts fresh rather than replaying stale text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["MANIFEST_NAME", "MANIFEST_VERSION", "RunManifest"]
+
+#: File name of the manifest, next to the solve-cache entries.
+MANIFEST_NAME = "run-manifest.json"
+
+#: Schema version; a manifest with any other version is ignored.
+MANIFEST_VERSION = 1
+
+
+class RunManifest:
+    """Per-figure completion record of one figure run.
+
+    Parameters
+    ----------
+    path:
+        The manifest file.  Loaded if it exists and matches ``config``
+        and :data:`MANIFEST_VERSION`; started empty otherwise.
+    config:
+        JSON-serializable run configuration (flags that change figure
+        output, e.g. ``{"fast": False}``).  A stored manifest with a
+        different configuration is discarded -- its rendered text would
+        not match the current run.
+    """
+
+    def __init__(self, path: str | os.PathLike, config: dict | None = None) -> None:
+        self.path = Path(path)
+        self.config = dict(config or {})
+        self._figures: dict[str, str] = {}
+        self._load()
+
+    @classmethod
+    def in_cache_dir(
+        cls, directory: str | os.PathLike, config: dict | None = None
+    ) -> "RunManifest":
+        """The manifest living next to the solve cache in ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / MANIFEST_NAME, config=config)
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            # A torn manifest write loses at most the resume shortcut --
+            # the run recomputes from the (still valid) solve cache.
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != MANIFEST_VERSION
+            or payload.get("config") != self.config
+        ):
+            return
+        figures = payload.get("figures")
+        if isinstance(figures, dict) and all(
+            isinstance(k, str) and isinstance(v, str) for k, v in figures.items()
+        ):
+            self._figures = figures
+
+    @property
+    def figures(self) -> tuple[str, ...]:
+        """Names of the figures completed so far, in completion order."""
+        return tuple(self._figures)
+
+    def completed(self, figure: str) -> str | None:
+        """The stored rendered output of ``figure``, or ``None``."""
+        return self._figures.get(figure)
+
+    def record(self, figure: str, rendered: str) -> None:
+        """Mark ``figure`` complete and persist the manifest atomically."""
+        self._figures[figure] = rendered
+        payload = {
+            "version": MANIFEST_VERSION,
+            "config": self.config,
+            "figures": self._figures,
+        }
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, self.path)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunManifest({str(self.path)!r}, "
+            f"completed={list(self._figures)})"
+        )

@@ -8,6 +8,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.manifest import RunManifest
 from repro.experiments.render import render_result
 
 __all__ = ["main"]
@@ -20,6 +21,8 @@ def _build_engine(args):
         and args.cache is None
         and not args.warm_start
         and not args.batched
+        and args.on_error == "raise"
+        and not args.escalate
     ):
         return None
     from repro.engine import SolveCache, SweepEngine
@@ -32,6 +35,8 @@ def _build_engine(args):
         cache=cache,
         warm_start=args.warm_start,
         batched=args.batched,
+        on_error=args.on_error,
+        escalate=args.escalate,
     )
 
 
@@ -70,7 +75,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         metavar="DIR",
         help="cache solves in memory across figures; with DIR, also "
-        "persist them on disk across runs",
+        "persist them on disk across runs (and record per-figure "
+        "completion in DIR/run-manifest.json for --resume)",
     )
     parser.add_argument(
         "--warm-start",
@@ -85,9 +91,38 @@ def main(argv: Sequence[str] | None = None) -> int:
         "matrix-geometric kernel, grouped by chain shape (results agree "
         "with sequential solves to solver tolerance)",
     )
+    parser.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "collect"),
+        default="raise",
+        help="per-point failure policy: 'raise' (default) stops at the "
+        "first solve failure; 'skip'/'collect' render failed points as "
+        "NaN and keep going (see repro.engine.resilience)",
+    )
+    parser.add_argument(
+        "--escalate",
+        action="store_true",
+        help="enable the truncated dense-chain rung of the solver "
+        "escalation ladder for points every R iteration fails on",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="report a failing figure and continue with the remaining "
+        "ones; the exit code still reflects the failure",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay figures already completed by a previous (possibly "
+        "killed) run from DIR/run-manifest.json and recompute only the "
+        "rest; requires --cache DIR",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and args.cache in (None, ""):
+        parser.error("--resume needs an on-disk cache: pass --cache DIR")
 
     requested = list(ALL_FIGURES) if "all" in args.figures else args.figures
     unknown = [f for f in requested if f not in ALL_FIGURES]
@@ -97,18 +132,46 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"choose from {', '.join(ALL_FIGURES)} or 'all'"
         )
 
+    # With an on-disk cache the run keeps a crash-safe manifest next to
+    # it, whether or not this invocation resumes -- the *next* one might.
+    manifest = None
+    if args.cache not in (None, ""):
+        manifest = RunManifest.in_cache_dir(
+            args.cache, config={"fast": bool(args.fast)}
+        )
+
     engine = _build_engine(args)
+    exit_code = 0
     for name in requested:
+        if args.resume and manifest is not None:
+            stored = manifest.completed(name)
+            if stored is not None:
+                print(stored)
+                print()
+                continue
         func = ALL_FIGURES[name]
         kwargs = {}
         if engine is not None and "engine" in inspect.signature(func).parameters:
             kwargs["engine"] = engine
         if name == "fig1" and args.fast:
             kwargs["samples"] = 20_000
-        result = func(**kwargs)
-        print(render_result(result))
+        try:
+            result = func(**kwargs)
+        except Exception as exc:
+            if not args.keep_going:
+                raise
+            print(
+                f"FIGURE {name} FAILED: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+            continue
+        rendered = render_result(result)
+        print(rendered)
         print()
-    return 0
+        if manifest is not None:
+            manifest.record(name, rendered)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -92,6 +92,22 @@ def bg_probability_axis(values: Sequence[float]) -> SweepAxis:
     )
 
 
+def _series_values(
+    metric_fn: Callable[[FgBgSolution], float],
+    solutions: Sequence[FgBgSolution | None],
+) -> np.ndarray:
+    """Metric values of a solved chain; failed (``None``) points are NaN.
+
+    A failure never turns into a number: the point is NaN in the series
+    and the structured record lives in the engine's
+    :attr:`~repro.engine.EngineStats.failures`.
+    """
+    return np.asarray(
+        [np.nan if s is None else metric_fn(s) for s in solutions],
+        dtype=float,
+    )
+
+
 def sweep(
     base_model: FgBgModel,
     axis: SweepAxis,
@@ -100,6 +116,7 @@ def sweep(
     engine: SweepEngine | None = None,
     label: str | None = None,
     batched: bool = False,
+    on_error: str = "raise",
 ) -> Series:
     """Evaluate one metric along one axis; returns one :class:`Series`.
 
@@ -107,15 +124,19 @@ def sweep(
     or any callable on :class:`FgBgSolution`.  ``batched=True`` without an
     explicit engine solves the whole axis through the stacked kernel
     (:class:`SweepEngine` with ``batched=True``); with an engine supplied,
-    the engine's own configuration wins.
+    the engine's own configuration wins.  ``on_error`` (likewise only
+    consulted when no engine is supplied) isolates per-point failures:
+    failed points are NaN in the series instead of sinking the sweep (see
+    :mod:`repro.engine.resilience`).
     """
     metric_fn = resolve_metric(metric)
     if engine is None:
-        engine = SweepEngine(batched=batched)
+        engine = SweepEngine(batched=batched, on_error=on_error)
     solutions = engine.run_chain(axis.models(base_model))
-    values = np.asarray([metric_fn(s) for s in solutions], dtype=float)
     return Series(
-        label=axis.name if label is None else label, x=axis.x(), y=values
+        label=axis.name if label is None else label,
+        x=axis.x(),
+        y=_series_values(metric_fn, solutions),
     )
 
 
@@ -127,17 +148,20 @@ def sweep_many(
     *,
     engine: SweepEngine | None = None,
     batched: bool = False,
+    on_error: str = "raise",
 ) -> list[Series]:
     """One curve per background probability along ``axis``.
 
     Each probability is an independent chain, so an engine with
     ``jobs > 1`` solves the curves in parallel; ``batched=True`` (without
     an explicit engine) pools every curve's points into stacked kernel
-    calls instead.
+    calls instead.  ``on_error`` (also only consulted when no engine is
+    supplied) isolates per-point failures as NaN, exactly as in
+    :func:`sweep`.
     """
     metric_fn = resolve_metric(metric)
     if engine is None:
-        engine = SweepEngine(batched=batched)
+        engine = SweepEngine(batched=batched, on_error=on_error)
     chains = [
         axis.models(base_model.with_bg_probability(p)) for p in bg_probabilities
     ]
@@ -147,7 +171,7 @@ def sweep_many(
         Series(
             label=f"p = {p:g}",
             x=x.copy(),
-            y=np.asarray([metric_fn(s) for s in solutions], dtype=float),
+            y=_series_values(metric_fn, solutions),
         )
         for p, solutions in zip(bg_probabilities, solved)
     ]

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the solve/sweep pipeline.
+
+Enable via ``REPRO_FAULTS="point[:key=value]...,..."`` or the
+:func:`inject` context manager; production hooks call :func:`fire` at the
+named injection points (see :data:`KNOWN_FAULT_POINTS`).  Every decision
+is process-deterministic and seedable, so chaos tests replay exactly.
+``tests/faults/`` proves that each injected failure ends in either a
+correct answer (after solver escalation / retry / re-solve) or a
+structured :class:`~repro.engine.resilience.FailedSolve` record -- never
+a silently wrong number.
+"""
+
+from repro.faults.injector import (
+    ENV_FAULTS,
+    KNOWN_FAULT_POINTS,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fire,
+    inject,
+    parse_spec,
+    reset,
+)
+
+__all__ = [
+    "ENV_FAULTS",
+    "KNOWN_FAULT_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "fire",
+    "inject",
+    "parse_spec",
+    "reset",
+]

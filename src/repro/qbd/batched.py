@@ -41,13 +41,21 @@ from repro.contracts.checks import (
     check_r_matrix,
     contracts_enabled,
 )
+from repro.faults import fire as _fault_fire
 from repro.contracts.errors import ContractViolation
 from repro.qbd.boundary import solve_boundary
-from repro.qbd.rmatrix import DEFAULT_TOL, SolveStats, r_matrix
+from repro.qbd.rmatrix import (
+    DEFAULT_TOL,
+    QBDConvergenceError,
+    SolveStats,
+    r_matrix,
+)
 from repro.qbd.stationary import QBDStationaryDistribution
 from repro.qbd.structure import QBDProcess
+from repro.qbd.truncated import solve_qbd_truncated
 
 __all__ = [
+    "BatchedItemFailure",
     "BatchedSolveReport",
     "batched_r_matrix",
     "solve_qbd_batched",
@@ -59,6 +67,70 @@ LOGRED_MAX_ITER = 64
 
 #: Algorithm name recorded in per-item :class:`SolveStats`.
 BATCHED_ALGORITHM = "batched-logarithmic-reduction"
+
+#: ``on_error`` modes accepted by the batched entry points; "skip" and
+#: "collect" both isolate failures here (warning emission vs. silent
+#: collection is the engine's concern).
+_ON_ERROR_MODES = ("raise", "skip", "collect")
+
+
+def _validate_on_error(value: str) -> str:
+    if value not in _ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class BatchedItemFailure:
+    """One isolated item failure inside a batched kernel call.
+
+    Attributes
+    ----------
+    index:
+        Position of the failed item in the call's input order (remapped to
+        the original model order by :func:`repro.core.batched.solve_models_batched`).
+    stage:
+        ``"precheck"`` (unstable before any solving), ``"r-matrix"``,
+        ``"boundary"`` or ``"truncated"`` (the escalation rung itself
+        failed).
+    error_type / message:
+        Exception class name and ``str(exception)``.
+    contract_violation:
+        True when the underlying exception was a
+        :class:`~repro.contracts.ContractViolation`.
+    attempts:
+        Escalation rungs tried before the item was given up.
+    error:
+        The exception object itself, kept so ``on_error="raise"`` callers
+        re-raise the original error after a failed escalation.
+    """
+
+    index: int
+    stage: str
+    error_type: str
+    message: str
+    contract_violation: bool = False
+    attempts: tuple[str, ...] = ()
+    error: BaseException | None = None
+
+
+def _item_failure(
+    index: int,
+    stage: str,
+    exc: BaseException,
+    attempts: tuple[str, ...] = (),
+) -> BatchedItemFailure:
+    return BatchedItemFailure(
+        index=index,
+        stage=stage,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        contract_violation=isinstance(exc, ContractViolation),
+        attempts=tuple(attempts) + tuple(getattr(exc, "attempts", ())),
+        error=exc,
+    )
 
 
 @dataclass(frozen=True)
@@ -81,6 +153,13 @@ class BatchedSolveReport:
         Wall-clock time of the whole kernel call (including fallbacks).
     fallbacks:
         Indices of the items re-solved through the scalar path.
+    boundary_size:
+        Boundary size ``n_b`` of every item (0 when unknown, e.g. a bare
+        :func:`batched_r_matrix` call that never sees boundary blocks).
+    failures:
+        Per-item failures isolated by ``on_error="skip"|"collect"``, in
+        input order; empty in ``"raise"`` mode (the first failure
+        propagated instead).
     """
 
     batch_size: int
@@ -89,6 +168,8 @@ class BatchedSolveReport:
     max_iterations: int
     wall_time_ms: float
     fallbacks: tuple[int, ...] = ()
+    boundary_size: int = 0
+    failures: tuple[BatchedItemFailure, ...] = ()
 
     def __post_init__(self) -> None:
         if self.batch_size < 0:
@@ -107,6 +188,18 @@ class BatchedSolveReport:
             "max_iterations": self.max_iterations,
             "wall_time_ms": self.wall_time_ms,
             "fallbacks": list(self.fallbacks),
+            "boundary_size": self.boundary_size,
+            "failures": [
+                {
+                    "index": f.index,
+                    "stage": f.stage,
+                    "error_type": f.error_type,
+                    "message": f.message,
+                    "contract_violation": f.contract_violation,
+                    "attempts": list(f.attempts),
+                }
+                for f in self.failures
+            ],
         }
 
 
@@ -206,6 +299,12 @@ def _batched_logred_g(
     n, m = a0.shape[0], a0.shape[1]
     iterations = np.zeros(n, dtype=int)
     failed = np.zeros(n, dtype=bool)
+    # Per-item fault check mirroring the scalar _logred_impl hook: a fired
+    # item is demoted to the scalar fallback, which re-checks the fault
+    # (and performs the full escalation) exactly as a sequential solve.
+    for i in range(n):
+        if _fault_fire("logred_overflow"):
+            failed[i] = True
     eye = np.eye(m)
     ones = np.ones(m)
     inv_neg_a1, ok = _stack_inv(-a1)
@@ -256,6 +355,7 @@ def batched_r_matrix(
     tol: float = ...,
     blocks_validated: bool = ...,
     return_stats: Literal[False] = ...,
+    on_error: str = ...,
 ) -> FloatArray: ...
 
 
@@ -268,6 +368,7 @@ def batched_r_matrix(
     blocks_validated: bool = ...,
     *,
     return_stats: Literal[True],
+    on_error: str = ...,
 ) -> tuple[FloatArray, list[SolveStats], BatchedSolveReport]: ...
 
 
@@ -278,6 +379,7 @@ def batched_r_matrix(
     tol: float = DEFAULT_TOL,
     blocks_validated: bool = False,
     return_stats: bool = False,
+    on_error: str = "raise",
 ) -> FloatArray | tuple[FloatArray, list[SolveStats], BatchedSolveReport]:
     """Minimal R matrices of ``N`` stacked QBD block triples.
 
@@ -304,11 +406,17 @@ def batched_r_matrix(
         When True, return ``(R, stats, report)`` where ``stats`` is a list
         of per-item :class:`~repro.qbd.rmatrix.SolveStats` and ``report``
         the group-level :class:`BatchedSolveReport`.
+    on_error:
+        ``"raise"`` (default) propagates the first scalar-fallback
+        failure; ``"skip"``/``"collect"`` isolate it instead -- the item's
+        ``R`` slot stays zero, and the failure lands in
+        ``report.failures`` (pass ``return_stats=True`` to see it).
 
     Returns
     -------
     ``(N, m, m)`` stack of R matrices (read-only), optionally with stats.
     """
+    _validate_on_error(on_error)
     a0 = _as_block_stack(a0, "A0")
     a1 = _as_block_stack(a1, "A1")
     a2 = _as_block_stack(a2, "A2")
@@ -345,15 +453,28 @@ def batched_r_matrix(
             except ContractViolation:
                 failed[i] = True
     fallback_stats: dict[int, SolveStats] = {}
+    failures: list[BatchedItemFailure] = []
     for i in np.flatnonzero(failed):
-        result = r_matrix(
-            a0[i],
-            a1[i],
-            a2[i],
-            tol=tol,
-            return_stats=True,
-            blocks_validated=blocks_validated,
-        )
+        try:
+            result = r_matrix(
+                a0[i],
+                a1[i],
+                a2[i],
+                tol=tol,
+                return_stats=True,
+                blocks_validated=blocks_validated,
+            )
+        except (QBDConvergenceError, ValueError, ContractViolation) as exc:
+            # The scalar diagnosis raised: unstable item (ValueError),
+            # exhausted ladder (QBDConvergenceError) or violated block
+            # precondition (ContractViolation).  In isolation mode the
+            # item's R slot stays zero and downstream stages must skip it.
+            if on_error == "raise":
+                raise
+            failures.append(
+                _item_failure(int(i), "r-matrix", exc, (BATCHED_ALGORITHM,))
+            )
+            continue
         r[i], stats = result
         fallback_stats[i] = replace(
             stats,
@@ -388,22 +509,40 @@ def batched_r_matrix(
         max_iterations=int(iterations.max()) if n else 0,
         wall_time_ms=wall_time_ms,
         fallbacks=tuple(int(i) for i in np.flatnonzero(failed)),
+        failures=tuple(failures),
     )
     return r, stats_list, report
 
 
 def _batched_boundary(
-    qbds: list[QBDProcess], r: FloatArray
-) -> tuple[FloatArray, FloatArray]:
-    """Stacked boundary solve: ``(pi_0, pi_1)`` stacks, jointly normalized.
+    qbds: list[QBDProcess], r: FloatArray, on_error: str = "raise"
+) -> tuple[FloatArray, FloatArray, list[tuple[int, BaseException]]]:
+    """Stacked boundary solve: ``(pi_0, pi_1, failed)`` -- jointly normalized.
 
     Per item this assembles and solves exactly the linear system of
     :func:`repro.qbd.boundary.solve_boundary`; items whose batched solve
     goes singular or significantly negative are re-solved (and error
-    checked) through the scalar path.
+    checked) through the scalar path.  In isolation mode a scalar re-solve
+    that *raises* lands in the returned ``failed`` list (its ``pi`` rows
+    are NaN) instead of propagating.
     """
     n = len(qbds)
     n_b, m = qbds[0].boundary_size, qbds[0].phase_count
+    # Per-item fault check mirroring the scalar solve_boundary hook; a
+    # fired item fails with the same injected LinAlgError a sequential
+    # solve would raise.
+    failed_items: list[tuple[int, BaseException]] = []
+    injected = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if _fault_fire("singular_boundary"):
+            exc: BaseException = np.linalg.LinAlgError(
+                "boundary system is singular (injected fault "
+                "singular_boundary)"
+            )
+            if on_error == "raise":
+                raise exc
+            injected[i] = True
+            failed_items.append((i, exc))
     big = np.zeros((n, n_b + m, n_b + m))
     big[:, :n_b, :n_b] = np.stack([q.b00 for q in qbds])
     big[:, :n_b, n_b:] = np.stack([q.b01 for q in qbds])
@@ -440,8 +579,12 @@ def _batched_boundary(
     except np.linalg.LinAlgError:
         x = None
         scalar_items = rows
+    inj_idx = np.flatnonzero(injected)
+    scalar_items = np.setdiff1d(scalar_items, inj_idx)
+    pi0[inj_idx] = np.nan
+    pi1[inj_idx] = np.nan
     if x is not None:
-        good = np.setdiff1d(rows, scalar_items)
+        good = np.setdiff1d(rows, np.union1d(scalar_items, inj_idx))
         xg = np.clip(x[good], 0.0, None)
         total = xg[:, :n_b].sum(axis=1) + np.einsum(
             "ni,ni->n", xg[:, n_b:], tail_weights[good]
@@ -450,8 +593,15 @@ def _batched_boundary(
         pi0[good] = xg[:, :n_b]
         pi1[good] = xg[:, n_b:]
     for i in scalar_items:
-        pi0[i], pi1[i] = solve_boundary(qbds[i], r[i])
-    return pi0, pi1
+        try:
+            pi0[i], pi1[i] = solve_boundary(qbds[i], r[i])
+        except (np.linalg.LinAlgError, ValueError) as exc:
+            if on_error == "raise":
+                raise
+            pi0[i] = np.nan
+            pi1[i] = np.nan
+            failed_items.append((int(i), exc))
+    return pi0, pi1, failed_items
 
 
 @overload
@@ -459,6 +609,8 @@ def solve_qbd_batched(
     qbds: Iterable[QBDProcess],
     tol: float = ...,
     return_report: Literal[False] = ...,
+    on_error: Literal["raise"] = ...,
+    escalate: bool = ...,
 ) -> list[QBDStationaryDistribution]: ...
 
 
@@ -468,16 +620,32 @@ def solve_qbd_batched(
     tol: float = ...,
     *,
     return_report: Literal[True],
+    on_error: Literal["raise"] = ...,
+    escalate: bool = ...,
 ) -> tuple[list[QBDStationaryDistribution], BatchedSolveReport]: ...
+
+
+@overload
+def solve_qbd_batched(
+    qbds: Iterable[QBDProcess],
+    tol: float = ...,
+    *,
+    return_report: Literal[True],
+    on_error: str,
+    escalate: bool = ...,
+) -> tuple[list[QBDStationaryDistribution | None], BatchedSolveReport]: ...
 
 
 def solve_qbd_batched(
     qbds: Iterable[QBDProcess],
     tol: float = DEFAULT_TOL,
     return_report: bool = False,
+    on_error: str = "raise",
+    escalate: bool = False,
 ) -> (
     list[QBDStationaryDistribution]
-    | tuple[list[QBDStationaryDistribution], BatchedSolveReport]
+    | list[QBDStationaryDistribution | None]
+    | tuple[list[QBDStationaryDistribution | None], BatchedSolveReport]
 ):
     """Solve ``N`` same-shape QBDs end to end in one stacked pipeline.
 
@@ -497,13 +665,26 @@ def solve_qbd_batched(
         R-iteration tolerance.
     return_report:
         When True, return ``(distributions, report)``.
+    on_error:
+        ``"raise"`` (default) propagates the first per-item failure;
+        ``"skip"``/``"collect"`` isolate failures instead: the failed
+        item's distribution slot is ``None``, the failure lands in
+        ``report.failures``, and every other item solves normally.
+    escalate:
+        Per item that the matrix-geometric pipeline gives up on, try the
+        truncated dense-chain rung
+        (:func:`repro.qbd.truncated.solve_qbd_truncated`) before failing
+        it; successful escalations return real distributions flagged
+        ``degraded=True`` in their ``solve_stats``.
 
     Returns
     -------
     List of :class:`~repro.qbd.stationary.QBDStationaryDistribution`, one
     per input, each carrying its per-item
-    :class:`~repro.qbd.rmatrix.SolveStats`.
+    :class:`~repro.qbd.rmatrix.SolveStats` (``None`` slots only in
+    isolation mode).
     """
+    _validate_on_error(on_error)
     qbds = list(qbds)
     if not qbds:
         raise ValueError("solve_qbd_batched needs at least one QBD")
@@ -519,6 +700,11 @@ def solve_qbd_batched(
             "before calling solve_qbd_batched"
         )
     n, m = len(qbds), qbds[0].phase_count
+    n_b = qbds[0].boundary_size
+    # With escalation on, the R stage must isolate its failures even in
+    # "raise" mode so the truncated rung gets its chance; the original
+    # exception object is preserved and re-raised if escalation fails too.
+    isolate = on_error != "raise" or escalate
     # QBDProcess.__post_init__ validated the row split and froze every
     # block, so the stacked precondition is certified (same certificate
     # solve_qbd passes to r_matrix).
@@ -529,39 +715,108 @@ def solve_qbd_batched(
         tol=tol,
         blocks_validated=True,
         return_stats=True,
+        on_error="collect" if isolate else "raise",
     )
-    pi0, pi1 = _batched_boundary(qbds, r)
+    stats_list = list(stats_list)
+    failures: dict[int, BatchedItemFailure] = {
+        f.index: f for f in report.failures
+    }
+    distributions: list[QBDStationaryDistribution | None] = [None] * n
 
-    # Stacked level sums: pi_1 (I-R)^{-1} and pi_1 (I-R)^{-2} for every
-    # item via two batched transposed solves.
-    i_minus_r_t = (np.eye(m) - r).transpose(0, 2, 1)
-    rep_mass = np.linalg.solve(i_minus_r_t, pi1[..., None])[..., 0]
-    rep_weighted = np.linalg.solve(i_minus_r_t, rep_mass[..., None])[..., 0]
+    def _escalate_item(
+        i: int, rungs: tuple[str, ...], original: BaseException | None
+    ) -> None:
+        """Run the truncated dense rung for item ``i`` or record/raise."""
+        try:
+            dist = solve_qbd_truncated(qbds[i], fallbacks=rungs)
+        except (QBDConvergenceError, ValueError) as exc:
+            if on_error == "raise":
+                raise original if original is not None else exc
+            failures[i] = _item_failure(i, "truncated", exc, rungs)
+        else:
+            distributions[i] = dist
+            assert dist.solve_stats is not None
+            stats_list[i] = dist.solve_stats
+            failures.pop(i, None)
 
-    for stack in (pi0, pi1, rep_mass, rep_weighted):
-        stack.setflags(write=False)
-
-    distributions: list[QBDStationaryDistribution] = []
-    for i in range(n):
-        dist = QBDStationaryDistribution(
-            qbds[i], r[i], pi0[i], pi1[i], solve_stats=stats_list[i]
-        )
-        dist._seed_level_sums(rep_mass[i], rep_weighted[i])
-        distributions.append(dist)
-
-    if contracts_enabled():
-        # End-to-end invariant per item, vectorized on the pass path
-        # exactly like solve_qbd: non-negative mass, total mass 1.
-        least = np.minimum(pi0.min(axis=1), pi1.min(axis=1))
-        total = pi0.sum(axis=1) + rep_mass.sum(axis=1)
-        bad = ~((least > -1e-6) & (np.abs(total - 1.0) <= 1e-8))
-        if np.any(bad):
-            item = int(np.argmax(bad))
-            raise ContractViolation(
-                "check_solution",
-                f"QBD stationary distribution [{item}]",
-                f"total mass {total[item]:.10g}, expected 1",
+    if escalate:
+        for i, failure in sorted(failures.copy().items()):
+            _escalate_item(
+                i, failure.attempts or (BATCHED_ALGORITHM,), failure.error
             )
+
+    # Boundary + level sums over the items the R stage actually solved.
+    pending = [
+        i
+        for i in range(n)
+        if distributions[i] is None and i not in failures
+    ]
+    if pending:
+        sub_pi0, sub_pi1, boundary_failed = _batched_boundary(
+            [qbds[i] for i in pending],
+            r[pending],
+            on_error="collect" if isolate else "raise",
+        )
+        for local, exc in boundary_failed:
+            i = pending[local]
+            if escalate:
+                _escalate_item(i, (BATCHED_ALGORITHM, "boundary"), exc)
+            elif on_error == "raise":
+                raise exc
+            else:
+                failures[i] = _item_failure(i, "boundary", exc)
+        good_local = [
+            k
+            for k, i in enumerate(pending)
+            if distributions[i] is None and i not in failures
+        ]
+        good = [pending[k] for k in good_local]
+    else:
+        good_local, good = [], []
+
+    if good:
+        pi0 = np.ascontiguousarray(sub_pi0[good_local])
+        pi1 = np.ascontiguousarray(sub_pi1[good_local])
+        r_good = r[good]
+        # Stacked level sums: pi_1 (I-R)^{-1} and pi_1 (I-R)^{-2} for
+        # every solved item via two batched transposed solves.
+        i_minus_r_t = (np.eye(m) - r_good).transpose(0, 2, 1)
+        rep_mass = np.linalg.solve(i_minus_r_t, pi1[..., None])[..., 0]
+        rep_weighted = np.linalg.solve(
+            i_minus_r_t, rep_mass[..., None]
+        )[..., 0]
+
+        for stack in (pi0, pi1, rep_mass, rep_weighted):
+            stack.setflags(write=False)
+
+        for k, i in enumerate(good):
+            dist = QBDStationaryDistribution(
+                qbds[i], r[i], pi0[k], pi1[k], solve_stats=stats_list[i]
+            )
+            dist._seed_level_sums(rep_mass[k], rep_weighted[k])
+            distributions[i] = dist
+
+        if contracts_enabled():
+            # End-to-end invariant per solved item, vectorized on the
+            # pass path exactly like solve_qbd: non-negative mass, total
+            # mass 1.  Failed items are excluded -- their slots are None
+            # with a structured failure, not a wrong number.
+            least = np.minimum(pi0.min(axis=1), pi1.min(axis=1))
+            total = pi0.sum(axis=1) + rep_mass.sum(axis=1)
+            bad = ~((least > -1e-6) & (np.abs(total - 1.0) <= 1e-8))
+            if np.any(bad):
+                item = good[int(np.argmax(bad))]
+                raise ContractViolation(
+                    "check_solution",
+                    f"QBD stationary distribution [{item}]",
+                    f"total mass {total[int(np.argmax(bad))]:.10g}, "
+                    "expected 1",
+                )
+    report = replace(
+        report,
+        boundary_size=n_b,
+        failures=tuple(failures[i] for i in sorted(failures)),
+    )
     if return_report:
         return distributions, report
     return distributions

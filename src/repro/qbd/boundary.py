@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults import fire as _fault_fire
 from repro.qbd.structure import QBDProcess
 
 __all__ = ["solve_boundary"]
@@ -31,6 +32,13 @@ def solve_boundary(
         ``pi_0`` of length ``qbd.boundary_size`` and ``pi_1`` of length
         ``qbd.phase_count``, jointly normalized with the geometric tail.
     """
+    if _fault_fire("singular_boundary"):
+        # An exactly singular boundary system would surface here as a
+        # LinAlgError before the lstsq fallback could run; injecting the
+        # same exception exercises the escalation path deterministically.
+        raise np.linalg.LinAlgError(
+            "boundary system is singular (injected fault singular_boundary)"
+        )
     n_b, m = qbd.boundary_size, qbd.phase_count
     r = np.asarray(r, dtype=float)
     if r.shape != (m, m):

@@ -20,6 +20,7 @@ orchestrates them (warm starts, fallbacks) and can report per-solve
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -35,11 +36,15 @@ from repro.contracts.checks import (
     contracts_enabled,
 )
 from repro.contracts.errors import ContractViolation
+from repro.faults import fire as _fault_fire
 from repro.markov.stationary import stationary_distribution
 
 __all__ = [
+    "ESCALATION_TIME_BUDGET_MS",
+    "QBDConvergenceError",
     "SolveStats",
     "drift",
+    "escalation_time_budget_ms",
     "is_stable",
     "r_matrix",
     "r_matrix_functional_iteration",
@@ -65,17 +70,91 @@ NEWTON_MAX_ITER = 64
 #: count the warm path falls back to the seeded functional iteration.
 NEWTON_MAX_PHASES = 32
 
+#: Default wall-time budget of the linearly convergent escalation rungs
+#: (functional / natural fallback inside :func:`r_matrix`).  Override with
+#: the ``REPRO_SOLVER_BUDGET_MS`` environment variable; a hopeless chain
+#: then fails fast into the next rung (ultimately the truncated dense
+#: fallback of ``solve_qbd(escalate=True)``) instead of burning the full
+#: ``DEFAULT_MAX_ITER`` iteration budget.
+ESCALATION_TIME_BUDGET_MS = 30_000.0
+
+#: Environment variable overriding :data:`ESCALATION_TIME_BUDGET_MS`.
+ENV_SOLVER_BUDGET_MS = "REPRO_SOLVER_BUDGET_MS"
+
+#: Iterations between wall-clock budget checks inside the linearly
+#: convergent loops (a per-iteration clock read would dominate the step).
+_BUDGET_CHECK_EVERY = 256
+
+#: How long one fired ``solver_stall`` fault sleeps, in milliseconds.
+_STALL_SLEEP_MS = 25.0
+
+
+def escalation_time_budget_ms() -> float:
+    """The active escalation time budget, honouring the env override."""
+    raw = os.environ.get(ENV_SOLVER_BUDGET_MS, "")
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{ENV_SOLVER_BUDGET_MS} must be a number of milliseconds, "
+                f"got {raw!r}"
+            ) from exc
+        if value <= 0:
+            raise ValueError(
+                f"{ENV_SOLVER_BUDGET_MS} must be positive, got {value}"
+            )
+        return value
+    return ESCALATION_TIME_BUDGET_MS
+
 
 class QBDConvergenceError(RuntimeError):
     """Raised when an R/G iteration fails to converge.
 
     The ``iterations`` attribute records how many iterations were spent
-    before giving up, so callers can account for abandoned attempts.
+    before giving up, so callers can account for abandoned attempts; after
+    :func:`r_matrix` exhausts its whole escalation ladder, ``attempts``
+    lists every rung that was tried (the failure records of
+    ``on_error="collect"`` sweeps surface it).
     """
 
-    def __init__(self, message: str, iterations: int = 0) -> None:
+    def __init__(
+        self,
+        message: str,
+        iterations: int = 0,
+        attempts: tuple[str, ...] = (),
+    ) -> None:
         super().__init__(message)
         self.iterations = iterations
+        self.attempts = tuple(attempts)
+
+
+def _budget_tick(
+    started_at: float,
+    time_budget_ms: float | None,
+    iteration: int,
+    label: str,
+) -> None:
+    """Fault hook + wall-clock budget check shared by the linear loops.
+
+    Runs every :data:`_BUDGET_CHECK_EVERY` iterations: fires the
+    ``solver_stall`` injection point (a deterministic sleep, so budget
+    overruns are reproducible in tests) and raises once the elapsed time
+    since the ``started_at`` ``perf_counter`` mark exceeds
+    ``time_budget_ms``.
+    """
+    if iteration % _BUDGET_CHECK_EVERY:
+        return
+    if _fault_fire("solver_stall"):
+        time.sleep(_STALL_SLEEP_MS / 1e3)
+    if time_budget_ms is not None:
+        elapsed_ms = (time.perf_counter() - started_at) * 1e3
+        if elapsed_ms > time_budget_ms:
+            raise QBDConvergenceError(
+                f"{label} exceeded its {time_budget_ms:.0f} ms time budget "
+                f"after {iteration} iterations",
+                iterations=iteration,
+            )
 
 
 @dataclass(frozen=True)
@@ -99,6 +178,13 @@ class SolveStats:
         caller-provided initial iterate.
     fallbacks:
         Names of the iterations that were tried and abandoned first.
+    degraded:
+        True when the solution came from the last escalation rung -- the
+        truncated dense chain of :func:`repro.qbd.truncated.solve_qbd_truncated`
+        -- rather than a matrix-geometric solve.  Figures use this to
+        state which points degraded.
+    truncation_level:
+        The level the dense chain was truncated at when ``degraded``.
     """
 
     algorithm: str
@@ -107,6 +193,8 @@ class SolveStats:
     spectral_radius: float
     warm_started: bool = False
     fallbacks: tuple[str, ...] = field(default=())
+    degraded: bool = False
+    truncation_level: int | None = None
 
     def as_dict(self) -> dict:
         """JSON-serializable representation."""
@@ -117,6 +205,8 @@ class SolveStats:
             "spectral_radius": self.spectral_radius,
             "warm_started": self.warm_started,
             "fallbacks": list(self.fallbacks),
+            "degraded": self.degraded,
+            "truncation_level": self.truncation_level,
         }
 
 
@@ -184,6 +274,7 @@ def _functional_impl(
     tol: float,
     max_iter: int,
     initial_r: np.ndarray | None = None,
+    time_budget_ms: float | None = None,
 ) -> tuple[np.ndarray, int]:
     """Functional iteration returning ``(R, iterations)``."""
     a0 = np.asarray(a0, float)
@@ -196,8 +287,10 @@ def _functional_impl(
         # A non-negative seed keeps every iterate non-negative ((-A1)^{-1}
         # is non-negative because -A1 is an M-matrix).
         r = np.clip(np.asarray(initial_r, float), 0.0, None)
+    started_at = time.perf_counter()
     with np.errstate(over="ignore", invalid="ignore"):
         for it in range(1, max_iter + 1):
+            _budget_tick(started_at, time_budget_ms, it, "functional iteration")
             r_next = (a0 + r @ r @ a2) @ inv_neg_a1
             if not np.all(np.isfinite(r_next)):
                 raise QBDConvergenceError(
@@ -303,13 +396,16 @@ def _natural_impl(
     a2: np.ndarray,
     tol: float,
     max_iter: int,
+    time_budget_ms: float | None = None,
 ) -> tuple[np.ndarray, int]:
     """Natural (U-based) iteration returning ``(G, iterations)``."""
     a0 = np.asarray(a0, float)
     a1 = np.asarray(a1, float)
     a2 = np.asarray(a2, float)
     g = np.zeros_like(a0)
+    started_at = time.perf_counter()
     for it in range(1, max_iter + 1):
+        _budget_tick(started_at, time_budget_ms, it, "natural iteration")
         g_next = np.linalg.solve(-(a1 + a0 @ g), a2)
         delta = float(np.max(np.abs(g_next - g)))
         g = g_next
@@ -353,6 +449,16 @@ def _logred_impl(
     ones = np.ones(m)
     with np.errstate(over="ignore", invalid="ignore"):
         for it in range(1, max_iter + 1):
+            if _fault_fire("logred_overflow"):
+                # Injected replica of the real overflow below: same
+                # exception type and message shape, so every downstream
+                # escalation path is exercised exactly as in production.
+                raise QBDConvergenceError(
+                    "logarithmic reduction overflowed (injected fault "
+                    "logred_overflow); use the natural or functional "
+                    "iteration",
+                    iterations=it,
+                )
             u = h @ low + low @ h
             m_inv = np.linalg.inv(np.eye(m) - u)
             h = m_inv @ (h @ h)
@@ -430,7 +536,10 @@ def _r_logred_impl(
     a2: np.ndarray,
     tol: float,
     initial_r: np.ndarray | None = None,
+    time_budget_ms: float | None = None,
 ) -> tuple[np.ndarray, int]:
+    # Quadratically convergent in at most 64 doublings -- no time budget
+    # needed (each doubling is a handful of dense m x m products).
     g, iters = _logred_impl(a0, a1, a2, tol, 64)
     return r_matrix_from_g(a0, a1, a2, g), iters
 
@@ -441,8 +550,11 @@ def _r_natural_impl(
     a2: np.ndarray,
     tol: float,
     initial_r: np.ndarray | None = None,
+    time_budget_ms: float | None = None,
 ) -> tuple[np.ndarray, int]:
-    g, iters = _natural_impl(a0, a1, a2, tol, DEFAULT_MAX_ITER)
+    g, iters = _natural_impl(
+        a0, a1, a2, tol, DEFAULT_MAX_ITER, time_budget_ms=time_budget_ms
+    )
     return r_matrix_from_g(a0, a1, a2, g), iters
 
 
@@ -452,9 +564,12 @@ def _r_functional_impl(
     a2: np.ndarray,
     tol: float,
     initial_r: np.ndarray | None = None,
+    time_budget_ms: float | None = None,
 ) -> tuple[np.ndarray, int]:
     max_iter = DEFAULT_MAX_ITER if initial_r is None else WARM_MAX_ITER
-    return _functional_impl(a0, a1, a2, tol, max_iter, initial_r)
+    return _functional_impl(
+        a0, a1, a2, tol, max_iter, initial_r, time_budget_ms=time_budget_ms
+    )
 
 
 def _r_newton_impl(
@@ -463,7 +578,10 @@ def _r_newton_impl(
     a2: np.ndarray,
     tol: float,
     initial_r: np.ndarray | None = None,
+    time_budget_ms: float | None = None,
 ) -> tuple[np.ndarray, int]:
+    # Newton either converges in a few dozen quadratic steps or raises --
+    # the 64-step cap already bounds it, so no time budget.
     return _newton_impl(a0, a1, a2, tol, NEWTON_MAX_ITER, initial_r)
 
 
@@ -488,6 +606,7 @@ def r_matrix(
     initial_r: np.ndarray | None = None,
     return_stats: bool = False,
     blocks_validated: bool = False,
+    time_budget_ms: float | None = None,
 ) -> np.ndarray | tuple[np.ndarray, SolveStats]:
     """Minimal non-negative solution of ``A0 + R A1 + R^2 A2 = 0``.
 
@@ -515,13 +634,22 @@ def r_matrix(
         constructor validates exactly these invariants.  Skips the
         redundant re-validation; the R postcondition still runs.  Never
         pass True for matrices assembled by hand.
+    time_budget_ms:
+        Wall-time budget of the linearly convergent escalation rungs
+        (functional / natural).  Defaults to
+        :func:`escalation_time_budget_ms` (30 s, overridable via
+        ``REPRO_SOLVER_BUDGET_MS``); a rung that exceeds it raises
+        :class:`QBDConvergenceError` and the ladder moves on.  The
+        quadratic rungs (logarithmic reduction, Newton) are bounded by
+        their step caps instead.
 
     Raises
     ------
     ValueError
         For an unknown algorithm name or an unstable QBD.
     QBDConvergenceError
-        If every iteration fails to converge.
+        If every iteration fails to converge; its ``attempts`` attribute
+        then lists every abandoned rung.
     """
     if algorithm not in _ALGORITHMS:
         raise ValueError(
@@ -542,6 +670,8 @@ def r_matrix(
             f"QBD is not positive recurrent (drift {drift(a0, a1, a2):.6g} >= 0); "
             "the stationary distribution does not exist"
         )
+    if time_budget_ms is None:
+        time_budget_ms = escalation_time_budget_ms()
     start = time.perf_counter()
     total_iterations = 0
     attempted: list[str] = []
@@ -565,7 +695,9 @@ def r_matrix(
         else:
             warm_impl, warm_name = _r_functional_impl, "functional"
         try:
-            cand, iters = warm_impl(a0, a1, a2, tol, initial_r)
+            cand, iters = warm_impl(
+                a0, a1, a2, tol, initial_r, time_budget_ms=time_budget_ms
+            )
             total_iterations += iters
             # The minimal solution is the unique one with sp(R) < 1 (the
             # QBD is positive recurrent here), so this certifies that the
@@ -586,7 +718,9 @@ def r_matrix(
 
     if r is None:
         try:
-            r, iters = _ALGORITHMS[algorithm](a0, a1, a2, tol)
+            r, iters = _ALGORITHMS[algorithm](
+                a0, a1, a2, tol, time_budget_ms=time_budget_ms
+            )
             total_iterations += iters
             used = algorithm
         except QBDConvergenceError as exc:
@@ -596,11 +730,14 @@ def r_matrix(
             # reduction; the linearly convergent iterations are slower but
             # unconditionally monotone, so fall back before giving up.
             # Functional iteration first: cheapest per step and monotone.
+            # Each fallback rung runs under the escalation time budget.
             order = ["functional", "natural", "logarithmic-reduction"]
             r = None
             for name in (n for n in order if n != algorithm):
                 try:
-                    r, iters = _ALGORITHMS[name](a0, a1, a2, tol)
+                    r, iters = _ALGORITHMS[name](
+                        a0, a1, a2, tol, time_budget_ms=time_budget_ms
+                    )
                     total_iterations += iters
                     used = name
                     break
@@ -608,6 +745,9 @@ def r_matrix(
                     total_iterations += fallback_exc.iterations
                     attempted.append(name)
             if r is None:
+                # The whole ladder failed: attach the attempt log so the
+                # caller's failure record can state every rung tried.
+                exc.attempts = tuple(attempted)
                 raise
     # Clip round-off negatives; R must be entrywise non-negative.
     if np.any(r < -1e-9):

@@ -13,7 +13,7 @@ from repro.contracts.checks import (
 )
 from repro.contracts.errors import ContractViolation
 from repro.qbd.boundary import solve_boundary
-from repro.qbd.rmatrix import SolveStats, r_matrix
+from repro.qbd.rmatrix import QBDConvergenceError, SolveStats, r_matrix
 from repro.qbd.structure import QBDProcess
 
 __all__ = ["QBDStationaryDistribution", "solve_qbd"]
@@ -169,21 +169,47 @@ def solve_qbd(
     algorithm: str = "logarithmic-reduction",
     tol: float = 1e-12,
     initial_r: np.ndarray | None = None,
+    escalate: bool = False,
+    time_budget_ms: float | None = None,
 ) -> QBDStationaryDistribution:
     """Solve a QBD end to end: R matrix, boundary system, stationary object.
 
     ``initial_r`` warm-starts the R iteration (see
     :func:`repro.qbd.rmatrix.r_matrix`); the returned distribution carries
     the per-solve :class:`~repro.qbd.rmatrix.SolveStats`.
+
+    With ``escalate=True`` the solve gains a last rung: when every
+    matrix-geometric iteration fails (``QBDConvergenceError``) or the
+    boundary system is singular, the QBD is re-solved as an adaptively
+    truncated dense chain (:func:`repro.qbd.truncated.solve_qbd_truncated`)
+    and the returned ``solve_stats`` is flagged ``degraded=True``.  The
+    unstable-QBD ``ValueError`` always propagates -- truncating an
+    unstable chain would fabricate a number where no stationary regime
+    exists.  ``time_budget_ms`` bounds the linearly convergent rungs
+    inside :func:`~repro.qbd.rmatrix.r_matrix`.
     """
     # QBDProcess.__post_init__ already validated the generator row-split
     # and froze the blocks read-only, so that precondition cannot go
     # stale -- certify it instead of re-validating on every solve.
-    r, stats = r_matrix(
-        qbd.a0, qbd.a1, qbd.a2, algorithm=algorithm, tol=tol,
-        initial_r=initial_r, return_stats=True, blocks_validated=True,
-    )
-    pi_boundary, pi_first = solve_boundary(qbd, r)
+    try:
+        r, stats = r_matrix(
+            qbd.a0, qbd.a1, qbd.a2, algorithm=algorithm, tol=tol,
+            initial_r=initial_r, return_stats=True, blocks_validated=True,
+            time_budget_ms=time_budget_ms,
+        )
+        pi_boundary, pi_first = solve_boundary(qbd, r)
+    except (QBDConvergenceError, np.linalg.LinAlgError) as exc:
+        if not escalate:
+            raise
+        # Imported lazily: truncated.py builds QBDStationaryDistribution
+        # instances, so a module-level import would be circular.
+        from repro.qbd.truncated import solve_qbd_truncated
+
+        if isinstance(exc, QBDConvergenceError):
+            failed_rungs = exc.attempts or (algorithm,)
+        else:
+            failed_rungs = (algorithm, "boundary")
+        return solve_qbd_truncated(qbd, fallbacks=tuple(failed_rungs))
     distribution = QBDStationaryDistribution(
         qbd, r, pi_boundary, pi_first, solve_stats=stats
     )

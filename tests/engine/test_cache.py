@@ -103,3 +103,64 @@ class TestDiskCache:
         cache.clear()
         loaded = cache.get(SolveCache.key(m))
         assert loaded.as_dict() == pytest.approx(solution.as_dict(), nan_ok=True)
+
+
+class TestStaleTmpSweep:
+    """Orphaned ``*.pkl.tmp.<pid>`` files are quarantined on open."""
+
+    def plant(self, tmp_path, name):
+        path = tmp_path / name
+        path.write_bytes(b"torn write")
+        return path
+
+    def test_orphans_swept_and_quarantined_on_open(self, tmp_path):
+        SolveCache(tmp_path)  # create the directory
+        # 999999999 is above the kernel's default pid_max: never alive.
+        dead = self.plant(tmp_path, "aaaa.pkl.tmp.999999999")
+        unparsable = self.plant(tmp_path, "bbbb.pkl.tmp.notapid")
+        cache = SolveCache(tmp_path)
+        assert cache.stale_tmp_swept == 2
+        assert not dead.exists()
+        assert not unparsable.exists()
+        orphans = sorted(p.name for p in tmp_path.glob("*.orphan"))
+        assert orphans == [
+            "aaaa.pkl.tmp.999999999.orphan",
+            "bbbb.pkl.tmp.notapid.orphan",
+        ]
+
+    def test_live_writer_tmp_left_alone(self, tmp_path):
+        import os
+
+        SolveCache(tmp_path)
+        live = self.plant(tmp_path, f"cccc.pkl.tmp.{os.getpid()}")
+        cache = SolveCache(tmp_path)
+        assert cache.stale_tmp_swept == 0
+        assert live.exists()
+
+    def test_orphans_never_served(self, tmp_path):
+        self.plant(tmp_path, "dddd.pkl.tmp.999999999")
+        cache = SolveCache(tmp_path)
+        assert cache.get("dddd") is None
+        assert "dddd" not in cache
+
+    def test_memory_only_cache_sweeps_nothing(self):
+        assert SolveCache().stale_tmp_swept == 0
+
+
+class TestQuarantine:
+    def test_quarantine_moves_entry_aside(self, tmp_path):
+        m = model()
+        key = SolveCache.key(m)
+        cache = SolveCache(tmp_path)
+        cache.put(key, m.solve())
+        target = cache.quarantine(key)
+        assert target == tmp_path / f"{key}.pkl.corrupt"
+        assert target.exists()
+        assert cache.quarantined == 1
+        assert key not in cache
+        assert cache.get(key) is None
+
+    def test_quarantine_without_disk_entry(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        assert cache.quarantine("nope") is None
+        assert cache.quarantined == 1

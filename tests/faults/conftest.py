@@ -1,0 +1,33 @@
+"""Shared fixtures of the fault-injection suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core import FgBgModel
+from repro.processes import fit_mmpp2
+from repro.workloads.paper import SERVICE_RATE_PER_MS
+
+MU = SERVICE_RATE_PER_MS
+UTILIZATIONS = (0.1, 0.25, 0.4, 0.55)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """No fault plan leaks into or out of any test."""
+    monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture
+def base_model() -> FgBgModel:
+    arrival = fit_mmpp2(rate=0.3 * MU, scv=4.0, decay=0.8)
+    return FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.3)
+
+
+@pytest.fixture
+def model_chain(base_model) -> list[FgBgModel]:
+    return [base_model.at_utilization(u) for u in UTILIZATIONS]
