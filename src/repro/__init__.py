@@ -51,6 +51,8 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "core",
         "contracts",
         "engine",
+        "faults",
+        "jobs",
         "sim",
         "vacation",
         "workloads",

@@ -1,0 +1,145 @@
+"""One frozen configuration object for the sweep engine.
+
+:class:`SweepEngine` grew one keyword argument per PR --
+``jobs``/``cache``/``warm_start``/``batched``/``on_error``/``escalate``/
+``chain_timeout_ms``/... -- and every caller that wants to *store* or
+*transport* a configuration (the CLI, the background-job specs of
+:mod:`repro.jobs`, a benchmark matrix) had to re-spell the sprawl.
+:class:`EngineConfig` consolidates it: a frozen, validated, JSON-round-
+trippable dataclass accepted by ``SweepEngine(config=...)``,
+:func:`~repro.experiments.sweeps.sweep` and ``sweep_many``, and reused
+verbatim as the ``engine`` section of a :class:`~repro.jobs.JobSpec`.
+
+Legacy keyword arguments keep working everywhere and override the
+matching config field; the two spellings are tested equivalent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.resilience import validate_on_error
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.cache import SolveCache
+    from repro.engine.engine import SweepEngine
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_RETRY_BACKOFF_MS",
+    "EngineConfig",
+]
+
+#: Bounded-requeue depth: how many times a crashed/hung worker chain is
+#: re-submitted to a fresh pool before the parent solves it in-process.
+DEFAULT_MAX_RETRIES = 2
+
+#: Backoff before the first chain re-submission; doubles per retry round.
+DEFAULT_RETRY_BACKOFF_MS = 100.0
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything that shapes how a :class:`SweepEngine` executes.
+
+    The fields mirror the engine's keyword arguments one-to-one, except
+    that the cache is described by where it lives (``cache_dir`` for an
+    on-disk layer, ``cache_memory`` for a purely in-memory one) rather
+    than by a live :class:`~repro.engine.cache.SolveCache` object, so a
+    config can be serialized into a job spec or a manifest and rebuilt
+    elsewhere.  Validation happens at construction; an ``EngineConfig``
+    that exists is a valid engine configuration.
+    """
+
+    jobs: int = 1
+    cache_dir: str | None = None
+    cache_memory: bool = False
+    warm_start: bool = False
+    batched: bool = False
+    algorithm: str = "logarithmic-reduction"
+    tol: float = 1e-12
+    on_error: str = "raise"
+    escalate: bool = False
+    max_retries: int = DEFAULT_MAX_RETRIES
+    retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS
+    chain_timeout_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batched and self.algorithm != "logarithmic-reduction":
+            raise ValueError(
+                "batched solving supports only the logarithmic-reduction "
+                f"algorithm, got {self.algorithm!r}"
+            )
+        if not self.tol > 0:
+            raise ValueError(f"tol must be positive, got {self.tol}")
+        validate_on_error(self.on_error)
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_ms < 0:
+            raise ValueError(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}"
+            )
+        if self.chain_timeout_ms is not None and self.chain_timeout_ms <= 0:
+            raise ValueError(
+                f"chain_timeout_ms must be positive, got {self.chain_timeout_ms}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    def build_cache(self) -> "SolveCache | None":
+        """The :class:`SolveCache` this config describes (or ``None``)."""
+        from repro.engine.cache import SolveCache
+
+        if self.cache_dir is not None:
+            return SolveCache(self.cache_dir)
+        if self.cache_memory:
+            return SolveCache(None)
+        return None
+
+    def build_engine(self, **hooks: Any) -> "SweepEngine":
+        """A fresh :class:`SweepEngine` running under this config.
+
+        ``hooks`` pass through the engine's non-serializable runtime
+        arguments (``progress``, ``cancel``).
+        """
+        from repro.engine.engine import SweepEngine
+
+        return SweepEngine(config=self, **hooks)
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """A copy with ``changes`` applied (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization (job specs, manifests)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-serializable representation (field name -> plain value)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineConfig":
+        """Rebuild a config serialized by :meth:`as_dict`.
+
+        Unknown keys raise: a config written by a newer schema must not
+        silently lose settings on an older reader.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig field(s): {', '.join(unknown)}"
+            )
+        return cls(**payload)
+
+    @property
+    def is_default(self) -> bool:
+        """True when every field still has its default value."""
+        return self == EngineConfig()

@@ -35,7 +35,7 @@ import os
 import signal
 import time
 import warnings
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
@@ -46,9 +46,11 @@ from repro.core.batched import solve_models_batched
 from repro.core.model import FgBgModel
 from repro.core.result import FgBgSolution
 from repro.engine.cache import SolveCache, solve_key
+from repro.engine.config import EngineConfig
 from repro.engine.resilience import (
     FailedSolve,
     ResilienceWarning,
+    SweepCancelled,
     failure_from_exception,
     validate_on_error,
 )
@@ -57,13 +59,6 @@ from repro.faults import fire as _fault_fire
 from repro.qbd.rmatrix import QBDConvergenceError
 
 __all__ = ["SweepEngine"]
-
-#: Bounded-requeue depth: how many times a crashed/hung worker chain is
-#: re-submitted to a fresh pool before the parent solves it in-process.
-DEFAULT_MAX_RETRIES = 2
-
-#: Backoff before the first chain re-submission; doubles per retry round.
-DEFAULT_RETRY_BACKOFF_MS = 100.0
 
 #: Solve failures ``on_error`` isolates: solver divergence, a singular
 #: boundary system, an invalid/unstable model, a contract violation.
@@ -123,6 +118,12 @@ class SweepEngine:
 
     Parameters
     ----------
+    config:
+        An :class:`~repro.engine.config.EngineConfig` supplying every
+        keyword below in one validated, serializable object.  Explicit
+        keyword arguments override the matching config field, so
+        ``SweepEngine(config=cfg, jobs=4)`` is ``cfg`` with four workers.
+        The resolved configuration is exposed as :attr:`config`.
     jobs:
         Worker processes for :meth:`run_chains`.  ``1`` (default) stays
         serial; chains are the unit of parallelism because warm-starting
@@ -178,54 +179,92 @@ class SweepEngine:
         it is treated like a crashed worker (requeue, then in-parent).
         ``None`` (default) trusts the solver's own iteration/time budget
         (``REPRO_SOLVER_BUDGET_MS``) to bound every solve.
+    progress:
+        Optional callback ``progress(points)`` invoked with the number of
+        points just served (fresh solve, cache hit, or isolated failure).
+        Per-point on the sequential path; per batch / per completed chain
+        on the batched and parallel paths (worker processes cannot call
+        back into the parent).  The background-job layer uses this to
+        report per-point job progress.
+    cancel:
+        Optional callback ``cancel() -> bool`` polled between solves (and
+        before each batch / worker round); returning True raises
+        :class:`~repro.engine.resilience.SweepCancelled`.  Cooperative:
+        a solve already in flight finishes first.
     """
 
     def __init__(
         self,
+        config: EngineConfig | None = None,
         *,
-        jobs: int = 1,
+        jobs: int | None = None,
         cache: SolveCache | str | os.PathLike | None = None,
-        warm_start: bool = False,
-        batched: bool = False,
-        algorithm: str = "logarithmic-reduction",
-        tol: float = 1e-12,
-        on_error: str = "raise",
-        escalate: bool = False,
-        max_retries: int = DEFAULT_MAX_RETRIES,
-        retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS,
+        warm_start: bool | None = None,
+        batched: bool | None = None,
+        algorithm: str | None = None,
+        tol: float | None = None,
+        on_error: str | None = None,
+        escalate: bool | None = None,
+        max_retries: int | None = None,
+        retry_backoff_ms: float | None = None,
         chain_timeout_ms: float | None = None,
+        progress: Callable[[int], None] | None = None,
+        cancel: Callable[[], bool] | None = None,
     ) -> None:
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-        if batched and algorithm != "logarithmic-reduction":
-            raise ValueError(
-                "batched solving supports only the logarithmic-reduction "
-                f"algorithm, got {algorithm!r}"
+        overrides = {
+            name: value
+            for name, value in (
+                ("jobs", jobs),
+                ("warm_start", warm_start),
+                ("batched", batched),
+                ("algorithm", algorithm),
+                ("tol", tol),
+                ("on_error", on_error),
+                ("escalate", escalate),
+                ("max_retries", max_retries),
+                ("retry_backoff_ms", retry_backoff_ms),
+                ("chain_timeout_ms", chain_timeout_ms),
             )
-        if max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
-        if retry_backoff_ms < 0:
-            raise ValueError(
-                f"retry_backoff_ms must be >= 0, got {retry_backoff_ms}"
-            )
-        if chain_timeout_ms is not None and chain_timeout_ms <= 0:
-            raise ValueError(
-                f"chain_timeout_ms must be positive, got {chain_timeout_ms}"
-            )
-        self.jobs = jobs
+            if value is not None
+        }
         if cache is not None and not isinstance(cache, SolveCache):
             cache = SolveCache(cache)
-        self.cache = cache
-        self.warm_start = warm_start
-        self.batched = batched
-        self.algorithm = algorithm
-        self.tol = tol
-        self.on_error = validate_on_error(on_error)
-        self.escalate = escalate
-        self.max_retries = max_retries
-        self.retry_backoff_ms = retry_backoff_ms
-        self.chain_timeout_ms = chain_timeout_ms
+        if cache is not None:
+            directory = cache.directory
+            overrides["cache_dir"] = (
+                None if directory is None else str(directory)
+            )
+            overrides["cache_memory"] = directory is None
+        base = config if config is not None else EngineConfig()
+        # replace() re-runs EngineConfig validation over the merged fields.
+        self.config = base.replace(**overrides) if overrides else base
+        self.cache = cache if cache is not None else self.config.build_cache()
+        self.jobs = self.config.jobs
+        self.warm_start = self.config.warm_start
+        self.batched = self.config.batched
+        self.algorithm = self.config.algorithm
+        self.tol = self.config.tol
+        self.on_error = validate_on_error(self.config.on_error)
+        self.escalate = self.config.escalate
+        self.max_retries = self.config.max_retries
+        self.retry_backoff_ms = self.config.retry_backoff_ms
+        self.chain_timeout_ms = self.config.chain_timeout_ms
+        self.progress = progress
+        self.cancel = cancel
         self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Progress and cancellation hooks
+    # ------------------------------------------------------------------
+    def _tick(self, points: int = 1) -> None:
+        """Report ``points`` served to the progress hook, if any."""
+        if self.progress is not None and points:
+            self.progress(points)
+
+    def _check_cancelled(self) -> None:
+        """Raise :class:`SweepCancelled` when the cancel hook says stop."""
+        if self.cancel is not None and self.cancel():
+            raise SweepCancelled("sweep cancelled by the engine's cancel hook")
 
     # ------------------------------------------------------------------
     # Failure bookkeeping
@@ -283,6 +322,7 @@ class SweepEngine:
         points get no :class:`~repro.engine.stats.SolveRecord` -- their
         :class:`~repro.engine.resilience.FailedSolve` is the record.
         """
+        self._check_cancelled()
         fingerprint = model.fingerprint()
         key = solve_key(fingerprint, self.algorithm, self.tol)
         cached = self._cache_lookup(key, fingerprint)
@@ -290,6 +330,7 @@ class SweepEngine:
             self.stats.add(
                 SolveRecord(fingerprint, cache_hit=True, stats=cached.solve_stats)
             )
+            self._tick()
             return cached
         try:
             solution = model.solve(
@@ -304,12 +345,14 @@ class SweepEngine:
             self._record_failure(
                 failure_from_exception(fingerprint, exc, stage="solve")
             )
+            self._tick()
             return None
         if self.cache is not None:
             self.cache.put(key, solution)
         self.stats.add(
             SolveRecord(fingerprint, cache_hit=False, stats=solution.solve_stats)
         )
+        self._tick()
         return solution
 
     # ------------------------------------------------------------------
@@ -331,6 +374,7 @@ class SweepEngine:
         its own slot (``None``) per the kernel's item-level fallback --
         the rest of its shape group solves normally.
         """
+        self._check_cancelled()
         models = list(models)
         if not models:
             return []
@@ -396,6 +440,7 @@ class SweepEngine:
                     )
                 )
             results.append(solution)
+        self._tick(len(results))
         return results
 
     # ------------------------------------------------------------------
@@ -488,6 +533,7 @@ class SweepEngine:
         last_error: dict[int, BaseException] = {}
         queue = list(pending)
         while queue:
+            self._check_cancelled()
             retry: list[int] = []
             retry.extend(self._run_worker_round(chains, config, queue,
                                                 results_by_index, last_error))
@@ -584,6 +630,7 @@ class SweepEngine:
                         if key not in self.cache:
                             self.cache.put(key, solution)
                 results_by_index[index] = solutions
+                self._tick(len(solutions))
         finally:
             if timed_out:
                 # A hung worker would block the normal shutdown join.

@@ -37,6 +37,7 @@ __all__ = [
     "ON_ERROR_MODES",
     "FailedSolve",
     "ResilienceWarning",
+    "SweepCancelled",
     "failure_from_exception",
     "validate_on_error",
 ]
@@ -55,6 +56,16 @@ FAILURE_STAGES = (
 
 class ResilienceWarning(RuntimeWarning):  # noqa: RL007 -- plain warning category; carries no data to validate
     """Warns that a sweep point was skipped or degraded (``on_error="skip"``)."""
+
+
+class SweepCancelled(RuntimeError):  # noqa: RL007 -- plain exception type; carries no data to validate
+    """A sweep was cancelled cooperatively through the engine's ``cancel`` hook.
+
+    Deliberately *not* one of the failure types ``on_error`` isolates: a
+    cancellation must stop the whole sweep, never degrade into a NaN
+    point.  The background-job layer (:mod:`repro.jobs`) raises and
+    catches this to implement cooperative job cancellation.
+    """
 
 
 def validate_on_error(value: str) -> str:

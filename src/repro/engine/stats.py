@@ -197,13 +197,17 @@ class EngineStats:
             "total_wall_time_ms": round(self.total_wall_time_ms, 3),
             "max_spectral_radius": self.max_spectral_radius,
             "algorithms": self.algorithm_counts(),
+            # Recovered work is part of the solve accounting: a progress
+            # line built from this summary must not under-report a sweep
+            # that quarantined corrupt cache entries or requeued crashed
+            # workers, so both counters are always present (zero included).
+            "cache_quarantined": self.cache_quarantined,
+            "worker_retries": self.worker_retries,
         }
         if self.batch_groups:
             payload["batch_groups"] = [g.as_dict() for g in self.batch_groups]
         if self.degraded_solves:
             payload["degraded_solves"] = self.degraded_solves
-        if self.worker_retries:
-            payload["worker_retries"] = self.worker_retries
         if self.failures:
             payload["failed"] = self.failed
             payload["failure_stages"] = self.failure_stage_counts()

@@ -31,8 +31,6 @@ from repro.experiments.sweeps import (
     SweepAxis,
     bg_probability_axis,
     idle_wait_axis,
-    idle_wait_sweep_series,
-    load_sweep_series,
     sweep,
     sweep_many,
     utilization_axis,
@@ -47,8 +45,6 @@ __all__ = [
     "SweepAxis",
     "bg_probability_axis",
     "idle_wait_axis",
-    "idle_wait_sweep_series",
-    "load_sweep_series",
     "sweep",
     "sweep_many",
     "utilization_axis",

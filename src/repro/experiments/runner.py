@@ -7,15 +7,21 @@ import inspect
 import sys
 from collections.abc import Sequence
 
+from repro.engine.config import EngineConfig
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.manifest import RunManifest
 from repro.experiments.render import render_result
 
-__all__ = ["main"]
+__all__ = ["build_config", "execute_figure", "main"]
 
 
-def _build_engine(args):
-    """The shared SweepEngine of this run, or ``None`` for plain solving."""
+def build_config(args) -> EngineConfig | None:
+    """The run's :class:`EngineConfig`, or ``None`` for plain solving.
+
+    ``None`` (every knob at its default, no cache requested) keeps the
+    figure functions on their historical no-engine path, which the
+    byte-comparison record in EXPERIMENTS.md was made against.
+    """
     if (
         args.jobs == 1
         and args.cache is None
@@ -25,19 +31,33 @@ def _build_engine(args):
         and not args.escalate
     ):
         return None
-    from repro.engine import SolveCache, SweepEngine
-
-    cache = None
-    if args.cache is not None:
-        cache = SolveCache(args.cache if args.cache != "" else None)
-    return SweepEngine(
+    return EngineConfig(
         jobs=args.jobs,
-        cache=cache,
+        cache_dir=args.cache if args.cache else None,
+        cache_memory=args.cache == "",
         warm_start=args.warm_start,
         batched=args.batched,
         on_error=args.on_error,
         escalate=args.escalate,
     )
+
+
+def execute_figure(name, engine=None, fast: bool = False) -> str:
+    """Run one figure and return its rendered ASCII form.
+
+    The single execution path shared by the blocking CLI below and the
+    background-job worker (:mod:`repro.jobs.worker`): both must render a
+    figure identically, so both go through this function.  ``engine`` is
+    passed to the figure only when its signature accepts one (the
+    trace-based figures solve no chains).
+    """
+    func = ALL_FIGURES[name]
+    kwargs = {}
+    if engine is not None and "engine" in inspect.signature(func).parameters:
+        kwargs["engine"] = engine
+    if name == "fig1" and fast:
+        kwargs["samples"] = 20_000
+    return render_result(func(**kwargs))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -118,11 +138,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         "killed) run from DIR/run-manifest.json and recompute only the "
         "rest; requires --cache DIR",
     )
+    parser.add_argument(
+        "--via-jobs",
+        metavar="DIR",
+        default=None,
+        help="route each figure through the durable background-job queue "
+        "at DIR (see repro.jobs): figures are submitted as jobs, solved "
+        "by an in-process worker, and printed from the job results; "
+        "jobs already COMPLETED in DIR for the same spec are replayed "
+        "without re-solving (the job-queue form of --resume)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.resume and args.cache in (None, ""):
         parser.error("--resume needs an on-disk cache: pass --cache DIR")
+    if args.via_jobs is not None and args.resume:
+        parser.error("--via-jobs replays completed jobs itself; drop --resume")
 
     requested = list(ALL_FIGURES) if "all" in args.figures else args.figures
     unknown = [f for f in requested if f not in ALL_FIGURES]
@@ -132,6 +164,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"choose from {', '.join(ALL_FIGURES)} or 'all'"
         )
 
+    config = build_config(args)
+    if args.via_jobs is not None:
+        return _main_via_jobs(args.via_jobs, requested, config, args.fast)
+
     # With an on-disk cache the run keeps a crash-safe manifest next to
     # it, whether or not this invocation resumes -- the *next* one might.
     manifest = None
@@ -140,7 +176,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.cache, config={"fast": bool(args.fast)}
         )
 
-    engine = _build_engine(args)
+    engine = None if config is None else config.build_engine()
     exit_code = 0
     for name in requested:
         if args.resume and manifest is not None:
@@ -149,14 +185,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(stored)
                 print()
                 continue
-        func = ALL_FIGURES[name]
-        kwargs = {}
-        if engine is not None and "engine" in inspect.signature(func).parameters:
-            kwargs["engine"] = engine
-        if name == "fig1" and args.fast:
-            kwargs["samples"] = 20_000
         try:
-            result = func(**kwargs)
+            rendered = execute_figure(name, engine=engine, fast=args.fast)
         except Exception as exc:
             if not args.keep_going:
                 raise
@@ -166,11 +196,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             exit_code = 1
             continue
-        rendered = render_result(result)
         print(rendered)
         print()
         if manifest is not None:
             manifest.record(name, rendered)
+    return exit_code
+
+
+def _main_via_jobs(root, requested, config, fast) -> int:
+    """Run the requested figures through the background-job queue at ``root``.
+
+    Import is local: :mod:`repro.jobs` builds on this module's
+    :func:`execute_figure`, so a top-level import would be circular.
+    """
+    from repro.jobs import COMPLETED, FileJobRepository, JobService, JobWorker
+
+    repository = FileJobRepository(root)
+    service = JobService(repository)
+    jobs = [
+        service.submit_figure(name, fast=fast, config=config, reuse_completed=True)
+        for name in requested
+    ]
+    worker = JobWorker(repository)
+    while any(service.status(j.job_id).state not in (COMPLETED,) for j in jobs):
+        executed = worker.run_once()
+        if executed is None:
+            break
+    exit_code = 0
+    for job in jobs:
+        final = service.status(job.job_id)
+        if final.state == COMPLETED:
+            print(final.result_text)
+            print()
+        else:
+            print(
+                f"FIGURE {final.spec.figure} FAILED: {final.error}",
+                file=sys.stderr,
+            )
+            exit_code = 1
     return exit_code
 
 

@@ -7,13 +7,14 @@ executed through a :class:`~repro.engine.SweepEngine`, which supplies
 caching, R-matrix warm-starting and -- via :func:`sweep_many` --
 parallelism across curves.
 
-``load_sweep_series`` and ``idle_wait_sweep_series`` are the pre-engine
-entry points, kept as thin deprecated wrappers.
+The pre-engine entry points ``load_sweep_series`` and
+``idle_wait_sweep_series`` were deprecated when the engine landed and
+have been removed; ``python -m tools.reprolint --fix`` still rewrites
+surviving call sites to the equivalent :func:`sweep_many` form (RL010).
 """
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -22,18 +23,15 @@ import numpy as np
 from repro.core.metrics import resolve_metric
 from repro.core.model import FgBgModel
 from repro.core.result import FgBgSolution
+from repro.engine.config import EngineConfig
 from repro.engine.engine import SweepEngine
 from repro.experiments.result import Series
-from repro.processes.map_process import MarkovianArrivalProcess
-from repro.workloads.paper import SERVICE_RATE_PER_MS
 
 __all__ = [
     "BG_PROBABILITIES",
     "SweepAxis",
     "bg_probability_axis",
     "idle_wait_axis",
-    "idle_wait_sweep_series",
-    "load_sweep_series",
     "sweep",
     "sweep_many",
     "utilization_axis",
@@ -108,12 +106,33 @@ def _series_values(
     )
 
 
+def _build_engine(
+    config: EngineConfig | None,
+    *,
+    batched: bool,
+    on_error: str,
+) -> SweepEngine:
+    """Engine for a sweep call that did not supply one.
+
+    The legacy per-call knobs win over ``config`` only when moved off
+    their defaults, so ``sweep(..., config=cfg)`` runs exactly ``cfg``
+    and ``sweep(..., config=cfg, batched=True)`` runs ``cfg`` batched.
+    """
+    overrides: dict[str, object] = {}
+    if batched:
+        overrides["batched"] = True
+    if on_error != "raise":
+        overrides["on_error"] = on_error
+    return SweepEngine(config=config, **overrides)
+
+
 def sweep(
     base_model: FgBgModel,
     axis: SweepAxis,
     metric: str | Callable[[FgBgSolution], float],
     *,
     engine: SweepEngine | None = None,
+    config: EngineConfig | None = None,
     label: str | None = None,
     batched: bool = False,
     on_error: str = "raise",
@@ -124,14 +143,17 @@ def sweep(
     or any callable on :class:`FgBgSolution`.  ``batched=True`` without an
     explicit engine solves the whole axis through the stacked kernel
     (:class:`SweepEngine` with ``batched=True``); with an engine supplied,
-    the engine's own configuration wins.  ``on_error`` (likewise only
-    consulted when no engine is supplied) isolates per-point failures:
-    failed points are NaN in the series instead of sinking the sweep (see
+    the engine's own configuration wins.  ``config`` builds the engine
+    from a full :class:`~repro.engine.EngineConfig` instead (the job
+    layer's spec path); ``batched``/``on_error`` still override it when
+    set away from their defaults.  ``on_error`` (likewise only consulted
+    when no engine is supplied) isolates per-point failures: failed
+    points are NaN in the series instead of sinking the sweep (see
     :mod:`repro.engine.resilience`).
     """
     metric_fn = resolve_metric(metric)
     if engine is None:
-        engine = SweepEngine(batched=batched, on_error=on_error)
+        engine = _build_engine(config, batched=batched, on_error=on_error)
     solutions = engine.run_chain(axis.models(base_model))
     return Series(
         label=axis.name if label is None else label,
@@ -147,6 +169,7 @@ def sweep_many(
     bg_probabilities: Sequence[float],
     *,
     engine: SweepEngine | None = None,
+    config: EngineConfig | None = None,
     batched: bool = False,
     on_error: str = "raise",
 ) -> list[Series]:
@@ -155,13 +178,14 @@ def sweep_many(
     Each probability is an independent chain, so an engine with
     ``jobs > 1`` solves the curves in parallel; ``batched=True`` (without
     an explicit engine) pools every curve's points into stacked kernel
-    calls instead.  ``on_error`` (also only consulted when no engine is
-    supplied) isolates per-point failures as NaN, exactly as in
-    :func:`sweep`.
+    calls instead.  ``config`` builds the engine from a full
+    :class:`~repro.engine.EngineConfig` (see :func:`sweep`).  ``on_error``
+    (also only consulted when no engine is supplied) isolates per-point
+    failures as NaN, exactly as in :func:`sweep`.
     """
     metric_fn = resolve_metric(metric)
     if engine is None:
-        engine = SweepEngine(batched=batched, on_error=on_error)
+        engine = _build_engine(config, batched=batched, on_error=on_error)
     chains = [
         axis.models(base_model.with_bg_probability(p)) for p in bg_probabilities
     ]
@@ -175,81 +199,3 @@ def sweep_many(
         )
         for p, solutions in zip(bg_probabilities, solved)
     ]
-
-
-# ----------------------------------------------------------------------
-# Deprecated pre-engine entry points
-# ----------------------------------------------------------------------
-
-#: Deprecated entry points that have already warned this process.  Each
-#: wrapper warns exactly once per process so sweep loops stay readable
-#: under ``-W error::DeprecationWarning`` migrations (the first call
-#: fails loudly; a thousand-model sweep does not emit a thousand
-#: duplicates).
-_warned_deprecations: set[str] = set()
-
-
-def _warn_deprecated_once(name: str, replacement: str) -> None:
-    if name in _warned_deprecations:
-        return
-    _warned_deprecations.add(name)
-    warnings.warn(
-        f"{name} is deprecated; use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=3,  # the caller of the deprecated wrapper, not the helper
-    )
-
-
-def load_sweep_series(
-    arrival: MarkovianArrivalProcess,
-    utilizations: Sequence[float],
-    bg_probabilities: Sequence[float],
-    metric: str | Callable[[FgBgSolution], float],
-    service_rate: float = SERVICE_RATE_PER_MS,
-    **model_kwargs,
-) -> list[Series]:
-    """One curve per background probability; x = foreground utilization.
-
-    .. deprecated::
-        Use :func:`sweep_many` with :func:`utilization_axis`.
-        Warns once per process.
-    """
-    _warn_deprecated_once(
-        "load_sweep_series",
-        "sweep_many(base_model, utilization_axis(...), metric, ...)",
-    )
-    base = FgBgModel(
-        arrival=arrival,
-        service_rate=service_rate,
-        bg_probability=0.0,
-        **model_kwargs,
-    )
-    return sweep_many(base, utilization_axis(utilizations), metric, bg_probabilities)
-
-
-def idle_wait_sweep_series(
-    arrival: MarkovianArrivalProcess,
-    idle_wait_multiples: Sequence[float],
-    bg_probabilities: Sequence[float],
-    metric: str | Callable[[FgBgSolution], float],
-    service_rate: float = SERVICE_RATE_PER_MS,
-    **model_kwargs,
-) -> list[Series]:
-    """One curve per background probability; x = idle wait in multiples of
-    the mean service time (Figures 9-10).
-
-    .. deprecated::
-        Use :func:`sweep_many` with :func:`idle_wait_axis`.
-        Warns once per process.
-    """
-    _warn_deprecated_once(
-        "idle_wait_sweep_series",
-        "sweep_many(base_model, idle_wait_axis(...), metric, ...)",
-    )
-    base = FgBgModel(
-        arrival=arrival,
-        service_rate=service_rate,
-        bg_probability=0.0,
-        **model_kwargs,
-    )
-    return sweep_many(base, idle_wait_axis(idle_wait_multiples), metric, bg_probabilities)

@@ -1,0 +1,80 @@
+"""Durable background jobs over the sweep engine ("solver as a service").
+
+The paper this repository reproduces studies systems that interleave
+foreground work with background jobs; this package gives the repository
+the same shape.  A figure/sweep run becomes a durable *job* record --
+submitted to a queue, executed by a worker through the ordinary
+:class:`~repro.engine.SweepEngine`, observable while it runs, and
+recoverable when the worker dies:
+
+* :mod:`~repro.jobs.lifecycle` -- the :class:`Job` aggregate and its
+  PENDING -> RUNNING -> COMPLETED/FAILED/CANCELLED state machine
+  (including the RUNNING -> PENDING requeue edge).
+* :mod:`~repro.jobs.spec` -- :class:`JobSpec`, the serializable work
+  description (figure + :class:`~repro.engine.EngineConfig`).
+* :mod:`~repro.jobs.repository` -- pluggable storage:
+  :class:`MemoryJobRepository` and the crash-safe, multi-process
+  :class:`FileJobRepository`.
+* :mod:`~repro.jobs.worker` -- :class:`JobWorker`, claim + execute with
+  progress/heartbeat and cooperative cancellation.
+* :mod:`~repro.jobs.sweeper` -- :class:`StaleJobSweeper`, requeues jobs
+  whose worker was SIGKILLed.
+* :mod:`~repro.jobs.service` / :mod:`~repro.jobs.admin` -- the
+  submission-side and queue-wide facades the CLI
+  (``python -m repro.jobs``) and the HTTP front end
+  (:mod:`~repro.jobs.http`) both drive.
+
+The durability guarantee worth remembering: a job whose worker dies
+mid-sweep is requeued and *resumes* through the queue's shared solve
+cache, finishing byte-identical to an uninterrupted run.
+"""
+
+from repro.jobs.admin import AdminService
+from repro.jobs.lifecycle import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    InvalidTransition,
+    Job,
+)
+from repro.jobs.repository import (
+    FileJobRepository,
+    JobRepository,
+    MemoryJobRepository,
+    StaleJobError,
+    UnknownJobError,
+)
+from repro.jobs.service import JobNotFinished, JobService
+from repro.jobs.spec import JobSpec
+from repro.jobs.sweeper import StaleJobSweeper
+from repro.jobs.worker import JobWorker, default_worker_id
+
+__all__ = [
+    "CANCELLED",
+    "COMPLETED",
+    "FAILED",
+    "PENDING",
+    "RUNNING",
+    "STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "AdminService",
+    "FileJobRepository",
+    "InvalidTransition",
+    "Job",
+    "JobNotFinished",
+    "JobRepository",
+    "JobService",
+    "JobSpec",
+    "JobWorker",
+    "MemoryJobRepository",
+    "StaleJobError",
+    "StaleJobSweeper",
+    "UnknownJobError",
+    "default_worker_id",
+]

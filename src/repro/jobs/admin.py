@@ -1,0 +1,66 @@
+"""Administrative operations over a job queue: stats, bulk cancel, purge."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.jobs.lifecycle import PENDING, RUNNING, STATES, Job
+from repro.jobs.repository import JobRepository, now_ms
+from repro.jobs.service import JobService
+
+__all__ = ["AdminService"]
+
+
+class AdminService:
+    """Queue-wide operations the per-job :class:`JobService` has no view for."""
+
+    def __init__(self, repository: JobRepository) -> None:
+        self.repository = repository
+        self._service = JobService(repository)
+
+    def stats(self) -> dict:
+        """JSON-serializable queue summary (counts, progress, retries)."""
+        jobs = self.repository.list_jobs()
+        by_state = Counter(j.state for j in jobs)
+        return {
+            "jobs": len(jobs),
+            "states": {state: by_state.get(state, 0) for state in STATES},
+            "points_done": sum(j.points_done for j in jobs),
+            "retries": sum(j.retries for j in jobs),
+            "cancel_requested": sum(1 for j in jobs if j.cancel_requested),
+        }
+
+    def cancel_all(self, state: str | None = None) -> list[Job]:
+        """Cancel every non-terminal job (optionally only one state)."""
+        states = (PENDING, RUNNING) if state is None else (state,)
+        cancelled = []
+        for target in states:
+            for job in self.repository.list_jobs(state=target):
+                cancelled.append(self._service.cancel(job.job_id))
+        return cancelled
+
+    def purge(
+        self, older_than_ms: float | None = None
+    ) -> list[str]:
+        """Delete terminal job records; returns the removed ids.
+
+        ``older_than_ms`` restricts the purge to jobs that finished more
+        than that many milliseconds ago (``None`` purges every terminal
+        job).  Non-terminal jobs are never purged -- cancel them first.
+        """
+        cutoff_ms = None if older_than_ms is None else now_ms() - older_than_ms
+        removed = []
+        for job in self.repository.list_jobs():
+            if not job.is_terminal:
+                continue
+            finished_ms = (
+                job.finished_ms if job.finished_ms is not None else job.updated_ms
+            )
+            if cutoff_ms is not None and finished_ms > cutoff_ms:
+                continue
+            try:
+                self.repository.delete(job.job_id)
+            except KeyError:
+                continue  # already gone
+            removed.append(job.job_id)
+        return removed

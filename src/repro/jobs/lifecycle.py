@@ -1,0 +1,282 @@
+"""The job aggregate and its lifecycle state machine.
+
+A :class:`Job` is a durable record of one figure/sweep run: its spec,
+where it is in the PENDING -> RUNNING -> terminal lifecycle, which worker
+holds it, how far along it is, and -- once terminal -- its rendered
+result or failure.  Like every model object in this repository the
+aggregate is a frozen dataclass: state changes produce evolved copies via
+the ``_to(...)`` transition helper, which is the *only* place a state
+field changes, so the legality check in :data:`TRANSITIONS` cannot be
+bypassed.
+
+The one non-obvious edge is ``RUNNING -> PENDING``: a *requeue*.  A
+worker that dies (SIGKILL, OOM) leaves its job RUNNING forever; the
+sweeper (:mod:`repro.jobs.sweeper`) detects the dead owner and requeues
+the job for the next worker, bumping :attr:`Job.retries`.  Requeues are
+bounded by :attr:`Job.max_retries` -- a poisoned job that kills every
+worker it touches must eventually FAIL, not cycle forever.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, replace
+
+from repro.jobs.spec import JobSpec
+
+__all__ = [
+    "CANCELLED",
+    "COMPLETED",
+    "FAILED",
+    "PENDING",
+    "RUNNING",
+    "STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "InvalidTransition",
+    "Job",
+]
+
+PENDING = "pending"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Every lifecycle state, in rough lifecycle order.
+STATES = (PENDING, RUNNING, COMPLETED, FAILED, CANCELLED)
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+#: The legal state machine.  ``RUNNING -> PENDING`` is the requeue edge
+#: (dead worker detected by the sweeper); terminal states have no exits.
+TRANSITIONS: dict[str, frozenset[str]] = {
+    PENDING: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({PENDING, COMPLETED, FAILED, CANCELLED}),
+    COMPLETED: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+
+class InvalidTransition(RuntimeError):
+    """An illegal lifecycle transition was attempted (e.g. COMPLETED -> RUNNING)."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One durable background job.
+
+    Attributes
+    ----------
+    job_id:
+        Stable identifier, assigned at submission.
+    spec:
+        What to run (:class:`~repro.jobs.spec.JobSpec`).
+    state:
+        Current lifecycle state, one of :data:`STATES`.
+    created_ms / updated_ms / started_ms / finished_ms:
+        Wall-clock timestamps (milliseconds since the epoch); ``started``
+        is the first claim, ``finished`` the terminal transition.
+    worker_id:
+        ``"<pid>@<host>"`` of the claiming worker while RUNNING.
+    heartbeat_ms:
+        Last sign of life from the claiming worker; the sweeper requeues
+        RUNNING jobs whose heartbeat goes stale.
+    points_done / points_total:
+        Sweep progress as reported by the engine's progress hook
+        (``points_total`` is 0 until the worker announces it).
+    retries:
+        Requeues consumed (dead-worker requeues and failure retries
+        share the one budget); bounded by ``max_retries``.
+    cancel_requested:
+        Cooperative-cancellation flag: set by :meth:`cancel_requested_now`
+        while RUNNING, observed by the worker's cancel hook, which stops
+        the sweep and records the CANCELLED terminal state.
+    result_text / error:
+        Terminal payload: the rendered figure for COMPLETED, the failure
+        diagnostic for FAILED.
+    version:
+        Optimistic-concurrency counter; every repository update bumps it
+        and rejects writers holding a stale copy.
+    """
+
+    job_id: str
+    spec: JobSpec
+    state: str = PENDING
+    created_ms: float = 0.0
+    updated_ms: float = 0.0
+    started_ms: float | None = None
+    finished_ms: float | None = None
+    worker_id: str | None = None
+    heartbeat_ms: float | None = None
+    points_done: int = 0
+    points_total: int = 0
+    retries: int = 0
+    max_retries: int = 3
+    cancel_requested: bool = False
+    result_text: str | None = None
+    error: str | None = None
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if self.state not in STATES:
+            raise ValueError(f"state must be one of {STATES}, got {self.state!r}")
+        if self.points_done < 0 or self.points_total < 0:
+            raise ValueError("progress counters must be >= 0")
+        if self.retries < 0 or self.max_retries < 0:
+            raise ValueError("retries/max_retries must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Transitions (the only way state changes)
+    # ------------------------------------------------------------------
+    def _to(self, state: str, now_ms: float, **changes) -> Job:
+        """Evolved copy in ``state``; raises on an illegal transition."""
+        if state not in TRANSITIONS[self.state]:
+            raise InvalidTransition(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state} -> {state}"
+            )
+        return replace(self, state=state, updated_ms=now_ms, **changes)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def claimed(self, worker_id: str, now_ms: float) -> Job:
+        """PENDING -> RUNNING: a worker takes ownership."""
+        return self._to(
+            RUNNING,
+            now_ms,
+            worker_id=worker_id,
+            heartbeat_ms=now_ms,
+            started_ms=self.started_ms if self.started_ms is not None else now_ms,
+        )
+
+    def progressed(self, points: int, now_ms: float) -> Job:
+        """More sweep points done; doubles as a heartbeat."""
+        if self.state != RUNNING:
+            raise InvalidTransition(
+                f"job {self.job_id}: progress reported in state {self.state}"
+            )
+        return replace(
+            self,
+            points_done=self.points_done + points,
+            heartbeat_ms=now_ms,
+            updated_ms=now_ms,
+        )
+
+    def with_total(self, points_total: int, now_ms: float) -> Job:
+        """The worker announces how many points the job will solve."""
+        if self.state != RUNNING:
+            raise InvalidTransition(
+                f"job {self.job_id}: total announced in state {self.state}"
+            )
+        return replace(
+            self, points_total=points_total, heartbeat_ms=now_ms, updated_ms=now_ms
+        )
+
+    def heartbeat(self, now_ms: float) -> Job:
+        """Sign of life without progress (long single solves)."""
+        if self.state != RUNNING:
+            raise InvalidTransition(
+                f"job {self.job_id}: heartbeat in state {self.state}"
+            )
+        return replace(self, heartbeat_ms=now_ms, updated_ms=now_ms)
+
+    def completed(self, result_text: str, now_ms: float) -> Job:
+        """RUNNING -> COMPLETED with the rendered result."""
+        return self._to(
+            COMPLETED, now_ms, result_text=result_text, finished_ms=now_ms
+        )
+
+    def failed(self, error: str, now_ms: float) -> Job:
+        """RUNNING -> FAILED with the diagnostic."""
+        return self._to(FAILED, now_ms, error=error, finished_ms=now_ms)
+
+    def cancelled(self, now_ms: float) -> Job:
+        """PENDING/RUNNING -> CANCELLED (cooperative or pre-start)."""
+        return self._to(CANCELLED, now_ms, finished_ms=now_ms)
+
+    def requeued(self, now_ms: float) -> Job:
+        """RUNNING -> PENDING: the owner died; hand the job back.
+
+        Consumes one retry; progress is reset (the next worker replays
+        the sweep -- completed solves are served from the shared disk
+        cache, so no work is lost, only re-counted).
+
+        Raises
+        ------
+        InvalidTransition
+            When the retry budget is exhausted; the caller should record
+            FAILED instead (see the sweeper).
+        """
+        if self.retries >= self.max_retries:
+            raise InvalidTransition(
+                f"job {self.job_id}: requeue budget exhausted "
+                f"({self.retries}/{self.max_retries})"
+            )
+        return self._to(
+            PENDING,
+            now_ms,
+            worker_id=None,
+            heartbeat_ms=None,
+            points_done=0,
+            retries=self.retries + 1,
+        )
+
+    def cancel_requested_now(self, now_ms: float) -> Job:
+        """Set the cooperative-cancellation flag (state unchanged)."""
+        if self.is_terminal:
+            raise InvalidTransition(
+                f"job {self.job_id}: cancel requested in terminal state "
+                f"{self.state}"
+            )
+        return replace(self, cancel_requested=True, updated_ms=now_ms)
+
+    # ------------------------------------------------------------------
+    # Construction / serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def new(
+        cls, spec: JobSpec, now_ms: float, max_retries: int = 3
+    ) -> Job:
+        """A fresh PENDING job with a generated id."""
+        return cls(
+            job_id=uuid.uuid4().hex[:12],
+            spec=spec,
+            created_ms=now_ms,
+            updated_ms=now_ms,
+            max_retries=max_retries,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation (round-trips via from_dict)."""
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.as_dict(),
+            "state": self.state,
+            "created_ms": self.created_ms,
+            "updated_ms": self.updated_ms,
+            "started_ms": self.started_ms,
+            "finished_ms": self.finished_ms,
+            "worker_id": self.worker_id,
+            "heartbeat_ms": self.heartbeat_ms,
+            "points_done": self.points_done,
+            "points_total": self.points_total,
+            "retries": self.retries,
+            "max_retries": self.max_retries,
+            "cancel_requested": self.cancel_requested,
+            "result_text": self.result_text,
+            "error": self.error,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> Job:
+        data = dict(payload)
+        data["spec"] = JobSpec.from_dict(data["spec"])
+        return cls(**data)

@@ -1,0 +1,347 @@
+"""Durable storage for jobs: the pluggable :class:`JobRepository`.
+
+Two implementations ship:
+
+* :class:`MemoryJobRepository` -- a lock-guarded dict; the unit-test and
+  single-process substrate.
+* :class:`FileJobRepository` -- one JSON document per job under
+  ``<root>/jobs/``, written atomically (``tmp.<pid>`` + ``os.replace``,
+  the same crash-safe idiom as
+  :class:`~repro.experiments.manifest.RunManifest`), so a SIGKILL at any
+  instant leaves either the old record or the new one, never a torn
+  file.  Cross-process mutual exclusion uses a short-lived ``O_EXCL``
+  lock file per job held only across a read-modify-write (microseconds;
+  no solving happens under a lock); a lock orphaned by a kill inside
+  that window is broken by age.
+
+Both enforce *optimistic concurrency*: every stored job carries a
+``version``, every update requires the writer's copy to match it, and a
+mismatch raises :class:`StaleJobError`.  That is what keeps a worker
+whose job was requeued under it (sweeper decided it was dead, another
+worker took over) from overwriting the new owner's record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from pathlib import Path
+
+from repro.jobs.lifecycle import PENDING, Job
+
+__all__ = [
+    "FileJobRepository",
+    "JobRepository",
+    "MemoryJobRepository",
+    "StaleJobError",
+    "UnknownJobError",
+]
+
+
+class UnknownJobError(KeyError):
+    """No job with the requested id exists in the repository."""
+
+
+class StaleJobError(RuntimeError):
+    """An update was based on an outdated copy (version mismatch).
+
+    The canonical recovery is read-decide-retry: re-fetch the job, check
+    whether the concurrent change (requeue, cancellation) makes the
+    update moot, and either re-apply or stand down.
+    """
+
+
+def now_ms() -> float:
+    """Wall-clock milliseconds since the epoch (heartbeats, timestamps)."""
+    return time.time() * 1000.0
+
+
+class JobRepository(ABC):
+    """Storage contract the worker, sweeper and services run against."""
+
+    @abstractmethod
+    def submit(self, job: Job) -> Job:
+        """Store a fresh job; returns the stored copy (version 0)."""
+
+    @abstractmethod
+    def get(self, job_id: str) -> Job:
+        """The current stored copy; raises :class:`UnknownJobError`."""
+
+    @abstractmethod
+    def update(self, job: Job) -> Job:
+        """Store an evolved copy.
+
+        ``job.version`` must equal the stored version; the returned copy
+        carries ``version + 1``.  Raises :class:`StaleJobError` on a
+        mismatch and :class:`UnknownJobError` for a vanished job.
+        """
+
+    @abstractmethod
+    def claim(self, worker_id: str, claim_now_ms: float) -> Job | None:
+        """Atomically claim the oldest PENDING job, or ``None``.
+
+        The claimed job is stored as RUNNING under ``worker_id`` before
+        it is returned; no two workers can claim the same job.
+        """
+
+    @abstractmethod
+    def list_jobs(self, state: str | None = None) -> list[Job]:
+        """All jobs (optionally filtered by state), oldest first."""
+
+    @abstractmethod
+    def delete(self, job_id: str) -> None:
+        """Remove a job record; raises :class:`UnknownJobError`."""
+
+
+class MemoryJobRepository(JobRepository):
+    """In-process repository: a dict behind a lock.
+
+    Supports multi-threaded workers (the HTTP front end executes jobs on
+    threads) but naturally not multi-process ones -- that is what
+    :class:`FileJobRepository` is for.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+
+    def submit(self, job: Job) -> Job:
+        stored = replace(job, version=0)
+        with self._lock:
+            if job.job_id in self._jobs:
+                raise ValueError(f"job {job.job_id} already exists")
+            self._jobs[job.job_id] = stored
+        return stored
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+
+    def update(self, job: Job) -> Job:
+        with self._lock:
+            current = self._jobs.get(job.job_id)
+            if current is None:
+                raise UnknownJobError(job.job_id)
+            if current.version != job.version:
+                raise StaleJobError(
+                    f"job {job.job_id}: update based on version "
+                    f"{job.version}, stored is {current.version}"
+                )
+            stored = replace(job, version=job.version + 1)
+            self._jobs[job.job_id] = stored
+        return stored
+
+    def claim(self, worker_id: str, claim_now_ms: float) -> Job | None:
+        with self._lock:
+            pending = sorted(
+                (j for j in self._jobs.values() if j.state == PENDING),
+                key=lambda j: (j.created_ms, j.job_id),
+            )
+            for job in pending:
+                if job.cancel_requested:
+                    continue
+                claimed = replace(
+                    job.claimed(worker_id, claim_now_ms), version=job.version + 1
+                )
+                self._jobs[job.job_id] = claimed
+                return claimed
+        return None
+
+    def list_jobs(self, state: str | None = None) -> list[Job]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if state is not None:
+            jobs = [j for j in jobs if j.state == state]
+        return sorted(jobs, key=lambda j: (j.created_ms, j.job_id))
+
+    def delete(self, job_id: str) -> None:
+        with self._lock:
+            if self._jobs.pop(job_id, None) is None:
+                raise UnknownJobError(job_id)
+
+
+class FileJobRepository(JobRepository):
+    """On-disk repository: one atomic JSON document per job.
+
+    Layout under ``root``::
+
+        root/jobs/<job_id>.json   the job record
+        root/jobs/<job_id>.lock   short-lived read-modify-write lock
+        root/cache/               the queue's shared solve cache
+                                  (see JobService.cache_dir)
+
+    Durability model: records are written with the ``tmp.<pid>`` +
+    ``os.replace`` idiom, so readers always see a complete document.
+    Locks only serialize the read-modify-write window; a lock file left
+    behind by a killed process is broken once older than
+    ``lock_timeout_ms``.
+    """
+
+    def __init__(self, root: str | os.PathLike, lock_timeout_ms: float = 5_000.0):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        if lock_timeout_ms <= 0:
+            raise ValueError(
+                f"lock_timeout_ms must be positive, got {lock_timeout_ms}"
+            )
+        self.lock_timeout_ms = float(lock_timeout_ms)
+
+    @property
+    def cache_dir(self) -> str:
+        """The queue's shared on-disk solve cache directory.
+
+        Pointing every job's engine here is what makes requeues resume:
+        solves a dead worker finished are already on disk, so the next
+        worker replays them as cache hits and the final result is
+        byte-identical to an uninterrupted run.
+        """
+        return str(self.root / "cache")
+
+    # ------------------------------------------------------------------
+    # Record I/O
+    # ------------------------------------------------------------------
+    def _path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _read(self, path: Path) -> Job:
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise UnknownJobError(path.stem) from None
+        return Job.from_dict(payload)
+
+    def _write(self, job: Job) -> None:
+        path = self._path(job.job_id)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(job.as_dict(), indent=2) + "\n")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Per-job RMW lock
+    # ------------------------------------------------------------------
+    def _lock_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.lock"
+
+    def _acquire_lock(self, job_id: str) -> bool:
+        lock = self._lock_path(job_id)
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Break locks orphaned by a kill inside the RMW window.
+            try:
+                age_ms = now_ms() - lock.stat().st_mtime * 1000.0
+            except FileNotFoundError:
+                return False  # holder just released; retry next attempt
+            if age_ms > self.lock_timeout_ms:
+                try:
+                    lock.unlink()
+                except FileNotFoundError:
+                    pass
+            return False
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{os.getpid()}\n")
+        return True
+
+    def _release_lock(self, job_id: str) -> None:
+        try:
+            self._lock_path(job_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def _with_lock(self, job_id: str, attempts: int = 50):
+        """Context manager: acquire the RMW lock, spinning briefly."""
+        return _JobLock(self, job_id, attempts)
+
+    # ------------------------------------------------------------------
+    # JobRepository API
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        stored = replace(job, version=0)
+        path = self._path(job.job_id)
+        if path.exists():
+            raise ValueError(f"job {job.job_id} already exists")
+        self._write(stored)
+        return stored
+
+    def get(self, job_id: str) -> Job:
+        return self._read(self._path(job_id))
+
+    def update(self, job: Job) -> Job:
+        with self._with_lock(job.job_id):
+            current = self.get(job.job_id)
+            if current.version != job.version:
+                raise StaleJobError(
+                    f"job {job.job_id}: update based on version "
+                    f"{job.version}, stored is {current.version}"
+                )
+            stored = replace(job, version=job.version + 1)
+            self._write(stored)
+        return stored
+
+    def claim(self, worker_id: str, claim_now_ms: float) -> Job | None:
+        for job in self.list_jobs(state=PENDING):
+            if job.cancel_requested:
+                continue
+            try:
+                with self._with_lock(job.job_id):
+                    current = self.get(job.job_id)
+                    if current.state != PENDING or current.cancel_requested:
+                        continue
+                    claimed = replace(
+                        current.claimed(worker_id, claim_now_ms),
+                        version=current.version + 1,
+                    )
+                    self._write(claimed)
+                    return claimed
+            except (UnknownJobError, TimeoutError):
+                continue  # purged or contended underneath us; next candidate
+        return None
+
+    def list_jobs(self, state: str | None = None) -> list[Job]:
+        jobs = []
+        for path in self.jobs_dir.glob("*.json"):
+            try:
+                jobs.append(self._read(path))
+            except UnknownJobError:
+                continue  # deleted between glob and read
+        if state is not None:
+            jobs = [j for j in jobs if j.state == state]
+        return sorted(jobs, key=lambda j: (j.created_ms, j.job_id))
+
+    def delete(self, job_id: str) -> None:
+        try:
+            self._path(job_id).unlink()
+        except FileNotFoundError:
+            raise UnknownJobError(job_id) from None
+        self._release_lock(job_id)
+
+
+class _JobLock:
+    """``with``-style wrapper around the repository's per-job RMW lock."""
+
+    def __init__(self, repo: FileJobRepository, job_id: str, attempts: int):
+        self.repo = repo
+        self.job_id = job_id
+        self.attempts = attempts
+
+    def __enter__(self) -> None:
+        delay_ms = 2.0
+        for _ in range(self.attempts):
+            if self.repo._acquire_lock(self.job_id):
+                return
+            time.sleep(delay_ms / 1000.0)
+            delay_ms = min(delay_ms * 1.5, 100.0)
+        raise TimeoutError(
+            f"could not lock job {self.job_id} after {self.attempts} attempts"
+        )
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.repo._release_lock(self.job_id)

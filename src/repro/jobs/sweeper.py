@@ -1,0 +1,98 @@
+"""The stale-job sweeper: requeue RUNNING jobs whose worker died.
+
+A worker that is SIGKILLed (or whose machine vanishes) cannot transition
+its job anywhere -- the record stays RUNNING with a heartbeat that
+stops advancing.  :class:`StaleJobSweeper` detects those orphans and
+puts them back on the queue (``RUNNING -> PENDING``, one retry
+consumed), where the next worker picks them up and -- because the job's
+engine cache outlives the dead worker -- finishes them byte-identical
+to an uninterrupted run.
+
+Staleness has two independent signals:
+
+* *dead owner*: the worker id is ``"<pid>@<host>"``; for owners on this
+  host, a pid that no longer exists is conclusive (no lease wait);
+* *stale heartbeat*: for remote or unverifiable owners, a heartbeat
+  older than ``lease_ms`` (solving emits a heartbeat per sweep point,
+  so the lease only needs to exceed the slowest single solve).
+
+A job whose retry budget is already spent is not recycled forever: the
+sweeper records it FAILED with a diagnostic instead (a poisoned job
+that kills every worker must eventually surface, not loop).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.jobs.lifecycle import RUNNING, Job
+from repro.jobs.repository import JobRepository, StaleJobError, now_ms
+
+__all__ = ["StaleJobSweeper"]
+
+
+def _local_pid_dead(worker_id: str | None) -> bool:
+    """Conclusively dead: a local worker whose pid is gone."""
+    if not worker_id or "@" not in worker_id:
+        return False
+    pid_part, _, host = worker_id.partition("@")
+    if host != os.uname().nodename:
+        return False
+    try:
+        pid = int(pid_part)
+    except ValueError:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except PermissionError:
+        return False  # exists, owned by someone else
+    return False
+
+
+class StaleJobSweeper:
+    """Requeues (or fails) RUNNING jobs owned by dead workers."""
+
+    def __init__(
+        self, repository: JobRepository, lease_ms: float = 30_000.0
+    ) -> None:
+        if lease_ms <= 0:
+            raise ValueError(f"lease_ms must be positive, got {lease_ms}")
+        self.repository = repository
+        self.lease_ms = float(lease_ms)
+
+    def is_stale(self, job: Job, at_ms: float) -> bool:
+        """Should this RUNNING job be taken from its owner?"""
+        if job.state != RUNNING:
+            return False
+        if _local_pid_dead(job.worker_id):
+            return True
+        last_ms = job.heartbeat_ms if job.heartbeat_ms is not None else job.updated_ms
+        return (at_ms - last_ms) > self.lease_ms
+
+    def sweep(self) -> list[Job]:
+        """One pass over RUNNING jobs; returns the records it rewrote.
+
+        Stale jobs with retry budget left are requeued; exhausted ones
+        are recorded FAILED.  Concurrent updates (the owner was alive
+        after all, another sweeper won the race) make that job a no-op.
+        """
+        at_ms = now_ms()
+        touched: list[Job] = []
+        for job in self.repository.list_jobs(state=RUNNING):
+            if not self.is_stale(job, at_ms):
+                continue
+            if job.retries < job.max_retries:
+                evolved = job.requeued(now_ms())
+            else:
+                evolved = job.failed(
+                    f"worker {job.worker_id} died and the requeue budget "
+                    f"is exhausted ({job.retries}/{job.max_retries})",
+                    now_ms(),
+                )
+            try:
+                touched.append(self.repository.update(evolved))
+            except StaleJobError:
+                continue  # someone else already handled it
+        return touched

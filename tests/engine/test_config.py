@@ -1,0 +1,194 @@
+"""Tests for EngineConfig and the engine's progress/cancel hooks."""
+
+import numpy as np
+import pytest
+
+from repro.core import FgBgModel
+from repro.engine import EngineConfig, SolveCache, SweepCancelled, SweepEngine
+from repro.processes import PoissonProcess
+from repro.workloads.paper import SERVICE_RATE_PER_MS
+
+MU = SERVICE_RATE_PER_MS
+
+
+def models(n=3, p=0.3):
+    base = FgBgModel(
+        arrival=PoissonProcess(0.01), service_rate=MU, bg_probability=p
+    )
+    return [base.at_utilization(u) for u in np.linspace(0.2, 0.6, n)]
+
+
+def summary_without_timings(stats) -> dict:
+    """EngineStats.summary() minus the wall-clock field (never equal)."""
+    payload = stats.summary()
+    payload.pop("total_wall_time_ms")
+    return payload
+
+
+class TestValidation:
+    def test_defaults_are_valid_and_default(self):
+        config = EngineConfig()
+        assert config.is_default
+        assert not EngineConfig(jobs=2).is_default
+
+    @pytest.mark.parametrize(
+        ("field", "value", "match"),
+        [
+            ("jobs", 0, "jobs must be >= 1"),
+            ("tol", 0.0, "tol must be positive"),
+            ("on_error", "explode", "on_error must be one of"),
+            ("max_retries", -1, "max_retries must be >= 0"),
+            ("retry_backoff_ms", -1.0, "retry_backoff_ms must be >= 0"),
+            ("chain_timeout_ms", 0.0, "chain_timeout_ms must be positive"),
+        ],
+    )
+    def test_field_validation(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            EngineConfig(**{field: value})
+
+    def test_batched_requires_logred(self):
+        with pytest.raises(ValueError, match="logarithmic-reduction"):
+            EngineConfig(batched=True, algorithm="functional")
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            EngineConfig().replace(jobs=0)
+
+    def test_round_trip(self):
+        config = EngineConfig(
+            jobs=2, cache_dir="/tmp/c", warm_start=True, on_error="collect"
+        )
+        assert EngineConfig.from_dict(config.as_dict()) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown EngineConfig field"):
+            EngineConfig.from_dict({"jbos": 2})
+
+
+class TestBuildCache:
+    def test_no_cache_by_default(self):
+        assert EngineConfig().build_cache() is None
+
+    def test_memory_cache(self):
+        cache = EngineConfig(cache_memory=True).build_cache()
+        assert isinstance(cache, SolveCache)
+        assert cache.directory is None
+
+    def test_disk_cache(self, tmp_path):
+        cache = EngineConfig(cache_dir=str(tmp_path / "c")).build_cache()
+        assert str(cache.directory) == str(tmp_path / "c")
+
+
+class TestEquivalence:
+    """config= and legacy kwargs are two spellings of the same engine."""
+
+    def test_engine_attributes_match(self):
+        config = EngineConfig(jobs=2, warm_start=True, on_error="collect")
+        via_config = SweepEngine(config=config)
+        via_kwargs = SweepEngine(jobs=2, warm_start=True, on_error="collect")
+        assert via_config.config == via_kwargs.config
+        assert (via_config.jobs, via_config.warm_start, via_config.on_error) == (
+            via_kwargs.jobs,
+            via_kwargs.warm_start,
+            via_kwargs.on_error,
+        )
+
+    def test_identical_engine_stats(self):
+        """The acceptance check: same chain, same stats summary."""
+        chain = models()
+        via_config = SweepEngine(config=EngineConfig(cache_memory=True))
+        via_kwargs = SweepEngine(cache=SolveCache(None))
+        a = via_config.run_chain(chain)
+        b = via_kwargs.run_chain(chain)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(
+                [x.fg_queue_length, x.bg_queue_length],
+                [y.fg_queue_length, y.bg_queue_length],
+            )
+        assert summary_without_timings(via_config.stats) == summary_without_timings(
+            via_kwargs.stats
+        )
+
+    def test_kwargs_override_config_fields(self):
+        engine = SweepEngine(config=EngineConfig(jobs=4, on_error="skip"), jobs=1)
+        assert engine.jobs == 1
+        assert engine.on_error == "skip"
+        assert engine.config.jobs == 1
+
+    def test_explicit_cache_object_wins(self, tmp_path):
+        cache = SolveCache(str(tmp_path / "c"))
+        engine = SweepEngine(config=EngineConfig(), cache=cache)
+        assert engine.cache is cache
+        assert engine.config.cache_dir == str(tmp_path / "c")
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            SweepEngine(config=EngineConfig(), jobs=0)
+
+
+class TestHooks:
+    def test_progress_ticks_once_per_point(self):
+        ticks = []
+        engine = SweepEngine(progress=ticks.append)
+        engine.run_chain(models(3))
+        assert sum(ticks) == 3
+
+    def test_progress_counts_cache_hits(self):
+        cache = SolveCache(None)
+        SweepEngine(cache=cache).run_chain(models(3))
+        ticks = []
+        engine = SweepEngine(cache=cache, progress=ticks.append)
+        engine.run_chain(models(3))
+        assert sum(ticks) == 3
+        assert engine.stats.cache_hits == 3
+
+    def test_progress_ticks_under_parallel_jobs(self):
+        ticks = []
+        engine = SweepEngine(jobs=2, progress=ticks.append)
+        chains = [models(2, p=0.1), models(2, p=0.6)]
+        engine.run_chains(chains)
+        assert sum(ticks) == 4
+
+    def test_progress_ticks_when_batched(self):
+        ticks = []
+        engine = SweepEngine(batched=True, progress=ticks.append)
+        engine.run_chain(models(3))
+        assert sum(ticks) == 3
+
+    def test_cancel_checked_before_first_solve(self):
+        engine = SweepEngine(cancel=lambda: True)
+        with pytest.raises(SweepCancelled):
+            engine.run_chain(models(2))
+        assert engine.stats.solves == 0
+
+    def test_cancel_mid_chain_stops_promptly(self):
+        done = []
+
+        def cancel_after_one():
+            return len(done) >= 1
+
+        engine = SweepEngine(progress=done.append, cancel=cancel_after_one)
+        with pytest.raises(SweepCancelled):
+            engine.run_chain(models(4))
+        assert sum(done) < 4
+
+    def test_cancel_never_becomes_a_nan_point(self):
+        """SweepCancelled must not be swallowed by on_error isolation."""
+        engine = SweepEngine(on_error="collect", cancel=lambda: True)
+        with pytest.raises(SweepCancelled):
+            engine.run_chain(models(2))
+        assert engine.stats.failures == []
+
+    def test_no_hooks_by_default(self):
+        engine = SweepEngine()
+        assert engine.progress is None
+        assert engine.cancel is None
+
+
+class TestStatsSummaryKeys:
+    def test_recovered_work_counters_always_present(self):
+        engine = SweepEngine()
+        engine.run_chain(models(1))
+        summary = engine.stats.summary()
+        assert summary["cache_quarantined"] == 0
+        assert summary["worker_retries"] == 0

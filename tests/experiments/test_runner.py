@@ -1,8 +1,11 @@
 """Tests for the CLI runner."""
 
+import argparse
+
 import pytest
 
-from repro.experiments.runner import main
+from repro.engine import EngineConfig
+from repro.experiments.runner import build_config, execute_figure, main
 
 
 class TestRunner:
@@ -62,3 +65,75 @@ class TestEngineFlags:
         # fig2 takes no engine; the flags must not break it.
         assert main(["fig2", "--jobs", "2", "--cache"]) == 0
         assert "fig2" in capsys.readouterr().out
+
+
+def parsed(*flags) -> argparse.Namespace:
+    """A parsed namespace with the runner's engine-flag defaults."""
+    defaults = dict(
+        jobs=1,
+        cache=None,
+        warm_start=False,
+        batched=False,
+        on_error="raise",
+        escalate=False,
+    )
+    namespace = argparse.Namespace(**defaults)
+    for key, value in flags:
+        setattr(namespace, key, value)
+    return namespace
+
+
+class TestBuildConfig:
+    def test_all_defaults_is_none(self):
+        # None keeps figures on the historical no-engine path.
+        assert build_config(parsed()) is None
+
+    def test_any_flag_builds_a_config(self):
+        config = build_config(parsed(("jobs", 2)))
+        assert config == EngineConfig(jobs=2)
+
+    def test_memory_cache_spelling(self):
+        config = build_config(parsed(("cache", "")))
+        assert config.cache_memory and config.cache_dir is None
+
+    def test_disk_cache_spelling(self, tmp_path):
+        config = build_config(parsed(("cache", str(tmp_path))))
+        assert config.cache_dir == str(tmp_path) and not config.cache_memory
+
+
+class TestExecuteFigure:
+    def test_matches_the_cli_output(self, capsys):
+        rendered = execute_figure("fig2")
+        assert main(["fig2"]) == 0
+        assert capsys.readouterr().out == rendered + "\n\n"
+
+    def test_engine_reaches_sweep_figures(self):
+        config = EngineConfig(cache_memory=True)
+        engine = config.build_engine()
+        rendered = execute_figure("fig9", engine=engine)
+        assert rendered == execute_figure("fig9")
+        assert engine.stats.solves > 0
+
+
+class TestViaJobs:
+    def test_output_identical_to_blocking_run(self, tmp_path, capsys):
+        assert main(["fig2"]) == 0
+        blocking = capsys.readouterr().out
+        assert main(["fig2", "--via-jobs", str(tmp_path / "q")]) == 0
+        assert capsys.readouterr().out == blocking
+
+    def test_completed_jobs_are_replayed(self, tmp_path, capsys):
+        queue = str(tmp_path / "q")
+        assert main(["fig2", "--via-jobs", queue]) == 0
+        first = capsys.readouterr().out
+        assert main(["fig2", "--via-jobs", queue]) == 0
+        assert capsys.readouterr().out == first
+        # The rerun reused the COMPLETED job instead of submitting a new one.
+        from repro.jobs import FileJobRepository
+
+        assert len(FileJobRepository(queue).list_jobs()) == 1
+
+    def test_via_jobs_rejects_resume(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--via-jobs", str(tmp_path), "--resume"])
+        assert "--via-jobs" in capsys.readouterr().err

@@ -1,36 +1,23 @@
 """Tests for the sweep helpers."""
 
-import warnings
-
 import numpy as np
 import pytest
 
 from repro.core import FgBgModel
-from repro.engine import SweepEngine
+from repro.engine import EngineConfig, SweepEngine
 from repro.experiments.sweeps import (
     BG_PROBABILITIES,
     SweepAxis,
     bg_probability_axis,
     idle_wait_axis,
-    idle_wait_sweep_series,
-    load_sweep_series,
     sweep,
     sweep_many,
     utilization_axis,
 )
-from repro.experiments import sweeps as sweeps_module
 from repro.processes import PoissonProcess
 from repro.workloads import SERVICE_RATE_PER_MS
 
 MU = SERVICE_RATE_PER_MS
-
-
-@pytest.fixture(autouse=True)
-def _fresh_deprecation_registry():
-    """The wrappers warn once per *process*; tests need once per *test*."""
-    sweeps_module._warned_deprecations.clear()
-    yield
-    sweeps_module._warned_deprecations.clear()
 
 
 def poisson_base(p=0.0, **kwargs):
@@ -107,6 +94,23 @@ class TestSweep:
         sweep(poisson_base(), utilization_axis([0.2, 0.4]), "qlen_fg", engine=engine)
         assert engine.stats.solves == 2
 
+    def test_config_builds_the_engine(self):
+        """sweep(config=...) is equivalent to passing the built engine."""
+        args = (poisson_base(), utilization_axis([0.2, 0.4]), "qlen_fg")
+        via_config = sweep(*args, config=EngineConfig(cache_memory=True))
+        via_engine = sweep(*args, engine=EngineConfig(cache_memory=True).build_engine())
+        np.testing.assert_array_equal(via_config.y, via_engine.y)
+
+    def test_legacy_knobs_override_config(self):
+        series = sweep(
+            poisson_base(),
+            utilization_axis([0.2]),
+            "qlen_fg",
+            config=EngineConfig(on_error="raise"),
+            on_error="collect",
+        )
+        assert series.y.shape == (1,)
+
 
 class TestSweepMany:
     def test_one_series_per_probability(self):
@@ -130,153 +134,57 @@ class TestSweepMany:
         for s, p in zip(serial, parallel):
             np.testing.assert_array_equal(s.y, p.y)
 
-
-class TestDeprecatedWrappers:
-    @staticmethod
-    def call_load_sweep():
-        return load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-            PoissonProcess(0.01),
-            utilizations=[0.2],
-            bg_probabilities=[0.1],
-            metric=lambda s: s.fg_queue_length,
+    def test_config_identical_to_legacy(self):
+        args = (poisson_base(), utilization_axis([0.2, 0.4]), "qlen_fg")
+        legacy = sweep_many(*args, bg_probabilities=[0.1, 0.9])
+        via_config = sweep_many(
+            *args, bg_probabilities=[0.1, 0.9], config=EngineConfig()
         )
-
-    def test_load_sweep_warns_exactly_once_per_process(self):
-        with warnings.catch_warnings(record=True) as caught:
-            # "always" would re-emit per call if the wrapper relied on the
-            # default __warningregistry__ dedup; ours must not.
-            warnings.simplefilter("always")
-            self.call_load_sweep()
-            self.call_load_sweep()
-            self.call_load_sweep()
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "sweep_many" in str(deprecations[0].message)
-
-    def test_idle_wait_sweep_warns_exactly_once_per_process(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            for _ in range(2):
-                idle_wait_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                    PoissonProcess(0.3 * MU),
-                    idle_wait_multiples=[1.0],
-                    bg_probabilities=[0.6],
-                    metric=lambda s: s.bg_completion_rate,
-                )
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-
-    def test_warning_points_at_caller(self):
-        """stacklevel must attribute the warning to *this* file, not sweeps.py."""
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            self.call_load_sweep()
-        (record,) = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert record.filename == __file__
-
-    def test_second_call_survives_error_filter(self):
-        """Under ``-W error::DeprecationWarning`` only the first call raises."""
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            with pytest.raises(DeprecationWarning):
-                self.call_load_sweep()
-            # Same wrapper again: silent, so sweep loops keep running.
-            series = self.call_load_sweep()
-        assert series
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            # The *other* wrapper still gets its own first warning.
-            with pytest.raises(DeprecationWarning):
-                idle_wait_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                    PoissonProcess(0.3 * MU),
-                    idle_wait_multiples=[1.0],
-                    bg_probabilities=[0.6],
-                    metric=lambda s: s.bg_completion_rate,
-                )
-
-    def test_load_sweep_delegates_to_sweep_many(self):
-        with pytest.warns(DeprecationWarning):
-            old = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                PoissonProcess(0.01),
-                utilizations=[0.2, 0.4],
-                bg_probabilities=[0.1, 0.9],
-                metric=lambda s: s.fg_queue_length,
-            )
-        new = sweep_many(
-            poisson_base(),
-            utilization_axis([0.2, 0.4]),
-            "qlen_fg",
-            bg_probabilities=[0.1, 0.9],
-        )
-        for o, n in zip(old, new):
-            assert o.label == n.label
-            np.testing.assert_array_equal(o.x, n.x)
-            np.testing.assert_array_equal(o.y, n.y)
-
-    def test_idle_wait_delegates_to_sweep_many(self):
-        arrival = PoissonProcess(0.3 * MU)
-        with pytest.warns(DeprecationWarning):
-            old = idle_wait_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                arrival,
-                idle_wait_multiples=[0.5, 2.0],
-                bg_probabilities=[0.6],
-                metric=lambda s: s.bg_completion_rate,
-            )
-        new = sweep_many(
-            FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.0),
-            idle_wait_axis([0.5, 2.0]),
-            "comp_bg",
-            bg_probabilities=[0.6],
-        )
-        np.testing.assert_array_equal(old[0].y, new[0].y)
+        for lhs, rhs in zip(legacy, via_config):
+            np.testing.assert_array_equal(lhs.y, rhs.y)
 
 
 class TestLoadSweep:
+    """The utilization-sweep shape load_sweep_series used to provide.
+
+    The deprecated wrapper is gone (RL010); these pin the replacement
+    spelling -- ``sweep_many`` over ``utilization_axis`` -- to the same
+    behavior the wrapper had.
+    """
+
     def test_one_series_per_probability(self):
-        with pytest.warns(DeprecationWarning):
-            series = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                PoissonProcess(0.01),
-                utilizations=[0.2, 0.4],
-                bg_probabilities=[0.1, 0.9],
-                metric=lambda s: s.fg_queue_length,
-            )
+        series = sweep_many(
+            poisson_base(),
+            utilization_axis([0.2, 0.4]),
+            lambda s: s.fg_queue_length,
+            bg_probabilities=[0.1, 0.9],
+        )
         assert [s.label for s in series] == ["p = 0.1", "p = 0.9"]
         assert all(s.x.shape == (2,) for s in series)
 
     def test_metric_applied(self):
-        with pytest.warns(DeprecationWarning):
-            (series,) = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                PoissonProcess(0.01),
-                utilizations=[0.5],
-                bg_probabilities=[0.0],
-                metric=lambda s: s.fg_queue_length,
-            )
+        (series,) = sweep_many(
+            poisson_base(),
+            utilization_axis([0.5]),
+            lambda s: s.fg_queue_length,
+            bg_probabilities=[0.0],
+        )
         # M/M/1 at rho = 0.5.
         assert series.y[0] == pytest.approx(1.0, rel=1e-9)
 
     def test_model_kwargs_forwarded(self):
-        # One pytest.warns block: the wrapper only warns on the first call.
-        with pytest.warns(DeprecationWarning):
-            (small,) = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                PoissonProcess(0.01),
-                utilizations=[0.5],
-                bg_probabilities=[0.9],
-                metric=lambda s: s.bg_completion_rate,
-                bg_buffer=1,
-            )
-            (large,) = load_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                PoissonProcess(0.01),
-                utilizations=[0.5],
-                bg_probabilities=[0.9],
-                metric=lambda s: s.bg_completion_rate,
-                bg_buffer=10,
-            )
+        (small,) = sweep_many(
+            poisson_base(bg_buffer=1),
+            utilization_axis([0.5]),
+            lambda s: s.bg_completion_rate,
+            bg_probabilities=[0.9],
+        )
+        (large,) = sweep_many(
+            poisson_base(bg_buffer=10),
+            utilization_axis([0.5]),
+            lambda s: s.bg_completion_rate,
+            bg_probabilities=[0.9],
+        )
         assert large.y[0] > small.y[0]
 
     def test_paper_probability_grid(self):
@@ -284,14 +192,15 @@ class TestLoadSweep:
 
 
 class TestIdleWaitSweep:
+    """The idle-wait-sweep shape idle_wait_sweep_series used to provide."""
+
     def test_x_axis_is_multiples(self):
         arrival = PoissonProcess(0.3 * SERVICE_RATE_PER_MS)
-        with pytest.warns(DeprecationWarning):
-            (series,) = idle_wait_sweep_series(  # noqa: RL010 -- exercising the deprecated wrapper on purpose
-                arrival,
-                idle_wait_multiples=[0.5, 1.0, 2.0],
-                bg_probabilities=[0.6],
-                metric=lambda s: s.bg_completion_rate,
-            )
+        (series,) = sweep_many(
+            FgBgModel(arrival=arrival, service_rate=MU, bg_probability=0.0),
+            idle_wait_axis([0.5, 1.0, 2.0]),
+            lambda s: s.bg_completion_rate,
+            bg_probabilities=[0.6],
+        )
         np.testing.assert_array_equal(series.x, [0.5, 1.0, 2.0])
         assert np.all(np.diff(series.y) < 0)

@@ -1,0 +1,66 @@
+"""Admin-facade tests: stats, bulk cancel, purge."""
+
+from repro.jobs import (
+    CANCELLED,
+    COMPLETED,
+    PENDING,
+    AdminService,
+)
+
+
+class TestStats:
+    def test_empty_queue(self, memory_repo):
+        stats = AdminService(memory_repo).stats()
+        assert stats["jobs"] == 0
+        assert set(stats["states"]) == {
+            "pending",
+            "running",
+            "completed",
+            "failed",
+            "cancelled",
+        }
+
+    def test_counts_by_state_and_progress(
+        self, service, memory_repo, worker, tiny_figure
+    ):
+        service.submit_figure(tiny_figure)
+        service.submit_figure(tiny_figure)
+        worker.run_once()
+        stats = AdminService(memory_repo).stats()
+        assert stats["jobs"] == 2
+        assert stats["states"][COMPLETED] == 1
+        assert stats["states"][PENDING] == 1
+        assert stats["points_done"] == 3
+
+
+class TestBulkOps:
+    def test_cancel_all_pending(self, service, memory_repo, tiny_figure):
+        jobs = [service.submit_figure(tiny_figure) for _ in range(3)]
+        cancelled = AdminService(memory_repo).cancel_all()
+        assert len(cancelled) == 3
+        assert all(
+            service.status(j.job_id).state == CANCELLED for j in jobs
+        )
+
+    def test_purge_removes_only_terminal_jobs(
+        self, service, memory_repo, worker, tiny_figure
+    ):
+        done = service.submit_figure(tiny_figure)
+        keep = service.submit_figure(tiny_figure)
+        worker.run_until_drained(max_jobs=1)
+        removed = AdminService(memory_repo).purge()
+        assert removed == [done.job_id]
+        assert service.status(keep.job_id).state == PENDING
+
+    def test_purge_respects_age_cutoff(
+        self, service, memory_repo, worker, tiny_figure
+    ):
+        service.submit_figure(tiny_figure)
+        worker.run_once()
+        admin = AdminService(memory_repo)
+        # Finished milliseconds ago: an hour-old cutoff keeps it.
+        assert admin.purge(older_than_ms=3_600_000.0) == []
+        assert len(admin.purge(older_than_ms=0.0)) == 1
+
+    def test_purge_is_safe_on_empty_queue(self, memory_repo):
+        assert AdminService(memory_repo).purge() == []

@@ -1,0 +1,120 @@
+"""Unit tests of the job aggregate and its state machine."""
+
+import pytest
+
+from repro.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    InvalidTransition,
+    Job,
+    JobSpec,
+)
+
+
+def fresh(max_retries=3) -> Job:
+    return Job.new(JobSpec(figure="fig2"), now_ms=1_000.0, max_retries=max_retries)
+
+
+class TestStateMachine:
+    def test_new_job_is_pending(self):
+        job = fresh()
+        assert job.state == PENDING
+        assert not job.is_terminal
+        assert job.version == 0
+
+    def test_transition_table_is_exhaustive(self):
+        assert set(TRANSITIONS) == set(STATES)
+        for state in TERMINAL_STATES:
+            assert TRANSITIONS[state] == frozenset()
+
+    def test_claim_starts_the_job(self):
+        job = fresh().claimed("w@h", 2_000.0)
+        assert job.state == RUNNING
+        assert job.worker_id == "w@h"
+        assert job.started_ms == 2_000.0
+        assert job.heartbeat_ms == 2_000.0
+
+    def test_happy_path_to_completed(self):
+        job = fresh().claimed("w@h", 2_000.0)
+        job = job.progressed(3, 3_000.0)
+        job = job.completed("rendered", 4_000.0)
+        assert job.state == COMPLETED
+        assert job.result_text == "rendered"
+        assert job.points_done == 3
+        assert job.finished_ms == 4_000.0
+
+    def test_failure_records_diagnostic(self):
+        job = fresh().claimed("w@h", 2_000.0).failed("boom", 3_000.0)
+        assert job.state == FAILED
+        assert job.error == "boom"
+
+    def test_pending_can_cancel_immediately(self):
+        assert fresh().cancelled(2_000.0).state == CANCELLED
+
+    def test_running_cancels_cooperatively(self):
+        job = fresh().claimed("w@h", 2_000.0).cancel_requested_now(2_500.0)
+        assert job.state == RUNNING  # flag only; the worker transitions
+        assert job.cancel_requested
+        assert job.cancelled(3_000.0).state == CANCELLED
+
+    def test_requeue_returns_to_pending_and_consumes_retry(self):
+        job = fresh().claimed("w@h", 2_000.0).progressed(2, 2_500.0)
+        requeued = job.requeued(3_000.0)
+        assert requeued.state == PENDING
+        assert requeued.retries == 1
+        assert requeued.worker_id is None
+        assert requeued.points_done == 0  # the next worker replays via cache
+
+    def test_requeue_budget_is_bounded(self):
+        job = fresh(max_retries=1).claimed("w@h", 2_000.0).requeued(3_000.0)
+        job = job.claimed("w2@h", 4_000.0)
+        with pytest.raises(InvalidTransition, match="requeue budget exhausted"):
+            job.requeued(5_000.0)
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_states_are_sinks(self, terminal):
+        job = fresh().claimed("w@h", 2_000.0)
+        job = {
+            COMPLETED: lambda: job.completed("r", 3_000.0),
+            FAILED: lambda: job.failed("e", 3_000.0),
+            CANCELLED: lambda: job.cancelled(3_000.0),
+        }[terminal]()
+        with pytest.raises(InvalidTransition):
+            job.claimed("w@h", 4_000.0)
+        with pytest.raises(InvalidTransition):
+            job.completed("again", 4_000.0)
+        with pytest.raises(InvalidTransition):
+            job.cancel_requested_now(4_000.0)
+
+    def test_pending_cannot_complete_directly(self):
+        with pytest.raises(InvalidTransition, match="pending -> completed"):
+            fresh().completed("r", 2_000.0)
+
+    def test_progress_requires_running(self):
+        with pytest.raises(InvalidTransition):
+            fresh().progressed(1, 2_000.0)
+        with pytest.raises(InvalidTransition):
+            fresh().heartbeat(2_000.0)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        job = fresh().claimed("w@h", 2_000.0).progressed(2, 3_000.0)
+        clone = Job.from_dict(job.as_dict())
+        assert clone == job
+
+    def test_round_trip_terminal(self):
+        job = fresh().claimed("w@h", 2_000.0).completed("rendered\ntext", 3_000.0)
+        assert Job.from_dict(job.as_dict()) == job
+
+    def test_validation_rejects_bad_state(self):
+        payload = fresh().as_dict()
+        payload["state"] = "exploded"
+        with pytest.raises(ValueError, match="state must be one of"):
+            Job.from_dict(payload)

@@ -1,0 +1,146 @@
+"""Repository contract tests, run against both implementations."""
+
+import json
+import os
+
+import pytest
+
+from repro.jobs import (
+    FileJobRepository,
+    Job,
+    JobSpec,
+    MemoryJobRepository,
+    PENDING,
+    RUNNING,
+    StaleJobError,
+    UnknownJobError,
+)
+from repro.jobs.repository import now_ms
+
+
+@pytest.fixture(params=["memory", "file"])
+def repo(request, tmp_path):
+    if request.param == "memory":
+        return MemoryJobRepository()
+    return FileJobRepository(tmp_path / "queue")
+
+
+def submit(repo, figure="fig2", created_ms=None) -> Job:
+    job = Job.new(JobSpec(figure=figure), now_ms=created_ms or now_ms())
+    return repo.submit(job)
+
+
+class TestContract:
+    def test_submit_and_get(self, repo):
+        job = submit(repo)
+        assert repo.get(job.job_id) == job
+        assert job.version == 0
+
+    def test_get_unknown_raises(self, repo):
+        with pytest.raises(UnknownJobError):
+            repo.get("nope")
+
+    def test_duplicate_submit_rejected(self, repo):
+        job = submit(repo)
+        with pytest.raises(ValueError, match="already exists"):
+            repo.submit(job)
+
+    def test_update_bumps_version(self, repo):
+        job = submit(repo)
+        updated = repo.update(job.claimed("w@h", now_ms()))
+        assert updated.version == 1
+        assert repo.get(job.job_id).state == RUNNING
+
+    def test_stale_update_rejected(self, repo):
+        job = submit(repo)
+        repo.update(job.claimed("w@h", now_ms()))
+        # A second writer still holding version 0:
+        with pytest.raises(StaleJobError, match="version"):
+            repo.update(job.cancelled(now_ms()))
+
+    def test_claim_takes_oldest_pending(self, repo):
+        first = submit(repo, created_ms=1_000.0)
+        submit(repo, created_ms=2_000.0)
+        claimed = repo.claim("w@h", now_ms())
+        assert claimed.job_id == first.job_id
+        assert claimed.state == RUNNING
+        assert claimed.worker_id == "w@h"
+
+    def test_claim_skips_cancel_requested(self, repo):
+        job = submit(repo)
+        repo.update(job.cancel_requested_now(now_ms()))
+        assert repo.claim("w@h", now_ms()) is None
+
+    def test_claim_empty_queue_returns_none(self, repo):
+        assert repo.claim("w@h", now_ms()) is None
+
+    def test_claimed_job_is_not_claimable_again(self, repo):
+        submit(repo)
+        assert repo.claim("w1@h", now_ms()) is not None
+        assert repo.claim("w2@h", now_ms()) is None
+
+    def test_list_filters_by_state(self, repo):
+        a = submit(repo, created_ms=1_000.0)
+        submit(repo, created_ms=2_000.0)
+        repo.update(a.claimed("w@h", now_ms()))
+        assert [j.job_id for j in repo.list_jobs(state=RUNNING)] == [a.job_id]
+        assert len(repo.list_jobs(state=PENDING)) == 1
+        assert len(repo.list_jobs()) == 2
+
+    def test_delete(self, repo):
+        job = submit(repo)
+        repo.delete(job.job_id)
+        with pytest.raises(UnknownJobError):
+            repo.get(job.job_id)
+        with pytest.raises(UnknownJobError):
+            repo.delete(job.job_id)
+
+
+class TestFileRepository:
+    def test_record_is_valid_json_on_disk(self, tmp_path):
+        repo = FileJobRepository(tmp_path / "q")
+        job = submit(repo)
+        path = repo.jobs_dir / f"{job.job_id}.json"
+        payload = json.loads(path.read_text())
+        assert Job.from_dict(payload) == job
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        repo = FileJobRepository(tmp_path / "q")
+        job = submit(repo)
+        repo.update(job.claimed("w@h", now_ms()))
+        leftovers = [p.name for p in repo.jobs_dir.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_no_lock_held_after_update(self, tmp_path):
+        repo = FileJobRepository(tmp_path / "q")
+        job = submit(repo)
+        repo.update(job.claimed("w@h", now_ms()))
+        assert not (repo.jobs_dir / f"{job.job_id}.lock").exists()
+
+    def test_orphaned_lock_is_broken_by_age(self, tmp_path):
+        repo = FileJobRepository(tmp_path / "q", lock_timeout_ms=50.0)
+        job = submit(repo)
+        lock = repo.jobs_dir / f"{job.job_id}.lock"
+        lock.write_text("dead-holder\n")
+        stale = (now_ms() - 10_000.0) / 1000.0
+        os.utime(lock, (stale, stale))
+        # The update must break the dead holder's lock and proceed.
+        updated = repo.update(job.claimed("w@h", now_ms()))
+        assert updated.state == RUNNING
+        assert not lock.exists()
+
+    def test_two_handles_share_state(self, tmp_path):
+        writer = FileJobRepository(tmp_path / "q")
+        reader = FileJobRepository(tmp_path / "q")
+        job = submit(writer)
+        assert reader.get(job.job_id) == job
+        writer.update(job.claimed("w@h", now_ms()))
+        assert reader.get(job.job_id).state == RUNNING
+
+    def test_cache_dir_is_inside_the_queue(self, tmp_path):
+        repo = FileJobRepository(tmp_path / "q")
+        assert repo.cache_dir == str(tmp_path / "q" / "cache")
+
+    def test_invalid_lock_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="lock_timeout_ms"):
+            FileJobRepository(tmp_path / "q", lock_timeout_ms=0)

@@ -1,0 +1,92 @@
+"""Stale-job sweeper tests: dead pids, stale heartbeats, requeue bounds."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.jobs import (
+    FAILED,
+    PENDING,
+    RUNNING,
+    Job,
+    JobSpec,
+    StaleJobSweeper,
+)
+from repro.jobs.repository import now_ms
+
+
+def running_job(repo, worker_id, retries=0, max_retries=3):
+    job = Job.new(JobSpec(figure="fig2"), now_ms=now_ms(), max_retries=max_retries)
+    stored = repo.submit(job)
+    claimed = repo.update(stored.claimed(worker_id, now_ms()))
+    if retries:
+        claimed = repo.update(dataclasses.replace(claimed, retries=retries))
+    return claimed
+
+
+def dead_local_worker_id() -> str:
+    """A worker id on this host whose pid certainly does not exist."""
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)  # noqa: SLF001 -- child exits immediately
+    os.waitpid(pid, 0)
+    return f"{pid}@{os.uname().nodename}"
+
+
+class TestStaleness:
+    def test_dead_local_pid_is_stale_immediately(self, memory_repo):
+        job = running_job(memory_repo, dead_local_worker_id())
+        sweeper = StaleJobSweeper(memory_repo, lease_ms=3_600_000.0)
+        assert sweeper.is_stale(job, now_ms())
+
+    def test_live_local_pid_with_fresh_heartbeat_is_not_stale(self, memory_repo):
+        job = running_job(memory_repo, f"{os.getpid()}@{os.uname().nodename}")
+        sweeper = StaleJobSweeper(memory_repo, lease_ms=60_000.0)
+        assert not sweeper.is_stale(job, now_ms())
+
+    def test_remote_worker_goes_stale_by_heartbeat(self, memory_repo):
+        job = running_job(memory_repo, "12345@elsewhere")
+        sweeper = StaleJobSweeper(memory_repo, lease_ms=1_000.0)
+        assert not sweeper.is_stale(job, now_ms())
+        assert sweeper.is_stale(job, now_ms() + 2_000.0)
+
+    def test_pending_jobs_are_never_stale(self, memory_repo):
+        job = memory_repo.submit(Job.new(JobSpec(figure="fig2"), now_ms()))
+        sweeper = StaleJobSweeper(memory_repo, lease_ms=1.0)
+        assert not sweeper.is_stale(job, now_ms() + 1_000_000.0)
+
+    def test_invalid_lease_rejected(self, memory_repo):
+        with pytest.raises(ValueError, match="lease_ms"):
+            StaleJobSweeper(memory_repo, lease_ms=0)
+
+
+class TestSweep:
+    def test_requeues_dead_workers_job(self, memory_repo):
+        job = running_job(memory_repo, dead_local_worker_id())
+        touched = StaleJobSweeper(memory_repo).sweep()
+        assert [j.job_id for j in touched] == [job.job_id]
+        requeued = memory_repo.get(job.job_id)
+        assert requeued.state == PENDING
+        assert requeued.retries == 1
+        assert requeued.worker_id is None
+
+    def test_leaves_live_jobs_alone(self, memory_repo):
+        running_job(memory_repo, f"{os.getpid()}@{os.uname().nodename}")
+        assert StaleJobSweeper(memory_repo, lease_ms=60_000.0).sweep() == []
+
+    def test_exhausted_budget_fails_instead_of_cycling(self, memory_repo):
+        job = running_job(
+            memory_repo, dead_local_worker_id(), retries=2, max_retries=2
+        )
+        StaleJobSweeper(memory_repo).sweep()
+        final = memory_repo.get(job.job_id)
+        assert final.state == FAILED
+        assert "requeue budget is exhausted" in final.error
+
+    def test_requeued_job_is_claimable_again(self, memory_repo):
+        running_job(memory_repo, dead_local_worker_id())
+        StaleJobSweeper(memory_repo).sweep()
+        claimed = memory_repo.claim("next@worker", now_ms())
+        assert claimed is not None
+        assert claimed.state == RUNNING

@@ -1,0 +1,123 @@
+"""Worker execution tests: progress, results, cancellation, retries."""
+
+from repro.experiments.runner import execute_figure
+from repro.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    JobWorker,
+)
+from repro.jobs.repository import now_ms
+
+from tests.jobs.conftest import TINY_POINTS
+
+
+class TestExecution:
+    def test_completes_with_blocking_path_result(self, service, worker, tiny_figure):
+        job = service.submit_figure(tiny_figure)
+        done = worker.run_once()
+        assert done.job_id == job.job_id
+        assert done.state == COMPLETED
+        assert service.result(job.job_id) == execute_figure(tiny_figure)
+
+    def test_progress_counts_every_point(self, service, worker, tiny_figure):
+        service.submit_figure(tiny_figure)
+        done = worker.run_once()
+        assert done.points_done == len(TINY_POINTS)
+        assert done.heartbeat_ms is not None
+
+    def test_empty_queue_is_a_noop(self, worker):
+        assert worker.run_once() is None
+
+    def test_run_until_drained(self, service, worker, tiny_figure):
+        for _ in range(3):
+            service.submit_figure(tiny_figure)
+        done = worker.run_until_drained()
+        assert len(done) == 3
+        assert all(j.state == COMPLETED for j in done)
+        assert worker.run_once() is None
+
+    def test_max_jobs_bounds_the_drain(self, service, worker, tiny_figure):
+        for _ in range(3):
+            service.submit_figure(tiny_figure)
+        assert len(worker.run_until_drained(max_jobs=2)) == 2
+        assert len(service.list_jobs(state=PENDING)) == 1
+
+    def test_unknown_figure_fails_after_retry_budget(self, service, worker):
+        job = service.submit_figure("not-a-figure", max_retries=1)
+        first = worker.run_once()
+        assert first.state == PENDING  # retry budget: requeued once
+        assert first.retries == 1
+        second = worker.run_once()
+        assert second.state == FAILED
+        assert "not-a-figure" in second.error
+        assert second.job_id == job.job_id
+
+    def test_failure_without_budget_fails_immediately(self, service, worker):
+        service.submit_figure("not-a-figure", max_retries=0)
+        done = worker.run_once()
+        assert done.state == FAILED
+        assert "KeyError" in done.error
+
+
+class TestCancellation:
+    def test_cancel_requested_before_start_is_never_claimed(
+        self, service, worker, tiny_figure
+    ):
+        job = service.submit_figure(tiny_figure)
+        service.cancel(job.job_id)
+        assert worker.run_once() is None
+        assert service.status(job.job_id).state == CANCELLED
+
+    def test_cancel_mid_run_stops_cooperatively(
+        self, service, memory_repo, tiny_figure, monkeypatch
+    ):
+        """Cancel lands while the sweep runs; the worker stops and records it."""
+        job = service.submit_figure(tiny_figure)
+        worker = JobWorker(memory_repo, worker_id="w@unit")
+
+        # Trigger the cancel from inside the run: after the first progress
+        # write, the next cancel-hook poll must observe the flag.
+        original_update = memory_repo.update
+        fired = {"done": False}
+
+        def update_then_cancel(evolved):
+            stored = original_update(evolved)
+            if stored.state == RUNNING and stored.points_done and not fired["done"]:
+                fired["done"] = True
+                service.cancel(stored.job_id)
+            return stored
+
+        monkeypatch.setattr(memory_repo, "update", update_then_cancel)
+        done = worker.run_once()
+        assert done.state == CANCELLED
+        assert done.job_id == job.job_id
+        assert 0 < done.points_done < len(TINY_POINTS)
+
+    def test_preempted_worker_stands_down_silently(
+        self, service, memory_repo, tiny_figure, monkeypatch
+    ):
+        """A sweeper requeue mid-run: the old worker must not write anything."""
+        service.submit_figure(tiny_figure)
+        worker = JobWorker(memory_repo, worker_id="old@unit")
+
+        original_update = memory_repo.update
+        fired = {"done": False}
+
+        def update_then_steal(evolved):
+            stored = original_update(evolved)
+            if stored.state == RUNNING and stored.points_done and not fired["done"]:
+                fired["done"] = True
+                # Simulate the sweeper + a new worker taking over.
+                requeued = original_update(stored.requeued(now_ms()))
+                original_update(requeued.claimed("new@unit", now_ms()))
+            return stored
+
+        monkeypatch.setattr(memory_repo, "update", update_then_steal)
+        result = worker.run_once()
+        final = memory_repo.get(result.job_id)
+        assert final.state == RUNNING
+        assert final.worker_id == "new@unit"  # old worker wrote nothing
+        assert final.retries == 1

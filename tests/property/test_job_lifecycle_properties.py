@@ -1,0 +1,107 @@
+"""Property-based tests of the job lifecycle state machine.
+
+Hypothesis drives random sequences of lifecycle operations against a
+:class:`~repro.jobs.Job`; at every step the reached state must be one
+the transition table :data:`~repro.jobs.TRANSITIONS` allows from the
+previous state, illegal operations must raise
+:class:`~repro.jobs.InvalidTransition` and leave the job unchanged
+(frozen aggregates cannot be half-transitioned), and the bookkeeping
+invariants (retry bound, terminal-implies-finished) must hold.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.jobs import (
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    InvalidTransition,
+    Job,
+    JobSpec,
+)
+
+#: Each operation: (name, target state it transitions to or None for a
+#: non-transition mutation, callable).
+OPERATIONS = (
+    ("claim", RUNNING, lambda j, t: j.claimed("w@h", t)),
+    ("progress", None, lambda j, t: j.progressed(1, t)),
+    ("heartbeat", None, lambda j, t: j.heartbeat(t)),
+    ("complete", COMPLETED, lambda j, t: j.completed("result", t)),
+    ("fail", FAILED, lambda j, t: j.failed("error", t)),
+    ("cancel", None, lambda j, t: j.cancelled(t)),
+    ("requeue", PENDING, lambda j, t: j.requeued(t)),
+    ("request_cancel", None, lambda j, t: j.cancel_requested_now(t)),
+)
+
+
+def fresh(max_retries: int) -> Job:
+    return Job.new(
+        JobSpec(figure="fig2"), now_ms=0.0, max_retries=max_retries
+    )
+
+
+@given(
+    ops=st.lists(st.sampled_from(OPERATIONS), min_size=1, max_size=12),
+    max_retries=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=200, deadline=None)
+def test_every_reachable_state_is_legal(ops, max_retries):
+    job = fresh(max_retries)
+    clock_ms = 0.0
+    for _name, _target, apply in ops:
+        clock_ms += 1.0
+        before = job
+        try:
+            job = apply(job, clock_ms)
+        except InvalidTransition:
+            # An illegal operation must be a no-op on the aggregate.
+            assert job == before
+            continue
+
+        # Whatever happened was a legal step of the machine.
+        assert job.state in STATES
+        if job.state != before.state:
+            assert job.state in TRANSITIONS[before.state], (
+                f"illegal transition {before.state} -> {job.state} slipped through"
+            )
+
+        # Bookkeeping invariants.
+        assert job.retries <= job.max_retries
+        assert job.points_done >= 0
+        if job.state in TERMINAL_STATES:
+            assert job.finished_ms is not None
+        if job.state == RUNNING:
+            assert job.worker_id is not None
+
+
+@given(
+    ops=st.lists(st.sampled_from(OPERATIONS), min_size=1, max_size=12),
+)
+@settings(max_examples=200, deadline=None)
+def test_terminal_states_are_inescapable(ops):
+    """Once terminal, every further operation raises InvalidTransition."""
+    job = fresh(3).claimed("w@h", 1.0).completed("done", 2.0)
+    for _name, _target, apply in ops:
+        with pytest.raises(InvalidTransition):
+            apply(job, 3.0)
+
+
+@given(budget=st.integers(min_value=0, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_requeue_cycles_are_bounded_by_the_budget(budget):
+    job = fresh(budget)
+    clock_ms = 0.0
+    for _ in range(budget):
+        clock_ms += 1.0
+        job = job.claimed("w@h", clock_ms).requeued(clock_ms + 0.5)
+    assert job.retries == budget
+    job = job.claimed("w@h", clock_ms + 1.0)
+    with pytest.raises(InvalidTransition, match="requeue budget exhausted"):
+        job.requeued(clock_ms + 2.0)

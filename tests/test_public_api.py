@@ -27,7 +27,19 @@ class TestLazyExports:
 
     @pytest.mark.parametrize(
         "name",
-        ["processes", "markov", "qbd", "core", "sim", "vacation", "workloads", "experiments"],
+        [
+            "processes",
+            "markov",
+            "qbd",
+            "core",
+            "engine",
+            "faults",
+            "jobs",
+            "sim",
+            "vacation",
+            "workloads",
+            "experiments",
+        ],
     )
     def test_subpackages_reachable(self, name):
         module = getattr(repro, name)

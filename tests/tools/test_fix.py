@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 
 import numpy as np
@@ -183,22 +182,38 @@ def test_fix_is_idempotent(tmp_path):
 
 
 def test_rl010_rewrite_preserves_results(tmp_path):
+    """The rewritten call computes what the removed wrapper used to.
+
+    ``load_sweep_series`` no longer exists, so the "before" side is its
+    documented delegation -- ``sweep_many`` over ``utilization_axis`` of
+    a zero-background base model -- computed directly; the rewritten
+    legacy source must reproduce it.
+    """
     target = write(tmp_path, "mod.py", LEGACY)
-
-    def run(source: str):
-        namespace: dict = {}
-        exec(compile(source, str(target), "exec"), namespace)
-        from repro.processes import PoissonProcess
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            return namespace["series"](
-                PoissonProcess(0.01), lambda s: s.fg_queue_length
-            )
-
-    before = run(LEGACY)
     fix_paths([target], root=tmp_path)
-    after = run(target.read_text(encoding="utf-8"))
+
+    from repro.core import FgBgModel
+    from repro.experiments.sweeps import sweep_many, utilization_axis
+    from repro.processes import PoissonProcess
+    from repro.workloads.paper import SERVICE_RATE_PER_MS
+
+    metric = lambda s: s.fg_queue_length  # noqa: E731 -- mirrors the exec'd call
+    before = sweep_many(
+        FgBgModel(
+            arrival=PoissonProcess(0.01),
+            service_rate=SERVICE_RATE_PER_MS,
+            bg_probability=0.0,
+        ),
+        utilization_axis([0.2, 0.4]),
+        metric,
+        [0.1],
+    )
+
+    namespace: dict = {}
+    source = target.read_text(encoding="utf-8")
+    exec(compile(source, str(target), "exec"), namespace)
+    after = namespace["series"](PoissonProcess(0.01), metric)
+
     assert [s.label for s in before] == [s.label for s in after]
     for old, new in zip(before, after):
         np.testing.assert_allclose(old.x, new.x)

@@ -618,7 +618,7 @@ def rl010_deprecated_sweep_api(tree: ast.AST, path: str) -> Iterator[Violation]:
                 node.lineno,
                 node.col_offset,
                 "RL010",
-                f"{name} is deprecated; use "
+                f"{name} was removed from repro.experiments.sweeps; use "
                 f"{_DEPRECATED_SWEEP_CALLS[name]} instead "
                 "(mechanical rewrite available via --fix)",
             )
