@@ -1,0 +1,35 @@
+"""The designated accessor for ``REPRO_*`` environment configuration.
+
+Every ``REPRO_*`` read outside the historical accessor modules
+(``repro.contracts.checks``, ``repro.faults.injector``,
+``repro.qbd.rmatrix``) must go through these helpers -- enforced by
+reprolint RL015 -- so the full configuration surface stays enumerable
+and distributed workers cannot grow divergent config backdoors.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["repro_env", "repro_env_required"]
+
+_PREFIX = "REPRO_"
+
+
+def _check_name(name: str) -> None:
+    if not name.startswith(_PREFIX):
+        raise ValueError(
+            f"repro env vars are namespaced under {_PREFIX!r}, got {name!r}"
+        )
+
+
+def repro_env(name: str, default: str | None = None) -> str | None:
+    """The value of the ``REPRO_*`` variable ``name``, or ``default``."""
+    _check_name(name)
+    return os.environ.get(name, default)
+
+
+def repro_env_required(name: str) -> str:
+    """The value of ``name``; raises ``KeyError`` when unset."""
+    _check_name(name)
+    return os.environ[name]

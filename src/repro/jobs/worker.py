@@ -168,7 +168,7 @@ def _reapply(fresh: Job, evolved: Job) -> Job:
     Only fields the worker owns are carried over; concurrently written
     fields (``cancel_requested``) are taken from the fresh copy.
     """
-    return dataclasses.replace(
+    return dataclasses.replace(  # noqa: RL012 -- re-applies a delta already produced through _to() onto the concurrently updated record; no new transition is minted here
         fresh,
         state=evolved.state,
         points_done=evolved.points_done,

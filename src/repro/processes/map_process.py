@@ -25,6 +25,17 @@ from repro.markov.stationary import stationary_distribution
 __all__ = ["MarkovianArrivalProcess"]
 
 
+def _freeze(*arrays: np.ndarray) -> None:
+    """Make every array read-only before a construction certificate.
+
+    Must stay unconditional and directly called: reprolint's freeze
+    oracle (RL002/RL006) recognizes one level of same-module helpers,
+    no deeper and never behind a data-dependent branch.
+    """
+    for array in arrays:
+        array.setflags(write=False)
+
+
 class MarkovianArrivalProcess:
     """A Markovian Arrival Process characterised by matrices ``(D0, D1)``.
 
@@ -61,10 +72,9 @@ class MarkovianArrivalProcess:
         validate_generator(d0 + d1)
         if np.all(d1 == 0):
             raise ValueError("D1 is identically zero: the process never produces arrivals")
+        _freeze(d0, d1)
         self._d0 = d0
-        self._d0.setflags(write=False)
         self._d1 = d1
-        self._d1.setflags(write=False)
         #: Construction certificate consumed by the contract layer: D0+D1
         #: passed validate_generator above and both matrices are frozen,
         #: so downstream models need not re-validate the phase process.

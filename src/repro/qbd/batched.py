@@ -450,7 +450,7 @@ def batched_r_matrix(
         for i in np.flatnonzero(~failed):
             try:
                 check_r_matrix(r[i], f"R[{i}]")
-            except ContractViolation:
+            except ContractViolation:  # noqa: RL014 -- not dropped: the item is demoted to the scalar path below, which re-solves and re-raises the full diagnostics
                 failed[i] = True
     fallback_stats: dict[int, SolveStats] = {}
     failures: list[BatchedItemFailure] = []

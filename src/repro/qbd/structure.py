@@ -12,6 +12,17 @@ __all__ = ["QBDProcess"]
 _ATOL = 1e-8
 
 
+def _freeze(*arrays: np.ndarray) -> None:
+    """Make every block read-only before it is stored on the dataclass.
+
+    Must stay unconditional and directly called: reprolint's freeze
+    oracle (RL002/RL006) recognizes one level of same-module helpers,
+    no deeper and never behind a data-dependent branch.
+    """
+    for array in arrays:
+        array.setflags(write=False)
+
+
 @dataclass(frozen=True)
 class QBDProcess:
     """A QBD defined by its repeating blocks and boundary blocks.
@@ -98,12 +109,7 @@ class QBDProcess:
             raise ValueError(
                 f"repeating-level row {i} sums to {repeat_sums[i]}, expected 0"
             )
-        b00.setflags(write=False)
-        b01.setflags(write=False)
-        b10.setflags(write=False)
-        a0.setflags(write=False)
-        a1.setflags(write=False)
-        a2.setflags(write=False)
+        _freeze(b00, b01, b10, a0, a1, a2)
         object.__setattr__(self, "b00", b00)
         object.__setattr__(self, "b01", b01)
         object.__setattr__(self, "b10", b10)

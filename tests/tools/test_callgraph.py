@@ -1,0 +1,244 @@
+"""Call-graph construction: resolution shapes, SCCs, Project wiring."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint.callgraph import CallGraph, build_call_graph
+from tools.reprolint.effects import extract_defs
+from tools.reprolint.project import Project
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> list[Path]:
+    paths = []
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        paths.append(target)
+    return paths
+
+
+def defs_of(source: str, module: str = "m"):
+    return {
+        (module, qualname): record
+        for qualname, record in extract_defs(ast.parse(source)).items()
+    }
+
+
+def same_module_resolve(defs):
+    def resolve(module, qualname, call):
+        if call["target"][0] == "name":
+            node = (module, call["target"][1])
+            return node if node in defs else None
+        return None
+
+    return resolve
+
+
+# ---------------------------------------------------------------------------
+# Pure graph structure
+# ---------------------------------------------------------------------------
+
+
+def test_build_call_graph_resolves_simple_edges():
+    defs = defs_of(
+        "def low(x):\n    return x\n"
+        "def mid(x):\n    return low(x)\n"
+        "def top(x):\n    return mid(x)\n"
+    )
+    graph = build_call_graph(defs, same_module_resolve(defs))
+    assert graph.callee_nodes(("m", "top")) == [("m", "mid")]
+    assert graph.callee_nodes(("m", "mid")) == [("m", "low")]
+    assert graph.callee_nodes(("m", "low")) == []
+
+
+def test_edges_carry_call_records_with_bindings():
+    defs = defs_of(
+        "def low(a, b=None):\n    return a\n"
+        "def top(x, y):\n    return low(x, b=y)\n"
+    )
+    graph = build_call_graph(defs, same_module_resolve(defs))
+    ((callee, call),) = graph.callees(("m", "top"))
+    assert callee == ("m", "low")
+    assert call["pos_names"] == ["x"]
+    assert call["kw_names"] == {"b": "y"}
+
+
+def test_unresolvable_calls_do_not_become_edges():
+    defs = defs_of("def top(x):\n    return external(x)\n")
+    graph = build_call_graph(defs, same_module_resolve(defs))
+    assert graph.callee_nodes(("m", "top")) == []
+
+
+def test_sccs_emit_callees_first():
+    defs = defs_of(
+        "def low(x):\n    return x\n"
+        "def mid(x):\n    return low(x)\n"
+        "def top(x):\n    return mid(x)\n"
+    )
+    graph = build_call_graph(defs, same_module_resolve(defs))
+    order = graph.sccs()
+    assert order.index([("m", "low")]) < order.index([("m", "mid")])
+    assert order.index([("m", "mid")]) < order.index([("m", "top")])
+
+
+def test_sccs_group_mutual_recursion_into_one_component():
+    defs = defs_of(
+        "def even(n):\n    return True if n == 0 else odd(n - 1)\n"
+        "def odd(n):\n    return False if n == 0 else even(n - 1)\n"
+        "def entry(n):\n    return even(n)\n"
+    )
+    graph = build_call_graph(defs, same_module_resolve(defs))
+    components = graph.sccs()
+    assert [("m", "even"), ("m", "odd")] in components
+    cycle_at = components.index([("m", "even"), ("m", "odd")])
+    assert cycle_at < components.index([("m", "entry")])
+
+
+def test_self_recursion_is_its_own_component():
+    defs = defs_of("def loop(n):\n    return loop(n - 1) if n else 0\n")
+    graph = build_call_graph(defs, same_module_resolve(defs))
+    assert graph.sccs() == [[("m", "loop")]]
+
+
+def test_deep_chain_does_not_hit_recursion_limit():
+    graph = CallGraph()
+    for i in range(5000):
+        graph.add_edge(("m", f"f{i}"), ("m", f"f{i + 1}"), {"line": 1})
+    components = graph.sccs()
+    assert len(components) == 5001
+    assert components[0] == [("m", "f5000")]
+
+
+# ---------------------------------------------------------------------------
+# Project wiring: imports, re-exports, methods, decorators
+# ---------------------------------------------------------------------------
+
+
+def project_graph(tmp_path, files):
+    write_tree(tmp_path, files)
+    roots = sorted({Path(rel).parts[0] for rel in files})
+    project = Project(
+        [tmp_path / r for r in roots], root=tmp_path, contract_packages=()
+    )
+    project.analyze()
+    return project.call_graph()
+
+
+def test_project_edge_through_plain_import(tmp_path):
+    graph = project_graph(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/callee.py": "def serve(x):\n    return x\n",
+            "pkg/caller.py": (
+                "from pkg.callee import serve\n"
+                "def go(x):\n    return serve(x)\n"
+            ),
+        },
+    )
+    assert graph.callee_nodes(("pkg.caller", "go")) == [("pkg.callee", "serve")]
+
+
+def test_project_edge_through_reexport_chain(tmp_path):
+    graph = project_graph(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from .impl import serve\n__all__ = ['serve']\n",
+            "pkg/impl.py": "def serve(x):\n    return x\n",
+            "app.py": (
+                "from pkg import serve\n"
+                "def go(x):\n    return serve(x)\n"
+            ),
+        },
+    )
+    assert graph.callee_nodes(("app", "go")) == [("pkg.impl", "serve")]
+
+
+def test_project_edge_through_module_attribute(tmp_path):
+    graph = project_graph(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/callee.py": "def serve(x):\n    return x\n",
+            "pkg/caller.py": (
+                "from pkg import callee\n"
+                "def go(x):\n    return callee.serve(x)\n"
+            ),
+        },
+    )
+    assert graph.callee_nodes(("pkg.caller", "go")) == [("pkg.callee", "serve")]
+
+
+def test_project_edge_for_self_method_calls(tmp_path):
+    graph = project_graph(
+        tmp_path,
+        {
+            "mod.py": (
+                "class Engine:\n"
+                "    def solve(self, x):\n"
+                "        return self._step(x)\n"
+                "    def _step(self, x):\n"
+                "        return x\n"
+            ),
+        },
+    )
+    assert graph.callee_nodes(("mod", "Engine.solve")) == [
+        ("mod", "Engine._step")
+    ]
+
+
+def test_project_edge_to_class_constructor(tmp_path):
+    graph = project_graph(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/model.py": (
+                "class Model:\n"
+                "    def __init__(self, x):\n"
+                "        self.x = x\n"
+            ),
+            "pkg/make.py": (
+                "from pkg.model import Model\n"
+                "def build(x):\n    return Model(x)\n"
+            ),
+        },
+    )
+    assert graph.callee_nodes(("pkg.make", "build")) == [
+        ("pkg.model", "Model.__init__")
+    ]
+
+
+def test_project_decorated_function_is_a_node_with_edges(tmp_path):
+    graph = project_graph(
+        tmp_path,
+        {
+            "mod.py": (
+                "import functools\n"
+                "def helper(x):\n    return x\n"
+                "@functools.lru_cache\n"
+                "def cached(x):\n    return helper(x)\n"
+            ),
+        },
+    )
+    assert graph.callee_nodes(("mod", "cached")) == [("mod", "helper")]
+
+
+def test_project_cross_module_cycle_is_one_scc(tmp_path):
+    graph = project_graph(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/a.py": (
+                "from pkg.b import pong\n"
+                "def ping(n):\n    return pong(n - 1) if n else 0\n"
+            ),
+            "pkg/b.py": (
+                "from pkg.a import ping\n"
+                "def pong(n):\n    return ping(n - 1) if n else 0\n"
+            ),
+        },
+    )
+    assert [("pkg.a", "ping"), ("pkg.b", "pong")] in graph.sccs()

@@ -1,0 +1,288 @@
+"""Effect summaries: local extraction, the freeze oracle, propagation."""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.effects import extract_defs, freeze_oracle, propagate
+
+
+def defs_of(source: str):
+    return extract_defs(ast.parse(source))
+
+
+def effects_of(source: str, qualname: str):
+    return defs_of(source)[qualname]["effects"]
+
+
+def node_defs(source: str, module: str = "m"):
+    return {
+        (module, qualname): record
+        for qualname, record in defs_of(source).items()
+    }
+
+
+def same_module_resolve(defs):
+    def resolve(module, qualname, call):
+        if call["target"][0] == "name":
+            node = (module, call["target"][1])
+            return node if node in defs else None
+        return None
+
+    return resolve
+
+
+def summaries_of(source: str):
+    defs = node_defs(source)
+    return propagate(defs, same_module_resolve(defs))
+
+
+# ---------------------------------------------------------------------------
+# Local extraction: what counts as a parameter mutation
+# ---------------------------------------------------------------------------
+
+
+def test_subscript_store_is_a_mutation():
+    effects = effects_of("def f(m):\n    m[0, 0] = 1.0\n", "f")
+    assert "m" in effects["mutates"]
+
+
+def test_augmented_assignment_is_a_mutation():
+    effects = effects_of("def f(m):\n    m *= 2\n", "f")
+    assert "m" in effects["mutates"]
+
+
+def test_inplace_ndarray_method_is_a_mutation():
+    effects = effects_of("def f(m):\n    m.sort()\n", "f")
+    assert "m" in effects["mutates"]
+
+
+def test_setflags_writable_is_a_mutation():
+    effects = effects_of("def f(m):\n    m.setflags(write=True)\n", "f")
+    assert "m" in effects["mutates"]
+
+
+def test_setflags_readonly_is_not_a_mutation():
+    effects = effects_of("def f(m):\n    m.setflags(write=False)\n", "f")
+    assert effects["mutates"] == {}
+
+
+def test_out_kwarg_is_a_mutation():
+    effects = effects_of(
+        "import numpy as np\ndef f(m):\n    np.add(m, 1, out=m)\n", "f"
+    )
+    assert "m" in effects["mutates"]
+
+
+def test_mutation_through_asarray_alias():
+    effects = effects_of(
+        "import numpy as np\n"
+        "def f(m):\n"
+        "    view = np.asarray(m)\n"
+        "    view[0] = 1.0\n",
+        "f",
+    )
+    assert "m" in effects["mutates"]
+
+
+def test_np_array_copies_so_no_mutation():
+    effects = effects_of(
+        "import numpy as np\n"
+        "def f(m):\n"
+        "    own = np.array(m)\n"
+        "    own[0] = 1.0\n",
+        "f",
+    )
+    assert effects["mutates"] == {}
+
+
+def test_local_variable_mutation_is_not_a_param_mutation():
+    effects = effects_of(
+        "def f(n):\n    scratch = [0] * n\n    scratch[0] = 1\n", "f"
+    )
+    assert effects["mutates"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Local extraction: freezes and the vararg idiom
+# ---------------------------------------------------------------------------
+
+
+def test_unconditional_freeze_is_recorded():
+    effects = effects_of("def f(m):\n    m.setflags(write=False)\n", "f")
+    assert effects["freezes"] == ["m"]
+
+
+def test_conditional_freeze_is_not_recorded():
+    effects = effects_of(
+        "def f(m, flag):\n"
+        "    if flag:\n"
+        "        m.setflags(write=False)\n",
+        "f",
+    )
+    assert effects["freezes"] == []
+
+
+def test_vararg_loop_freeze_sets_all_args():
+    effects = effects_of(
+        "def f(*arrays):\n"
+        "    for a in arrays:\n"
+        "        a.setflags(write=False)\n",
+        "f",
+    )
+    assert effects["freezes_all_args"] is True
+
+
+def test_conditional_vararg_loop_does_not_set_all_args():
+    effects = effects_of(
+        "def f(*arrays):\n"
+        "    for a in arrays:\n"
+        "        if a.size:\n"
+        "            a.setflags(write=False)\n",
+        "f",
+    )
+    assert effects["freezes_all_args"] is False
+
+
+def test_freeze_oracle_keeps_unconditional_drops_conditional():
+    oracle = freeze_oracle(
+        ast.parse(
+            "def good(m):\n    m.setflags(write=False)\n"
+            "def shaky(m, flag):\n"
+            "    if flag:\n"
+            "        m.setflags(write=False)\n"
+        )
+    )
+    assert "good" in oracle
+    assert oracle["good"]["freezes"] == ["m"]
+    assert "shaky" not in oracle
+
+
+# ---------------------------------------------------------------------------
+# extract_defs structure
+# ---------------------------------------------------------------------------
+
+
+def test_extract_defs_records_methods_with_qualnames():
+    defs = defs_of(
+        "class Engine:\n"
+        "    def solve(self, x):\n"
+        "        return x\n"
+        "def free(y):\n"
+        "    return y\n"
+    )
+    assert set(defs) == {"Engine.solve", "free"}
+    assert defs["Engine.solve"]["params"] == ["x"]  # self is stripped
+
+
+def test_extract_defs_records_boolean_effects():
+    defs = defs_of(
+        "def writer(path, data):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(data)\n"
+        "def raiser(x):\n"
+        "    raise ValueError(x)\n"
+    )
+    assert defs["writer"]["effects"]["writes_file"] is True
+    assert defs["raiser"]["effects"]["may_raise"] is True
+    assert defs["writer"]["effects"]["may_raise"] is False
+
+
+def test_strong_evidence_requires_validation_not_just_raising():
+    defs = defs_of(
+        "def checked(x):\n"
+        "    validate_shape(x)\n"
+        "    return x\n"
+        "def raising(x):\n"
+        "    if x is None:\n"
+        "        raise ValueError('x')\n"
+        "    return x\n"
+    )
+    assert defs["checked"]["effects"]["strong_evidence"] is True
+    assert defs["raising"]["effects"]["strong_evidence"] is False
+
+
+# ---------------------------------------------------------------------------
+# Propagation: bottom-up over SCCs
+# ---------------------------------------------------------------------------
+
+
+def test_mutation_propagates_through_positional_binding():
+    summaries = summaries_of(
+        "def wipe(m):\n    m[0] = 0.0\n"
+        "def entry(matrix):\n    wipe(matrix)\n"
+    )
+    mutates = summaries[("m", "entry")]["mutates"]
+    assert "matrix" in mutates
+    assert "wipe" in mutates["matrix"]
+
+
+def test_mutation_propagates_through_keyword_binding():
+    summaries = summaries_of(
+        "def wipe(a, b):\n    b[0] = 0.0\n"
+        "def entry(keep, lose):\n    wipe(a=keep, b=lose)\n"
+    )
+    mutates = summaries[("m", "entry")]["mutates"]
+    assert "lose" in mutates
+    assert "keep" not in mutates
+
+
+def test_mutation_propagates_two_levels_deep():
+    summaries = summaries_of(
+        "def wipe(m):\n    m[0] = 0.0\n"
+        "def mid(m):\n    wipe(m)\n"
+        "def top(matrix):\n    mid(matrix)\n"
+    )
+    assert "matrix" in summaries[("m", "top")]["mutates"]
+
+
+def test_copying_caller_does_not_inherit_mutation():
+    summaries = summaries_of(
+        "import numpy as np\n"
+        "def wipe(m):\n    m[0] = 0.0\n"
+        "def entry(matrix):\n"
+        "    own = np.array(matrix)\n"
+        "    wipe(own)\n"
+    )
+    assert summaries[("m", "entry")]["mutates"] == {}
+
+
+def test_recursive_cycle_reaches_fixpoint_conservatively():
+    summaries = summaries_of(
+        "def ping(m, n):\n"
+        "    if n:\n"
+        "        pong(m, n - 1)\n"
+        "def pong(m, n):\n"
+        "    m[0] = n\n"
+        "    if n:\n"
+        "        ping(m, n - 1)\n"
+    )
+    # The direct mutation in pong reaches ping through the cycle, and the
+    # fixpoint terminates even though the two keep calling each other.
+    assert "m" in summaries[("m", "ping")]["mutates"]
+    assert "m" in summaries[("m", "pong")]["mutates"]
+
+
+def test_boolean_effects_union_through_calls():
+    summaries = summaries_of(
+        "def sink(path, data):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(data)\n"
+        "def entry(path, data):\n"
+        "    sink(path, data)\n"
+    )
+    assert summaries[("m", "entry")]["writes_file"] is True
+
+
+def test_strong_evidence_stays_local():
+    # RL007's one-hop search inspects callee summaries itself; evidence
+    # must not flow transitively or a deep helper would launder coverage.
+    summaries = summaries_of(
+        "def checked(x):\n"
+        "    validate_shape(x)\n"
+        "    return x\n"
+        "def outer(x):\n"
+        "    return checked(x)\n"
+    )
+    assert summaries[("m", "checked")]["strong_evidence"] is True
+    assert summaries[("m", "outer")]["strong_evidence"] is False

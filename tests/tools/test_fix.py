@@ -177,6 +177,214 @@ def test_fix_is_idempotent(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# RL013: wrapping an unprotected O_EXCL lock fd in try/finally
+# ---------------------------------------------------------------------------
+
+LOCKY = """\
+import os
+
+
+class Locker:
+    def __init__(self, root):
+        self.root = root
+        self.path = root / "q.lock"
+
+    def lock(self, payload, cook):
+        fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.write(fd, cook(payload))
+        os.close(fd)
+        return self.path
+"""
+
+
+def load_module(target: Path) -> dict:
+    namespace: dict = {}
+    source = target.read_text(encoding="utf-8")
+    exec(compile(source, str(target), "exec"), namespace)
+    return namespace
+
+
+def test_rl013_lock_is_wrapped_in_try_finally(tmp_path):
+    target = write(tmp_path, "mod.py", LOCKY)
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {str(target): 1}
+    fixed = target.read_text(encoding="utf-8")
+    assert "try:" in fixed and "finally:" in fixed
+    assert fixed.index("os.write") < fixed.index("finally:")
+    assert [v.code for v in Project([target], root=tmp_path).lint()] == []
+
+
+def test_rl013_wrap_preserves_happy_path_and_protects_raising_path(tmp_path):
+    import os
+
+    import pytest
+
+    target = write(tmp_path, "mod.py", LOCKY)
+    fix_paths([target], root=tmp_path)
+    locker = load_module(target)["Locker"](tmp_path)
+
+    fds_before = len(os.listdir("/proc/self/fd"))
+
+    def boom(payload):
+        raise RuntimeError("disk full")
+
+    with pytest.raises(RuntimeError):
+        locker.lock(b"held\n", boom)
+    # The finally released the fd even though the body raised.
+    assert len(os.listdir("/proc/self/fd")) == fds_before
+
+    # Happy path: O_EXCL still guards, the payload still lands verbatim.
+    (tmp_path / "q.lock").unlink()
+    path = locker.lock(b"held\n", bytes)
+    assert path.read_bytes() == b"held\n"
+    with pytest.raises(FileExistsError):
+        locker.lock(b"held\n", bytes)
+
+
+def test_rl013_complex_between_statements_are_left_alone(tmp_path):
+    source = (
+        "import os\n"
+        "\n"
+        "class Locker:\n"
+        "    def __init__(self, root):\n"
+        "        self.path = root / 'q.lock'\n"
+        "\n"
+        "    def lock(self, verbose):\n"
+        "        fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)\n"
+        "        if verbose:\n"
+        "            print('locking')\n"
+        "        os.close(fd)\n"
+    )
+    target = write(tmp_path, "mod.py", source)
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {}
+    assert target.read_text(encoding="utf-8") == source
+    assert codes(Project([target], root=tmp_path).lint()) == ["RL013"]
+
+
+def test_rl013_waived_lock_is_not_wrapped(tmp_path):
+    source = (
+        "import os\n"
+        "\n"
+        "class Locker:\n"
+        "    def __init__(self, root):\n"
+        "        self.path = root / 'q.lock'\n"
+        "\n"
+        "    def lock(self):\n"
+        "        fd = os.open(self.path, os.O_CREAT | os.O_EXCL)"
+        "  # noqa: RL013 -- fd ownership documented elsewhere\n"
+        "        os.write(fd, b'x')\n"
+        "        os.close(fd)\n"
+    )
+    target = write(tmp_path, "mod.py", source)
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {}
+    assert target.read_text(encoding="utf-8") == source
+
+
+# ---------------------------------------------------------------------------
+# RL015: rewriting literal env reads to the repro._env accessors
+# ---------------------------------------------------------------------------
+
+ENVY = """\
+import os
+
+_ENV_SHARDS = "REPRO_SWEEP_SHARDS"
+
+
+def shard_count():
+    return int(os.environ.get(_ENV_SHARDS, "1"))
+
+
+def worker_tag():
+    return os.getenv("REPRO_WORKER_TAG", "")
+
+
+def queue_root():
+    return os.environ["REPRO_QUEUE_ROOT"]
+"""
+
+
+def test_rl015_reads_are_rewritten_to_accessors(tmp_path):
+    target = write(tmp_path, "mod.py", ENVY)
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {str(target): 3}
+    fixed = target.read_text(encoding="utf-8")
+    assert "from repro._env import repro_env, repro_env_required" in fixed
+    assert 'repro_env(_ENV_SHARDS, "1")' in fixed
+    assert 'repro_env("REPRO_WORKER_TAG", "")' in fixed
+    assert 'repro_env_required("REPRO_QUEUE_ROOT")' in fixed
+    assert "os.environ" not in fixed.replace("import os", "")
+    assert Project([target], root=tmp_path).lint() == []
+
+
+def test_rl015_rewrite_preserves_behavior(tmp_path, monkeypatch):
+    import pytest
+
+    target = write(tmp_path, "mod.py", ENVY)
+    fix_paths([target], root=tmp_path)
+    module = load_module(target)
+
+    monkeypatch.setenv("REPRO_SWEEP_SHARDS", "7")
+    monkeypatch.setenv("REPRO_WORKER_TAG", "w-3")
+    monkeypatch.setenv("REPRO_QUEUE_ROOT", "/tmp/q")
+    assert module["shard_count"]() == 7
+    assert module["worker_tag"]() == "w-3"
+    assert module["queue_root"]() == "/tmp/q"
+
+    monkeypatch.delenv("REPRO_SWEEP_SHARDS")
+    monkeypatch.delenv("REPRO_QUEUE_ROOT")
+    assert module["shard_count"]() == 1  # default survives the rewrite
+    with pytest.raises(KeyError):
+        module["queue_root"]()  # required read still raises
+
+
+def test_rl015_accessor_module_itself_is_not_rewritten(tmp_path):
+    accessor = tmp_path / "repro" / "_env.py"
+    accessor.parent.mkdir()
+    (tmp_path / "repro" / "__init__.py").write_text("", encoding="utf-8")
+    source = (
+        "import os\n"
+        "\n"
+        "def repro_env(name, default=None):\n"
+        "    return os.environ.get(name, default)\n"
+    )
+    accessor.write_text(source, encoding="utf-8")
+    outcome = fix_paths([tmp_path / "repro"], root=tmp_path)
+    assert outcome.fixes == {}
+    assert accessor.read_text(encoding="utf-8") == source
+
+
+def test_rl015_waived_read_is_not_rewritten(tmp_path):
+    source = (
+        "import os\n"
+        "\n"
+        "def tag():\n"
+        "    return os.getenv('REPRO_TAG')"
+        "  # noqa: RL015 -- bootstrap read before repro imports\n"
+    )
+    target = write(tmp_path, "mod.py", source)
+    outcome = fix_paths([target], root=tmp_path)
+    assert outcome.fixes == {}
+    assert target.read_text(encoding="utf-8") == source
+
+
+def test_new_fixes_are_idempotent(tmp_path):
+    write(tmp_path, "locky.py", LOCKY)
+    write(tmp_path, "envy.py", ENVY)
+    first = fix_paths([tmp_path], root=tmp_path)
+    assert first.total == 4
+    snapshot = {
+        p.name: p.read_text(encoding="utf-8") for p in tmp_path.glob("*.py")
+    }
+    second = fix_paths([tmp_path], root=tmp_path)
+    assert second.total == 0
+    assert snapshot == {
+        p.name: p.read_text(encoding="utf-8") for p in tmp_path.glob("*.py")
+    }
+
+
+# ---------------------------------------------------------------------------
 # Behavior preservation: the rewrite computes the same series
 # ---------------------------------------------------------------------------
 

@@ -45,8 +45,12 @@ def codes(violations):
         ("rl003", ["RL003", "RL003", "RL003"]),
         ("rl004", ["RL004", "RL004"]),
         ("rl005", ["RL005", "RL005"]),
-        ("rl006", ["RL006", "RL006"]),
+        ("rl006", ["RL006", "RL006", "RL006"]),
         ("rl010", ["RL010", "RL010"]),
+        ("rl012", ["RL012", "RL012", "RL012"]),
+        ("rl013", ["RL013", "RL013", "RL013"]),
+        ("rl014", ["RL014", "RL014", "RL014"]),
+        ("rl015", ["RL015", "RL015", "RL015"]),
     ],
 )
 def test_bad_fixture_fires(name, expected):
@@ -55,7 +59,20 @@ def test_bad_fixture_fires(name, expected):
 
 
 @pytest.mark.parametrize(
-    "name", ["rl001", "rl002", "rl003", "rl004", "rl005", "rl006", "rl010"]
+    "name",
+    [
+        "rl001",
+        "rl002",
+        "rl003",
+        "rl004",
+        "rl005",
+        "rl006",
+        "rl010",
+        "rl012",
+        "rl013",
+        "rl014",
+        "rl015",
+    ],
 )
 def test_good_fixture_is_clean(name):
     assert lint_file(FIXTURES / f"{name}_good.py") == []
@@ -93,6 +110,25 @@ def test_rl007_package_fixtures(name, expected):
         [FIXTURES / name / "__init__.py"],
         root=REPO_ROOT,
         contract_packages=(f"tools.reprolint.fixtures.{name}",),
+    )
+    assert codes(project.lint()) == expected
+
+
+@pytest.mark.parametrize(
+    ("name", "expected"),
+    [
+        ("rl011_bad_pkg", ["RL011", "RL011"]),
+        ("rl011_good_pkg", []),
+    ],
+)
+def test_rl011_package_fixtures(name, expected):
+    # Explicit file paths: the linter's own fixtures dir is exempt from
+    # directory discovery, just like the rl007 package fixtures above.
+    project = Project(
+        sorted((FIXTURES / name).glob("*.py")),
+        root=REPO_ROOT,
+        contract_packages=(),
+        purity_packages=(f"tools.reprolint.fixtures.{name}",),
     )
     assert codes(project.lint()) == expected
 
@@ -193,6 +229,83 @@ def test_syntax_error_reports_rl000():
 
 
 # ---------------------------------------------------------------------------
+# Injected bugs in the real protocol modules (RL012-RL015)
+# ---------------------------------------------------------------------------
+
+
+def _real_source(rel: str) -> tuple[str, str]:
+    path = REPO_ROOT / rel
+    return path.read_text(encoding="utf-8"), str(path)
+
+
+def test_injected_lifecycle_bypass_in_worker_is_caught_by_rl012():
+    source, path = _real_source("src/repro/jobs/worker.py")
+    assert [v for v in lint_source(source, path) if v.code == "RL012"] == []
+    mutated = source + (
+        "\n\ndef _force_done(record, now_ms):\n"
+        "    return dataclasses.replace(\n"
+        "        record, state=COMPLETED, finished_ms=now_ms\n"
+        "    )\n"
+    )
+    assert "RL012" in codes(lint_source(mutated, path))
+
+
+def test_injected_transition_outside_table_is_caught_by_rl012():
+    source, path = _real_source("src/repro/jobs/lifecycle.py")
+    assert [v for v in lint_source(source, path) if v.code == "RL012"] == []
+    mutated = source + (
+        "\n\nARCHIVED = \"archived\"\n"
+        "\n\ndef archive(job, now_ms):\n"
+        "    return job._to(ARCHIVED, now_ms)\n"
+    )
+    assert "RL012" in codes(lint_source(mutated, path))
+
+
+def test_injected_torn_write_in_repository_is_caught_by_rl013():
+    source, path = _real_source("src/repro/jobs/repository.py")
+    assert [v for v in lint_source(source, path) if v.code == "RL013"] == []
+    mutated = source.replace("        os.replace(tmp, path)\n", "")
+    assert mutated != source
+    rl013 = [v for v in lint_source(mutated, path) if v.code == "RL013"]
+    assert rl013 and "atomic-write idiom" in rl013[0].message
+
+
+def test_injected_swallowed_contract_violation_is_caught_by_rl014():
+    source, path = _real_source("src/repro/engine/resilience.py")
+    assert [v for v in lint_source(source, path) if v.code == "RL014"] == []
+    mutated = source + (
+        "\n\ndef _swallow(thunk):\n"
+        "    try:\n"
+        "        return thunk()\n"
+        "    except ContractViolation:\n"
+        "        return None\n"
+    )
+    assert "RL014" in codes(lint_source(mutated, path))
+
+
+def test_injected_laundered_cancellation_is_caught_by_rl014():
+    source, path = _real_source("src/repro/jobs/worker.py")
+    mutated = source + (
+        "\n\ndef _swallow_cancel(thunk, index):\n"
+        "    try:\n"
+        "        return thunk()\n"
+        "    except SweepCancelled as exc:\n"
+        "        return FailedSolve(index=index, error=str(exc))\n"
+    )
+    assert "RL014" in codes(lint_source(mutated, path))
+
+
+def test_injected_env_backdoor_is_caught_by_rl015():
+    source, path = _real_source("src/repro/jobs/worker.py")
+    assert [v for v in lint_source(source, path) if v.code == "RL015"] == []
+    mutated = source + (
+        "\n\ndef _debug_tag():\n"
+        "    return os.environ.get(\"REPRO_JOBS_DEBUG\", \"\")\n"
+    )
+    assert "RL015" in codes(lint_source(mutated, path))
+
+
+# ---------------------------------------------------------------------------
 # Discovery and the repo-wide acceptance criterion
 # ---------------------------------------------------------------------------
 
@@ -281,7 +394,7 @@ def test_cli_exits_two_on_missing_path():
 def test_cli_list_rules():
     result = run_cli("--list-rules")
     assert result.returncode == 0
-    for number in range(1, 11):
+    for number in range(1, 16):
         assert f"RL{number:03d}" in result.stdout
 
 

@@ -40,7 +40,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.reprolint",
         description=(
-            "Repo-specific linter for repro invariants (RL001-RL010): "
+            "Repo-specific linter for repro invariants (RL001-RL015): "
             "per-file AST rules plus project-wide certificate-soundness, "
             "contract-coverage, unit-flow and noqa-audit analyses."
         ),

@@ -1,0 +1,137 @@
+"""Project-wide call graph over the symbol table's definition records.
+
+A node is a ``(module, qualname)`` pair -- ``qualname`` is a top-level
+function name or ``Class.method``.  Edges carry the JSON call record of
+the call site (argument bindings included), which is what lets the
+effect propagation of :mod:`tools.reprolint.effects` map a callee's
+parameter mutation back to the caller's argument names.
+
+The graph is built from the per-file ``defs`` summaries (cached with
+their files); resolution of call targets through imports and re-export
+chains is delegated to the caller (``Project.resolve`` provides it), so
+this module stays a pure graph structure plus Tarjan's SCC algorithm.
+
+:meth:`CallGraph.sccs` returns the strongly connected components in
+**callees-first order** (reverse topological order of the condensation):
+by the time a component is emitted, every component it can reach has
+already been emitted -- exactly the order a bottom-up effect fixpoint
+wants.  The implementation is iterative, so pathological call chains
+cannot hit the interpreter's recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+__all__ = ["CallGraph", "Node", "build_call_graph"]
+
+#: ``(module, qualname)`` of one function or method definition.
+Node = tuple[str, str]
+
+#: JSON call record as produced by ``effects.extract_defs``.
+CallRecord = dict[str, Any]
+
+
+class CallGraph:
+    """Directed multigraph of resolved call sites between definitions."""
+
+    def __init__(self) -> None:
+        self._edges: dict[Node, list[tuple[Node, CallRecord]]] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        self._edges.setdefault(node, [])
+
+    def add_edge(self, caller: Node, callee: Node, call: CallRecord) -> None:
+        self.add_node(caller)
+        self.add_node(callee)
+        self._edges[caller].append((callee, call))
+
+    # -- queries --------------------------------------------------------
+    @property
+    def nodes(self) -> list[Node]:
+        return sorted(self._edges)
+
+    def callees(self, node: Node) -> list[tuple[Node, CallRecord]]:
+        """Outgoing edges of ``node`` (one per resolved call site)."""
+        return list(self._edges.get(node, ()))
+
+    def callee_nodes(self, node: Node) -> list[Node]:
+        """Distinct callee nodes of ``node``, sorted."""
+        return sorted({callee for callee, _ in self._edges.get(node, ())})
+
+    def sccs(self) -> list[list[Node]]:
+        """Strongly connected components, callees first (Tarjan, iterative)."""
+        index: dict[Node, int] = {}
+        lowlink: dict[Node, int] = {}
+        on_stack: set[Node] = set()
+        stack: list[Node] = []
+        components: list[list[Node]] = []
+        counter = 0
+
+        for root in self.nodes:
+            if root in index:
+                continue
+            # Each frame is (node, iterator over callee nodes).
+            work = [(root, iter(self.callee_nodes(root)))]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, edges = work[-1]
+                advanced = False
+                for callee in edges:
+                    if callee not in index:
+                        index[callee] = lowlink[callee] = counter
+                        counter += 1
+                        stack.append(callee)
+                        on_stack.add(callee)
+                        work.append((callee, iter(self.callee_nodes(callee))))
+                        advanced = True
+                        break
+                    if callee in on_stack:
+                        lowlink[node] = min(lowlink[node], index[callee])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: list[Node] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(sorted(component))
+        return components
+
+
+def build_call_graph(
+    defs: dict[Node, CallRecord],
+    resolve: Callable[[str, str, CallRecord], Node | None],
+    *,
+    nodes: Iterable[Node] | None = None,
+) -> CallGraph:
+    """Wire ``defs`` into a :class:`CallGraph` using ``resolve``.
+
+    ``resolve(module, qualname, call)`` maps one call record from the
+    definition ``(module, qualname)`` to its callee node, or ``None``
+    when the target is external/dynamic.  Unresolvable calls simply do
+    not become edges -- the analysis stays conservative about what it
+    *knows*, not about what it guesses.
+    """
+    graph = CallGraph()
+    for node in nodes if nodes is not None else defs:
+        graph.add_node(node)
+    for node, record in defs.items():
+        module, qualname = node
+        for call in record.get("calls", ()):
+            callee = resolve(module, qualname, call)
+            if callee is not None and callee in defs:
+                graph.add_edge(node, callee, call)
+    return graph

@@ -210,9 +210,16 @@ def _self_attr(expr: ast.expr) -> str | None:
 class _Walker:
     """Executes a function body statement-by-statement over a fact state."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, helper_freezes: dict[str, dict] | None = None
+    ) -> None:
         self.analysis = FunctionAnalysis()
         self._exit_states: list[State] = []
+        #: Same-module freeze oracle (``effects.freeze_oracle``): helper
+        #: name -> {"params": [...], "freezes": [...], "all_args": bool}.
+        #: A call to an oracle helper marks the bound arguments READONLY,
+        #: which is what lets RL002/RL006 accept helper-based freezing.
+        self._helper_freezes = helper_freezes or {}
 
     # -- expression evaluation -----------------------------------------
     def eval_expr(self, expr: ast.expr, state: State) -> frozenset[str]:
@@ -282,6 +289,37 @@ class _Walker:
             ):
                 state[target] = state.get(target, frozenset()) | {READONLY}
             return
+        # _freeze(a, b) where _freeze is an unconditionally freezing
+        # same-module helper (one level: the oracle is built from helper
+        # bodies only, so transitive or conditional freezing stays out).
+        if isinstance(func, ast.Name) and func.id in self._helper_freezes:
+            info = self._helper_freezes[func.id]
+            params: list[str] = info.get("params", [])
+            frozen = set(info.get("freezes", ()))
+            all_args = bool(info.get("all_args", False))
+            for index, arg in enumerate(call.args):
+                if isinstance(arg, ast.Starred):
+                    continue
+                covered = all_args or (
+                    index < len(params) and params[index] in frozen
+                )
+                if not covered:
+                    continue
+                target = (
+                    arg.id if isinstance(arg, ast.Name) else _self_attr(arg)
+                )
+                if target is not None:
+                    state[target] = state.get(target, frozenset()) | {READONLY}
+            for kw in call.keywords:
+                if kw.arg is None or kw.arg not in frozen:
+                    continue
+                target = (
+                    kw.value.id
+                    if isinstance(kw.value, ast.Name)
+                    else _self_attr(kw.value)
+                )
+                if target is not None:
+                    state[target] = state.get(target, frozenset()) | {READONLY}
         # validate_generator(x) / check_generator(x, ...)
         name = (
             func.id
@@ -505,9 +543,15 @@ class _Walker:
 
 def analyze_function(
     func: ast.FunctionDef | ast.AsyncFunctionDef,
+    helper_freezes: dict[str, dict] | None = None,
 ) -> FunctionAnalysis:
-    """Run the forward fact pass over one function body."""
-    return _Walker().run(func)
+    """Run the forward fact pass over one function body.
+
+    ``helper_freezes`` is the same-module freeze oracle produced by
+    :func:`tools.reprolint.effects.freeze_oracle`; when given, a call to
+    an oracle helper marks the frozen-bound arguments READONLY.
+    """
+    return _Walker(helper_freezes).run(func)
 
 
 def analyze_module_level(tree: ast.Module) -> FunctionAnalysis:

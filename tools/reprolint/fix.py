@@ -1,21 +1,32 @@
-"""Mechanical fixes: stale-noqa removal (RL009) and the RL010 rewrite.
+"""Mechanical fixes: RL009 noqa surgery, RL010/RL013/RL015 rewrites.
 
 ``fix_paths`` runs the project analysis, applies every mechanical fix,
 and re-lints until nothing fixable remains -- so a second invocation is
 always a no-op (idempotence is guaranteed by construction, and the CLI
-asserts it).  Only two fix classes exist, both behavior-preserving:
+asserts it).  Four fix classes exist, all behavior-preserving:
 
-* **stale noqa codes** are removed from their comment (the whole comment
-  goes when no codes remain and nothing else was suppressed);
+* **stale noqa codes** (RL009) are removed from their comment (the whole
+  comment goes when no codes remain and nothing else was suppressed);
   missing-``-- reason`` findings are *not* auto-fixed -- a tool cannot
   write the reason;
-* **deprecated sweep calls** (``load_sweep_series`` /
+* **deprecated sweep calls** (RL010: ``load_sweep_series`` /
   ``idle_wait_sweep_series``) are rewritten to the exact delegation the
   deprecated wrapper performs (``sweep_many`` over the matching axis and
   an explicit ``FgBgModel``), provided the call shape is simple enough
   to rewrite faithfully (no ``**kwargs``, no unknown keywords);
   missing imports are added, and a deprecated import left without
-  references is dropped.
+  references is dropped;
+* **unprotected O_EXCL lock fds** (RL013) whose ``os.open`` /
+  ``os.close`` pair sits in one statement list with only simple
+  single-line statements between them are wrapped in ``try``/``finally``
+  so a raising path can no longer leak the lock -- the statements run
+  in the same order on the happy path, only the raising paths change
+  (to release the lock, which is the point);
+* **literal REPRO_* env reads** (RL015: ``os.environ[...]``,
+  ``os.environ.get``, ``os.getenv``) are rewritten to the designated
+  accessors ``repro_env`` / ``repro_env_required`` from ``repro._env``,
+  which delegate to the exact same ``os.environ`` operations; the
+  import is added when missing.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from tools.reprolint import rules
 from tools.reprolint.core import NoqaComment, Violation, noqa_map
 from tools.reprolint.project import Project
 
@@ -40,8 +52,10 @@ _WRAPPER_PARAMS = ("arrival", None, "bg_probabilities", "metric", "service_rate"
 
 def fixable(violation: Violation) -> bool:
     """True when ``--fix`` can mechanically resolve this violation."""
-    if violation.code == "RL010":
+    if violation.code in {"RL010", "RL015"}:
         return True
+    if violation.code == "RL013":
+        return "O_EXCL" in violation.message
     return violation.code == "RL009" and "stale" in violation.message
 
 
@@ -277,7 +291,14 @@ def _ensure_imports(source: str, path: str, needed: set[str]) -> str:
         for name in ("sweep_many", "utilization_axis", "idle_wait_axis")
         if name in missing
     ]
+    env_names = [
+        name
+        for name in ("repro_env", "repro_env_required")
+        if name in missing
+    ]
     lines: list[str] = []
+    if env_names:
+        lines.append(f"from repro._env import {', '.join(env_names)}")
     if "FgBgModel" in missing:
         lines.append(_IMPORT_LINES["FgBgModel"])
     if sweeps_names:
@@ -356,6 +377,226 @@ def _drop_unused_deprecated_imports(source: str, path: str) -> str:
 
 
 # ---------------------------------------------------------------------------
+# RL013: wrap unprotected O_EXCL lock fds in try/finally
+# ---------------------------------------------------------------------------
+
+#: Statement kinds safe to move under ``try:`` -- straight-line only, so
+#: the happy path is byte-for-byte the same sequence of operations.
+_SIMPLE_BETWEEN = (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+
+def _lock_open_fd(stmt: ast.stmt) -> str | None:
+    """The fd name when ``stmt`` is ``fd = os.open(...)``, else None."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    call = stmt.value
+    if not isinstance(target, ast.Name) or not isinstance(call, ast.Call):
+        return None
+    fn = call.func
+    if (
+        isinstance(fn, ast.Attribute)
+        and fn.attr == "open"
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id == "os"
+    ):
+        return target.id
+    return None
+
+
+def _is_os_close(stmt: ast.stmt, fd: str) -> bool:
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return False
+    call = stmt.value
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "close"
+        and isinstance(call.func.value, ast.Name)
+        and call.func.value.id == "os"
+        and len(call.args) == 1
+        and isinstance(call.args[0], ast.Name)
+        and call.args[0].id == fd
+    )
+
+
+def _rebinds(stmt: ast.stmt, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name)
+        and node.id == name
+        and isinstance(node.ctx, (ast.Store, ast.Del))
+        for node in ast.walk(stmt)
+    )
+
+
+def _lock_wrap_sites(
+    tree: ast.Module, flagged: set[int]
+) -> list[tuple[int, int]]:
+    """(open end_lineno, close lineno) pairs safe to wrap in try/finally."""
+    sites: list[tuple[int, int]] = []
+    for parent in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody"):
+            stmts = getattr(parent, attr, None)
+            if not isinstance(stmts, list) or not stmts:
+                continue
+            for index, stmt in enumerate(stmts):
+                fd = _lock_open_fd(stmt)
+                if fd is None or stmt.value.lineno not in flagged:
+                    continue
+                close_at = next(
+                    (
+                        j
+                        for j in range(index + 1, len(stmts))
+                        if _is_os_close(stmts[j], fd)
+                    ),
+                    None,
+                )
+                if close_at is None or close_at == index + 1:
+                    continue  # nothing between: no raising path to protect
+                between = stmts[index + 1 : close_at]
+                close = stmts[close_at]
+                if not all(
+                    isinstance(s, _SIMPLE_BETWEEN)
+                    and s.lineno == s.end_lineno
+                    and not _rebinds(s, fd)
+                    for s in between
+                ):
+                    continue
+                if close.lineno != close.end_lineno:
+                    continue
+                sites.append((stmt.end_lineno or stmt.lineno, close.lineno))
+    return sites
+
+
+def _wrap_lock_try_finally(source: str, path: str) -> tuple[str, int]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source, 0
+    comments = noqa_map(source)
+    flagged = {
+        v.line
+        for v in rules.rl013_durable_write_discipline(tree, path)
+        if "O_EXCL" in v.message
+        and not (
+            (c := comments.get(v.line)) is not None and c.suppresses("RL013")
+        )
+    }
+    if not flagged:
+        return source, 0
+    sites = _lock_wrap_sites(tree, flagged)
+    if not sites:
+        return source, 0
+    lines = source.splitlines(keepends=True)
+    for open_end, close_line in sorted(sites, reverse=True):
+        open_line = lines[open_end - 1]
+        indent = open_line[: len(open_line) - len(open_line.lstrip())]
+        body = [
+            "    " + text if text.strip() else text
+            for text in lines[open_end : close_line - 1]
+        ]
+        close = lines[close_line - 1]
+        block = [f"{indent}try:\n", *body, f"{indent}finally:\n", "    " + close]
+        lines[open_end:close_line] = block
+    return "".join(lines), len(sites)
+
+
+# ---------------------------------------------------------------------------
+# RL015: rewrite literal env reads to the repro._env accessors
+# ---------------------------------------------------------------------------
+
+
+def _rewrite_env_reads(source: str, path: str) -> tuple[str, int]:
+    normalized = str(path).replace("\\", "/")
+    if any(
+        normalized.endswith(suffix) for suffix in rules.ENV_ACCESSOR_MODULES
+    ):
+        return source, 0
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source, 0
+    comments = noqa_map(source)
+    constants = rules._module_env_constants(tree)
+    starts = _offsets(source)
+    edits: list[tuple[int, int, str]] = []
+    needed: set[str] = set()
+
+    def key_source(expr: ast.expr | None) -> str | None:
+        if (
+            isinstance(expr, ast.Constant)
+            and isinstance(expr.value, str)
+            and expr.value.startswith("REPRO_")
+        ):
+            return ast.get_source_segment(source, expr)
+        if isinstance(expr, ast.Name) and expr.id in constants:
+            return expr.id
+        return None
+
+    for node in ast.walk(tree):
+        replacement: str | None = None
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and rules._is_environ_expr(node.value)
+        ):
+            key = key_source(node.slice)
+            if key is not None:
+                replacement = f"repro_env_required({key})"
+                needed.add("repro_env_required")
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            is_env_get = (
+                (isinstance(fn, ast.Name) and fn.id == "getenv")
+                or (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr == "getenv"
+                    and isinstance(fn.value, ast.Name)
+                    and fn.value.id == "os"
+                )
+                or (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr == "get"
+                    and rules._is_environ_expr(fn.value)
+                )
+            )
+            if is_env_get and node.args and len(node.args) <= 2 and not node.keywords:
+                key = key_source(node.args[0])
+                if key is not None:
+                    default = (
+                        ast.get_source_segment(source, node.args[1])
+                        if len(node.args) == 2
+                        else None
+                    )
+                    arguments = key if default is None else f"{key}, {default}"
+                    replacement = f"repro_env({arguments})"
+                    needed.add("repro_env")
+        if replacement is None:
+            continue
+        comment = comments.get(node.lineno)
+        if comment is not None and comment.suppresses("RL015"):
+            continue
+        begin = _abs_offset(starts, node.lineno, node.col_offset)
+        end = _abs_offset(
+            starts, node.end_lineno or node.lineno, node.end_col_offset or 0
+        )
+        edits.append((begin, end, replacement))
+    if not edits:
+        return source, 0
+    edits.sort()
+    pruned: list[tuple[int, int, str]] = []
+    last_end = -1
+    for begin, end, replacement in edits:
+        if begin < last_end:
+            continue  # nested inside an outer rewrite: the outer one wins
+        pruned.append((begin, end, replacement))
+        last_end = end
+    for begin, end, replacement in sorted(pruned, reverse=True):
+        source = source[:begin] + replacement + source[end:]
+    source = _ensure_imports(source, path, needed)
+    return source, len(pruned)
+
+
+# ---------------------------------------------------------------------------
 # The driver
 # ---------------------------------------------------------------------------
 
@@ -378,10 +619,16 @@ def fix_paths(
                 source, _stale_noqa_codes(project, path)
             )
             new_source, n_calls = _rewrite_deprecated_calls(new_source, path)
+            new_source, n_locks = _wrap_lock_try_finally(new_source, path)
+            new_source, n_env = _rewrite_env_reads(new_source, path)
             if new_source != source:
                 Path(path).write_text(new_source, encoding="utf-8")
                 outcome.fixes[path] = (
-                    outcome.fixes.get(path, 0) + n_noqa + n_calls
+                    outcome.fixes.get(path, 0)
+                    + n_noqa
+                    + n_calls
+                    + n_locks
+                    + n_env
                 )
                 changed = True
         outcome.passes += 1

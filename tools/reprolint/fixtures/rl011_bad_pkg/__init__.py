@@ -1,0 +1,5 @@
+"""Fixture package: public solver entry points that mutate inputs (RL011 x2)."""
+
+from .impl import normalize_rates, scale_in_place
+
+__all__ = ["normalize_rates", "scale_in_place"]

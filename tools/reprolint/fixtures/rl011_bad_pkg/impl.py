@@ -1,0 +1,16 @@
+"""Entry points: one mutates directly, one through a callee summary."""
+
+from .ops import damp
+
+
+def normalize_rates(matrix):
+    # RL011 (interprocedural): damp() writes into its argument, so the
+    # caller's input array is mutated two modules away from the store.
+    damp(matrix)
+    return matrix
+
+
+def scale_in_place(matrix, factor):
+    # RL011 (direct): augmented assignment writes through the alias.
+    matrix *= factor
+    return matrix

@@ -1,0 +1,5 @@
+"""Fixture twin: solver entry points that never mutate inputs (no RL011)."""
+
+from .impl import frozen_rates, normalize_rates
+
+__all__ = ["frozen_rates", "normalize_rates"]

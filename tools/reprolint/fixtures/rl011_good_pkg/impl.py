@@ -1,0 +1,18 @@
+"""Entry points: copy before writing; freezing is not mutation."""
+
+import numpy as np
+
+from .ops import damp
+
+
+def normalize_rates(matrix):
+    result = np.array(matrix, dtype=float)  # np.array copies
+    damp(result)
+    return result
+
+
+def frozen_rates(matrix):
+    result = np.array(matrix, dtype=float)
+    # setflags(write=False) is the blessed freezing idiom, not a mutation.
+    result.setflags(write=False)
+    return result

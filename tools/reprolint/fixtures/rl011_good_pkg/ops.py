@@ -1,0 +1,6 @@
+"""Helper whose effect summary says it mutates its parameter."""
+
+
+def damp(m):
+    m[0, 0] -= 1.0
+    return m

@@ -1,0 +1,41 @@
+"""Fixture: job state written past the _to() lifecycle gate (RL012 x3)."""
+
+import dataclasses
+from dataclasses import dataclass, replace
+
+OPEN = "open"
+CLOSED = "closed"
+ARCHIVED = "archived"
+
+TRANSITIONS = {
+    OPEN: frozenset({CLOSED}),
+    CLOSED: frozenset(),
+}
+
+
+@dataclass(frozen=True)
+class Ticket:
+    state: str = OPEN
+    updated_ms: float = 0.0
+    finished_ms: float | None = None
+
+    def _to(self, state, now_ms, **changes):
+        if state not in TRANSITIONS[self.state]:
+            raise RuntimeError(f"illegal transition {self.state} -> {state}")
+        return replace(self, state=state, updated_ms=now_ms, **changes)
+
+    def archived(self, now_ms):
+        # RL012: ARCHIVED is not a destination of any declared transition.
+        return self._to(ARCHIVED, now_ms)
+
+
+def force_closed(ticket, now_ms):
+    # RL012: replace(..., state=...) outside the _to() gate skips the
+    # TRANSITIONS legality check entirely.
+    return dataclasses.replace(ticket, state=CLOSED, finished_ms=now_ms)
+
+
+def stamp_finished(ticket, now_ms):
+    # RL012: object.__setattr__ on the gated terminal timestamp.
+    object.__setattr__(ticket, "finished_ms", now_ms)
+    return ticket

@@ -1,0 +1,31 @@
+"""Fixture twin: every state change goes through the _to() gate (no RL012)."""
+
+from dataclasses import dataclass, replace
+
+OPEN = "open"
+CLOSED = "closed"
+
+TRANSITIONS = {
+    OPEN: frozenset({CLOSED}),
+    CLOSED: frozenset(),
+}
+
+
+@dataclass(frozen=True)
+class Ticket:
+    state: str = OPEN
+    updated_ms: float = 0.0
+    finished_ms: float | None = None
+    note: str = ""
+
+    def _to(self, state, now_ms, **changes):
+        if state not in TRANSITIONS[self.state]:
+            raise RuntimeError(f"illegal transition {self.state} -> {state}")
+        return replace(self, state=state, updated_ms=now_ms, **changes)
+
+    def closed(self, now_ms):
+        return self._to(CLOSED, now_ms, finished_ms=now_ms)
+
+    def annotated(self, note, now_ms):
+        # Non-state fields may evolve with a bare replace.
+        return replace(self, note=note, updated_ms=now_ms)

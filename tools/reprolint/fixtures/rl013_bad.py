@@ -1,0 +1,28 @@
+"""Fixture: torn durable writes and a leakable lock fd (RL013 x3)."""
+
+import json
+import os
+
+
+class Ledger:
+    def __init__(self, root):
+        self.root = root
+        self.path = root / "ledger.json"
+
+    def save(self, payload):
+        # RL013: a SIGKILL mid-write leaves a torn ledger.
+        self.path.write_text(json.dumps(payload))
+
+    def append_log(self, line):
+        log = self.path.with_suffix(".log")
+        # RL013: bare append to a durable path, no tmp + os.replace.
+        with open(log, "a") as handle:
+            handle.write(line)
+
+    def lock(self):
+        lock = self.path.with_suffix(".lock")
+        fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        # RL013: os.write may raise (ENOSPC) and leak the lock forever.
+        os.write(fd, b"held\n")
+        os.close(fd)
+        return lock

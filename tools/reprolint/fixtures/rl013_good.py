@@ -1,0 +1,38 @@
+"""Fixture twin: atomic durable writes, protected lock fds (no RL013)."""
+
+import json
+import os
+
+
+class Ledger:
+    def __init__(self, root):
+        self.root = root
+        self.path = root / "ledger.json"
+
+    def save(self, payload):
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.path)
+
+    def lock(self):
+        lock = self.path.with_suffix(".lock")
+        fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        with os.fdopen(fd, "w") as handle:
+            handle.write("held\n")
+        return lock
+
+    def lock_try_finally(self):
+        lock = self.path.with_suffix(".lock")
+        fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        try:
+            os.write(fd, b"held\n")
+        finally:
+            os.close(fd)
+        return lock
+
+
+def scratch_dump(tmp_path, payload):
+    # Not a durable path (not derived from self): test scratch files may
+    # be written directly.
+    with open(tmp_path / "scratch.json", "w") as handle:
+        json.dump(payload, handle)

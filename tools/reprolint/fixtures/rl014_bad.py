@@ -1,0 +1,30 @@
+"""Fixture: laundered failure semantics (RL014 x3)."""
+
+import math
+
+from repro.contracts import ContractViolation
+from repro.engine.resilience import FailedSolve, SweepCancelled
+
+
+def swallow_contract_breach(solve, model):
+    try:
+        return solve(model)
+    except ContractViolation:
+        # RL014: the breach is dropped; downstream sees plausible data.
+        return None
+
+
+def cancellation_as_failure(solve, model, index):
+    try:
+        return solve(model)
+    except SweepCancelled as exc:
+        # RL014: cancellation recorded as if the solve had failed.
+        return FailedSolve(index=index, error=str(exc))
+
+
+def cancellation_as_nan(solve, model):
+    try:
+        return solve(model)
+    except SweepCancelled:
+        # RL014: cancellation rendered as a NaN point.
+        return math.nan

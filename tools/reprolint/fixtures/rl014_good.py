@@ -1,0 +1,28 @@
+"""Fixture twin: failure semantics preserved (no RL014)."""
+
+from repro.contracts import ContractViolation
+from repro.engine.resilience import SweepCancelled
+
+
+def quarantine_and_resolve(solve, model, record):
+    try:
+        return solve(model)
+    except ContractViolation as exc:
+        # The breach is recorded with its details, then recomputed.
+        record(exc)
+        return solve(model)
+
+
+def reraise_contract_breach(solve, model):
+    try:
+        return solve(model)
+    except ContractViolation:
+        raise
+
+
+def stand_down_on_cancellation(solve, model, write_cancelled):
+    try:
+        return solve(model)
+    except SweepCancelled:
+        # Cancellation is not a failure: record the CANCELLED state.
+        return write_cancelled()

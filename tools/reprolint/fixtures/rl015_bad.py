@@ -1,0 +1,20 @@
+"""Fixture: REPRO_* config backdoors outside the accessors (RL015 x3)."""
+
+import os
+
+_ENV_SHARDS = "REPRO_SWEEP_SHARDS"
+
+
+def shard_count():
+    # RL015: literal read through a same-file constant.
+    return int(os.environ.get(_ENV_SHARDS, "1"))
+
+
+def worker_tag():
+    # RL015: bare os.getenv of a REPRO_* name.
+    return os.getenv("REPRO_WORKER_TAG", "")
+
+
+def queue_root():
+    # RL015: required read via subscript.
+    return os.environ["REPRO_QUEUE_ROOT"]

@@ -1,0 +1,27 @@
+"""Fixture twin: REPRO_* reads through the designated accessors (no RL015)."""
+
+import os
+
+from repro._env import repro_env, repro_env_required
+from repro.contracts.checks import ENV_SWITCH
+
+
+def shard_count():
+    return int(repro_env("REPRO_SWEEP_SHARDS", "1"))
+
+
+def queue_root():
+    return repro_env_required("REPRO_QUEUE_ROOT")
+
+
+def save_and_restore_contracts(value):
+    # Reads via a constant imported from an accessor module are that
+    # module's configuration surface, not a new backdoor.
+    previous = os.environ.get(ENV_SWITCH)
+    os.environ[ENV_SWITCH] = value
+    return previous
+
+
+def unrelated_env():
+    # Non-REPRO_ variables are out of scope.
+    return os.environ.get("HOME", "")

@@ -91,7 +91,7 @@ def sarif_log(violations: Sequence[Violation]) -> dict[str, Any]:
                     "driver": {
                         "name": "reprolint",
                         "informationUri": _TOOL_URI,
-                        "version": "2.0.0",
+                        "version": "3.0.0",
                         "rules": rules,
                     }
                 },

@@ -26,6 +26,19 @@
       Noqa audit: a reprolint suppression whose rule does not actually
       fire on that line (stale), or one without the mandated
       ``-- reason`` trailer.
+  RL011
+      Solver purity: a public entry point of the solver packages
+      (``repro.core``, ``repro.processes``, ``repro.qbd``) whose
+      interprocedural effect summary says a parameter array may be
+      mutated in place -- directly or through any chain of callees.
+
+The interprocedural layer lives on top of the same summaries: each
+file's cached entry carries per-function *definition records* (params,
+local effects, outgoing calls); the project pass wires them into a call
+graph (:mod:`tools.reprolint.callgraph`) and runs the bottom-up effect
+fixpoint (:mod:`tools.reprolint.effects`).  RL007's evidence search
+reuses the graph (a one-hop call into a strongly-evidenced callee --
+``@contracted`` or a validation call -- counts as coverage).
 
 Results are cached per file keyed by content hash (with an
 ``mtime_ns``/size fast path that avoids re-reading unchanged files), so
@@ -45,7 +58,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from tools.reprolint import dataflow
+from tools.reprolint import dataflow, effects
+from tools.reprolint.callgraph import CallGraph, Node, build_call_graph
 from tools.reprolint.core import (
     NoqaComment,
     Violation,
@@ -55,15 +69,29 @@ from tools.reprolint.core import (
     suppressed,
 )
 
-__all__ = ["FileAnalysis", "Project", "DEFAULT_CONTRACT_PACKAGES"]
+__all__ = [
+    "FileAnalysis",
+    "Project",
+    "DEFAULT_CONTRACT_PACKAGES",
+    "DEFAULT_PURITY_PACKAGES",
+]
 
 #: Bump to invalidate every cache entry (rule or summary format changes).
-ENGINE_VERSION = "reprolint-2.0"
+ENGINE_VERSION = "reprolint-3.0"
 
 #: Packages whose exports RL007 holds to contract coverage.
 DEFAULT_CONTRACT_PACKAGES = (
     "repro.core",
     "repro.engine",
+    "repro.processes",
+    "repro.qbd",
+)
+
+#: Packages whose exports RL011 holds to solver purity (solvers never
+#: mutate inputs; repro.engine is excluded -- its objects own mutable
+#: run state by design).
+DEFAULT_PURITY_PACKAGES = (
+    "repro.core",
     "repro.processes",
     "repro.qbd",
 )
@@ -292,6 +320,10 @@ def summarize_module(
         "functions": functions,
         "classes": classes,
         "calls": calls,
+        # Definition records for the interprocedural layer: per-function
+        # params, local effects and outgoing call sites (JSON-only, so
+        # they cache with the file like everything else).
+        "defs": effects.extract_defs(tree),
     }
 
 
@@ -372,6 +404,7 @@ def analyze_source(source: str, path: str, module: str) -> Summary:
             "functions": {},
             "classes": {},
             "calls": [],
+            "defs": {},
         }
     return {
         "raw": [_violation_to_json(v) for v in raw],
@@ -403,15 +436,19 @@ class Project:
         cache_path: Path | None = None,
         jobs: int = 1,
         contract_packages: tuple[str, ...] = DEFAULT_CONTRACT_PACKAGES,
+        purity_packages: tuple[str, ...] = DEFAULT_PURITY_PACKAGES,
     ) -> None:
         self.paths = [Path(p) for p in paths]
         self.root = Path(root) if root is not None else Path.cwd()
         self.cache_path = Path(cache_path) if cache_path is not None else None
         self.jobs = max(jobs, 1)
         self.contract_packages = contract_packages
+        self.purity_packages = purity_packages
         self.files: dict[str, FileAnalysis] = {}
         #: Cold/warm accounting for the cache (exposed for tests/CLI -q).
         self.stats = {"analyzed": 0, "cache_hits": 0}
+        self._graph: CallGraph | None = None
+        self._summaries: dict[Node, Summary] | None = None
 
     # -- cache ----------------------------------------------------------
     def _load_cache(self) -> Summary:
@@ -432,9 +469,13 @@ class Project:
         payload = {"version": ENGINE_VERSION, "files": entries}
         try:
             self.cache_path.parent.mkdir(parents=True, exist_ok=True)
-            self.cache_path.write_text(
+            tmp = self.cache_path.with_name(
+                f"{self.cache_path.name}.tmp.{os.getpid()}"
+            )
+            tmp.write_text(
                 json.dumps(payload, separators=(",", ":")), encoding="utf-8"
             )
+            os.replace(tmp, self.cache_path)
         except OSError:
             pass  # a read-only checkout must not break linting
 
@@ -447,6 +488,8 @@ class Project:
         pending: list[tuple[str, str]] = []
         self.files = {}
         self.stats = {"analyzed": 0, "cache_hits": 0}
+        self._graph = None
+        self._summaries = None
 
         for file_path in discovered:
             key = str(file_path)
@@ -547,9 +590,147 @@ class Project:
         parent, leaf = target.rsplit(".", maxsplit=1)
         return self.resolve(parent, leaf, modules, depth - 1)
 
+    # -- interprocedural layer --------------------------------------------
+    def _defs_table(self) -> dict[Node, Summary]:
+        """``(module, qualname) -> definition record`` over every file."""
+        defs: dict[Node, Summary] = {}
+        for analysis in self.files.values():
+            for qualname, record in analysis.summary.get("defs", {}).items():
+                defs[(analysis.module, qualname)] = record
+        return defs
+
+    def _resolve_def(
+        self,
+        module: str,
+        name: str,
+        modules: dict[str, FileAnalysis],
+        defs: dict[Node, Summary],
+    ) -> Node | None:
+        """A name in a module -> the definition node it calls into.
+
+        Functions map to themselves; classes map to their ``__init__``
+        (the body a constructor call actually runs).
+        """
+        resolved = self.resolve(module, name, modules)
+        if resolved is None:
+            return None
+        kind, target_module, target_name = resolved
+        if kind == "function":
+            node = (target_module, target_name)
+            return node if node in defs else None
+        node = (target_module, f"{target_name}.__init__")
+        return node if node in defs else None
+
+    def _resolve_call(
+        self,
+        module: str,
+        qualname: str,
+        call: Summary,
+        modules: dict[str, FileAnalysis],
+        defs: dict[Node, Summary],
+    ) -> Node | None:
+        """One call record -> its callee node (None for external/dynamic)."""
+        target = call["target"]
+        if target[0] == "name":
+            return self._resolve_def(module, target[1], modules, defs)
+        if target[0] == "self":
+            # Method call on the caller's own class.
+            if "." not in qualname:
+                return None
+            cls = qualname.split(".", maxsplit=1)[0]
+            node = (module, f"{cls}.{target[1]}")
+            return node if node in defs else None
+        # ["attr", base, attr]: resolvable when base is an imported module.
+        base, attr = target[1], target[2]
+        analysis = modules.get(module)
+        if analysis is None:
+            return None
+        base_target = analysis.summary["imports"].get(base)
+        if base_target is None:
+            return None
+        return self._resolve_def(base_target, attr, modules, defs)
+
+    def call_graph(self) -> CallGraph:
+        """The project-wide call graph (built lazily, after analyze)."""
+        if self._graph is None:
+            if not self.files:
+                self.analyze()
+            modules = self._modules()
+            defs = self._defs_table()
+            self._graph = build_call_graph(
+                defs,
+                lambda m, q, call: self._resolve_call(m, q, call, modules, defs),
+            )
+        return self._graph
+
+    def effect_summaries(self) -> dict[Node, Summary]:
+        """Transitive per-definition effect summaries (lazy, memoized)."""
+        if self._summaries is None:
+            if not self.files:
+                self.analyze()
+            modules = self._modules()
+            defs = self._defs_table()
+            self._summaries = effects.propagate(
+                defs,
+                lambda m, q, call: self._resolve_call(m, q, call, modules, defs),
+                graph=self.call_graph(),
+            )
+        return self._summaries
+
     # -- project rules ----------------------------------------------------
+    def _rl011_solver_purity(
+        self,
+        modules: dict[str, FileAnalysis],
+        defs: dict[Node, Summary],
+        summaries: dict[Node, Summary],
+    ) -> list[Violation]:
+        violations: list[Violation] = []
+        seen: set[Node] = set()
+        for package in self.purity_packages:
+            package_analysis = modules.get(package)
+            if package_analysis is None:
+                continue
+            for export in package_analysis.summary["all"] or []:
+                resolved = self.resolve(package, export, modules)
+                if resolved is None:
+                    continue
+                kind, module, name = resolved
+                if kind == "function":
+                    quals = [name]
+                else:
+                    quals = [f"{name}.__init__", f"{name}.__post_init__"]
+                for qualname in quals:
+                    node = (module, qualname)
+                    record = defs.get(node)
+                    summary = summaries.get(node)
+                    if record is None or summary is None or node in seen:
+                        continue
+                    seen.add(node)
+                    params = set(record["params"]) | set(record["kwonly"])
+                    mutated = {
+                        param: reason
+                        for param, reason in summary["mutates"].items()
+                        if param in params
+                    }
+                    for param, reason in sorted(mutated.items()):
+                        violations.append(
+                            Violation(
+                                modules[module].path,
+                                record["line"],
+                                record["col"],
+                                "RL011",
+                                f"public entry point {package}.{export} may "
+                                f"mutate its parameter {param!r} ({reason}); "
+                                "solvers never mutate inputs -- copy before "
+                                "writing, or freeze and fix the callee",
+                            )
+                        )
+        return violations
+
     def _rl007_contract_coverage(
-        self, modules: dict[str, FileAnalysis]
+        self,
+        modules: dict[str, FileAnalysis],
+        defs: dict[Node, Summary] | None = None,
     ) -> list[Violation]:
         violations: list[Violation] = []
         seen: set[tuple[str, str]] = set()
@@ -572,6 +753,10 @@ class Project:
                 ]
                 info = table[name]
                 if self._has_contract_evidence(kind, module, name, modules):
+                    continue
+                if defs is not None and self._one_hop_strong_evidence(
+                    kind, module, name, modules, defs
+                ):
                     continue
                 violations.append(
                     Violation(
@@ -618,6 +803,34 @@ class Project:
                 if base_kind == "class" and self._has_contract_evidence(
                     base_kind, base_module, base_name, modules, depth - 1
                 ):
+                    return True
+        return False
+
+    def _one_hop_strong_evidence(
+        self,
+        kind: str,
+        module: str,
+        name: str,
+        modules: dict[str, FileAnalysis],
+        defs: dict[Node, Summary],
+    ) -> bool:
+        """Coverage via the call graph: one direct call into a callee with
+        *strong* evidence (``@contracted`` or a validation call -- mere
+        raising in the callee does not count, so delegated coverage stays
+        deliberate rather than accidental)."""
+        if kind == "function":
+            qualnames = [name]
+        else:
+            qualnames = [f"{name}.__init__", f"{name}.__post_init__"]
+        for qualname in qualnames:
+            record = defs.get((module, qualname))
+            if record is None:
+                continue
+            for call in record["calls"]:
+                callee = self._resolve_call(module, qualname, call, modules, defs)
+                if callee is None:
+                    continue
+                if defs[callee]["effects"]["strong_evidence"]:
                     return True
         return False
 
@@ -779,12 +992,15 @@ class Project:
         if not self.files:
             self.analyze()
         modules = self._modules()
+        defs = self._defs_table()
+        summaries = self.effect_summaries()
         by_file: dict[str, list[Violation]] = {
             path: list(analysis.raw) for path, analysis in self.files.items()
         }
         for violation in (
-            *self._rl007_contract_coverage(modules),
+            *self._rl007_contract_coverage(modules, defs),
             *self._rl008_unit_flow(modules),
+            *self._rl011_solver_purity(modules, defs, summaries),
         ):
             by_file.setdefault(violation.path, []).append(violation)
         for violation in self._rl009_noqa_audit(by_file):

@@ -45,6 +45,37 @@ RL010
     Call of a deprecated sweep entry point (``load_sweep_series`` /
     ``idle_wait_sweep_series``); mechanically rewritable to
     ``sweep_many`` over the matching axis (``--fix`` applies it).
+RL012
+    Lifecycle-gate bypass.  ``_to()`` is the *only* place a job's state
+    may change (that is what makes :data:`TRANSITIONS` unbypassable);
+    a ``replace(..., state=...)``/``finished_ms=...`` or a direct
+    ``job.state = ...`` outside ``_to`` reintroduces the unchecked
+    writes the gate exists to prevent.  A ``_to()`` call targeting a
+    state no declared transition reaches is flagged too (the table is
+    extracted statically from the module, so the rule tracks the code).
+RL013
+    Durable-write discipline.  Writes landing in repository/cache
+    paths (paths derived from ``self``) must use the
+    ``tmp.<pid>`` + ``os.replace`` idiom, or a SIGKILL mid-write leaves
+    a torn file; ``O_EXCL`` lock fds must be closed via a context
+    manager or try/finally, or a raising path leaks the lock forever.
+RL014
+    Exception laundering.  The failure-semantics contract forbids two
+    conversions outright: silently dropping a ``ContractViolation``
+    (the record must keep its details), and turning a
+    ``SweepCancelled`` into a ``FailedSolve``/NaN point (cancellation
+    is *not* a solve failure).
+RL015
+    Env-var hygiene.  Literal ``REPRO_*`` reads of ``os.environ`` /
+    ``os.getenv`` outside the designated accessor modules (contracts,
+    faults, solver budget, ``repro._env``) grow divergent config
+    backdoors that distributed workers then disagree on (``--fix``
+    rewrites to the ``repro._env`` accessors).
+
+RL011 (solver purity: a public entry point of the solver packages
+mutating a parameter array, directly or through a callee) needs the
+project-wide call graph and effect summaries, so it runs inside
+:mod:`tools.reprolint.project` next to RL007-RL009.
 """
 
 from __future__ import annotations
@@ -52,7 +83,7 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
-from tools.reprolint import dataflow
+from tools.reprolint import dataflow, effects
 from tools.reprolint.core import Violation
 
 __all__ = ["ALL_RULES", "FILE_RULES", "RULE_SUMMARIES"]
@@ -68,6 +99,11 @@ RULE_SUMMARIES = {
     "RL008": "unit mismatch between argument and parameter across a call site",
     "RL009": "stale # noqa suppression, or one missing its '-- reason' trailer",
     "RL010": "call of a deprecated sweep API (load/idle_wait_sweep_series)",
+    "RL011": "solver entry point mutates a parameter array (possibly via a callee)",
+    "RL012": "job state/terminal timestamp written outside the _to() lifecycle gate",
+    "RL013": "durable write without tmp+os.replace, or unprotected O_EXCL lock fd",
+    "RL014": "ContractViolation dropped, or SweepCancelled laundered into a failure",
+    "RL015": "literal REPRO_* env read outside the designated accessor modules",
 }
 
 _NUMPY_MODULES = {"np", "numpy"}
@@ -217,10 +253,39 @@ def _is_array_factory_call(node: ast.expr) -> bool:
     )
 
 
+def _oracle_protected_names(
+    call: ast.Call, oracle: dict[str, dict]
+) -> Iterator[str]:
+    """Names frozen by a call to an unconditionally-freezing helper."""
+    func = call.func
+    if not (isinstance(func, ast.Name) and func.id in oracle):
+        return
+    info = oracle[func.id]
+    params: list[str] = info.get("params", [])
+    frozen = set(info.get("freezes", ()))
+    all_args = bool(info.get("all_args", False))
+    for index, arg in enumerate(call.args):
+        if not isinstance(arg, ast.Name):
+            continue
+        if all_args or (index < len(params) and params[index] in frozen):
+            yield arg.id
+    for kw in call.keywords:
+        if kw.arg in frozen and isinstance(kw.value, ast.Name):
+            yield kw.value.id
+
+
 def rl002_writable_array_on_dataclass(
     tree: ast.AST, path: str
 ) -> Iterator[Violation]:
-    """RL002: numpy array stored on a dataclass while still writeable."""
+    """RL002: numpy array stored on a dataclass while still writeable.
+
+    Freezing through a directly-called, unconditionally-freezing helper
+    defined in the same module counts (the one-level helper contract;
+    see :func:`tools.reprolint.effects.freeze_oracle`).
+    """
+    oracle = (
+        effects.freeze_oracle(tree) if isinstance(tree, ast.Module) else {}
+    )
     for class_node in ast.walk(tree):
         if not isinstance(class_node, ast.ClassDef):
             continue
@@ -240,6 +305,7 @@ def rl002_writable_array_on_dataclass(
                         if isinstance(target, ast.Name):
                             array_names.add(target.id)
                 elif isinstance(node, ast.Call):
+                    protected.update(_oracle_protected_names(node, oracle))
                     # x.setflags(write=False)
                     func = node.func
                     if (
@@ -526,9 +592,18 @@ _CERTIFIED_BLOCK_KWARGS = ("a0", "a1", "a2")
 
 
 def rl006_certificate_soundness(tree: ast.AST, path: str) -> Iterator[Violation]:
-    """RL006: certificates issued over arrays that may still be writable."""
+    """RL006: certificates issued over arrays that may still be writable.
+
+    A freeze performed by a directly-called helper in the same module is
+    recognized through the freeze oracle -- but only when the helper
+    freezes *unconditionally*; a data-dependent freeze leaves the helper
+    out of the oracle and the certificate stays flagged.
+    """
+    oracle = (
+        effects.freeze_oracle(tree) if isinstance(tree, ast.Module) else {}
+    )
     for func in _function_nodes(tree):
-        analysis = dataflow.analyze_function(func)
+        analysis = dataflow.analyze_function(func, oracle)
 
         if analysis.certificates:
             unfrozen = analysis.unfrozen_self_arrays()
@@ -624,6 +699,564 @@ def rl010_deprecated_sweep_api(tree: ast.AST, path: str) -> Iterator[Violation]:
             )
 
 
+# ---------------------------------------------------------------------------
+# RL012: lifecycle-gate bypass
+# ---------------------------------------------------------------------------
+
+_GATED_JOB_KEYWORDS = ("state", "finished_ms")
+
+
+def _transition_table(tree: ast.Module) -> tuple[set[str], set[str]] | None:
+    """``(destination_names, destination_strings)`` of a TRANSITIONS table.
+
+    The table is extracted statically from the module (``TRANSITIONS =
+    {FROM: frozenset({TO, ...}), ...}``) so the rule tracks the code; a
+    module without one gets no destination checking.
+    """
+    constants: dict[str, str] = {}
+    table: ast.expr | None = None
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "TRANSITIONS":
+                table = value
+            elif isinstance(value, ast.Constant) and isinstance(value.value, str):
+                constants[target.id] = value.value
+    if not isinstance(table, ast.Dict):
+        return None
+    dest_names: set[str] = set()
+    dest_strings: set[str] = set()
+
+    def collect(element: ast.expr) -> None:
+        if isinstance(element, ast.Name):
+            dest_names.add(element.id)
+            if element.id in constants:
+                dest_strings.add(constants[element.id])
+        elif isinstance(element, ast.Constant) and isinstance(element.value, str):
+            dest_strings.add(element.value)
+
+    for value in table.values:
+        elements: list[ast.expr] = []
+        if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+            elements = list(value.elts)
+        elif isinstance(value, ast.Call) and value.args:
+            # frozenset({...}) / set((...)): look inside the literal.
+            inner = value.args[0]
+            if isinstance(inner, (ast.Set, ast.Tuple, ast.List)):
+                elements = list(inner.elts)
+        for element in elements:
+            collect(element)
+    return dest_names, dest_strings
+
+
+def _is_replace_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "replace"
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "replace"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "dataclasses"
+    )
+
+
+def rl012_lifecycle_gate_bypass(tree: ast.AST, path: str) -> Iterator[Violation]:
+    """RL012: job state written outside _to(), or _to() off the table."""
+    if not isinstance(tree, ast.Module):
+        return
+    destinations = _transition_table(tree)
+    for func in _function_nodes(tree):
+        in_gate = func.name == "_to"
+        for node in effects.walk_scope(func):
+            if isinstance(node, ast.Call) and _is_replace_call(node) and not in_gate:
+                gated = sorted(
+                    kw.arg
+                    for kw in node.keywords
+                    if kw.arg in _GATED_JOB_KEYWORDS
+                )
+                if gated:
+                    yield Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "RL012",
+                        f"replace(..., {', '.join(f'{k}=...' for k in gated)}) "
+                        f"in {func.name}() bypasses the _to() lifecycle gate; "
+                        "state and terminal timestamps may only change through "
+                        "_to(), which enforces the TRANSITIONS table",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)) and not in_gate:
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in _GATED_JOB_KEYWORDS
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id not in {"self"}
+                    ):
+                        yield Violation(
+                            path,
+                            node.lineno,
+                            node.col_offset,
+                            "RL012",
+                            f"direct write to .{target.attr} bypasses the "
+                            "_to() lifecycle gate (and raises on the frozen "
+                            "Job dataclass); evolve jobs through the "
+                            "transition helpers",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__setattr__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "object"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value in _GATED_JOB_KEYWORDS
+            ):
+                yield Violation(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "RL012",
+                    f"object.__setattr__(..., {node.args[1].value!r}, ...) "
+                    "bypasses the _to() lifecycle gate; state and terminal "
+                    "timestamps may only change through _to()",
+                )
+            if (
+                destinations is not None
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_to"
+                and node.args
+            ):
+                dest_names, dest_strings = destinations
+                target_state = node.args[0]
+                bad: str | None = None
+                if isinstance(target_state, ast.Name):
+                    if (
+                        target_state.id not in dest_names
+                        and target_state.id.isupper()
+                    ):
+                        bad = target_state.id
+                elif isinstance(target_state, ast.Constant) and isinstance(
+                    target_state.value, str
+                ):
+                    if target_state.value not in dest_strings:
+                        bad = repr(target_state.value)
+                if bad is not None:
+                    yield Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "RL012",
+                        f"_to({bad}, ...) targets a state no declared "
+                        "transition reaches; add the edge to TRANSITIONS or "
+                        "fix the call",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RL013: durable-write discipline
+# ---------------------------------------------------------------------------
+
+
+def _chain_root(expr: ast.expr) -> ast.Name | None:
+    """The root Name of an attribute/call/subscript chain, if any."""
+    while True:
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        elif isinstance(expr, (ast.Attribute, ast.Subscript)):
+            expr = expr.value
+        else:
+            break
+    return expr if isinstance(expr, ast.Name) else None
+
+
+def _self_derived_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Local names whose value derives from ``self`` (paths the instance
+    owns -- repository roots, manifest paths, cache dirs)."""
+    derived: set[str] = set()
+    for _ in range(2):  # two passes reach p = self.x; q = p.with_name(...)
+        for node in effects.walk_scope(func):
+            value: ast.expr | None = None
+            names: list[str] = []
+            if isinstance(node, ast.Assign):
+                value = node.value
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value = node.value
+                if isinstance(node.target, ast.Name):
+                    names = [node.target.id]
+            if value is None or not names:
+                continue
+            root = _chain_root(value)
+            if root is not None and (root.id == "self" or root.id in derived):
+                derived.update(names)
+    return derived
+
+
+def _is_self_derived(expr: ast.expr, derived: set[str]) -> bool:
+    root = _chain_root(expr)
+    return root is not None and (root.id == "self" or root.id in derived)
+
+
+def _open_write_mode(call: ast.Call) -> bool:
+    mode: ast.expr | None = call.args[1] if len(call.args) > 1 else None
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    return (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and any(flag in mode.value for flag in ("w", "a", "x"))
+    )
+
+
+def rl013_durable_write_discipline(tree: ast.AST, path: str) -> Iterator[Violation]:
+    """RL013: non-atomic durable writes, unprotected O_EXCL lock fds."""
+    for func in _function_nodes(tree):
+        derived = _self_derived_names(func)
+        replaced: set[str] = set()
+        fdopen_with: set[str] = set()
+        closed_in_finally: set[str] = set()
+        returned: set[str] = set()
+        for node in effects.walk_scope(func):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr == "replace"
+                    and isinstance(fn.value, ast.Name)
+                    and fn.value.id == "os"
+                    and node.args
+                ):
+                    replaced.add(ast.unparse(node.args[0]))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if (
+                        isinstance(expr, ast.Call)
+                        and isinstance(expr.func, ast.Attribute)
+                        and expr.func.attr == "fdopen"
+                        and isinstance(expr.func.value, ast.Name)
+                        and expr.func.value.id == "os"
+                        and expr.args
+                        and isinstance(expr.args[0], ast.Name)
+                    ):
+                        fdopen_with.add(expr.args[0].id)
+            elif isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for inner in ast.walk(stmt):
+                        if (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Attribute)
+                            and inner.func.attr == "close"
+                            and isinstance(inner.func.value, ast.Name)
+                            and inner.func.value.id == "os"
+                            and inner.args
+                            and isinstance(inner.args[0], ast.Name)
+                        ):
+                            closed_in_finally.add(inner.args[0].id)
+            elif isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+                returned.add(node.value.id)
+
+        for node in effects.walk_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            # (a) durable writes without the tmp.<pid> + os.replace idiom
+            write_target: ast.expr | None = None
+            what: str | None = None
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in {"write_text", "write_bytes"}
+                and _is_self_derived(fn.value, derived)
+            ):
+                write_target, what = fn.value, f".{fn.attr}()"
+            elif (
+                isinstance(fn, ast.Name)
+                and fn.id == "open"
+                and node.args
+                and _open_write_mode(node)
+                and _is_self_derived(node.args[0], derived)
+            ):
+                write_target, what = node.args[0], "open(..., 'w')"
+            elif (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "open"
+                and _open_write_mode(node)
+                and _is_self_derived(fn.value, derived)
+            ):
+                write_target, what = fn.value, ".open('w')"
+            if write_target is not None:
+                target_repr = ast.unparse(write_target)
+                if target_repr not in replaced:
+                    yield Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "RL013",
+                        f"{what} on durable path {target_repr!r} without the "
+                        "atomic-write idiom; write to a sibling "
+                        "'<name>.tmp.<pid>' and os.replace() it into place, "
+                        "or a mid-write kill leaves a torn file",
+                    )
+                continue
+            # (b) O_EXCL lock fds not protected on raising paths
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "open"
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == "os"
+                and any(
+                    (isinstance(flag, ast.Attribute) and flag.attr == "O_EXCL")
+                    or (isinstance(flag, ast.Name) and flag.id == "O_EXCL")
+                    for arg in node.args
+                    for flag in ast.walk(arg)
+                )
+            ):
+                fd_names = _assigned_names_of_call(func, node)
+                protected_fd = any(
+                    name in fdopen_with
+                    or name in closed_in_finally
+                    or name in returned
+                    for name in fd_names
+                )
+                if not protected_fd:
+                    yield Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "RL013",
+                        "O_EXCL lock fd is not closed on all paths; hand it "
+                        "to 'with os.fdopen(fd, ...)' or close it in a "
+                        "try/finally, or a raising path leaks the lock "
+                        "forever (--fix wraps simple cases)",
+                    )
+
+
+def _assigned_names_of_call(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, call: ast.Call
+) -> list[str]:
+    for node in effects.walk_scope(func):
+        if isinstance(node, ast.Assign) and node.value is call:
+            return [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if (
+            isinstance(node, ast.AnnAssign)
+            and node.value is call
+            and isinstance(node.target, ast.Name)
+        ):
+            return [node.target.id]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# RL014: exception laundering
+# ---------------------------------------------------------------------------
+
+
+def _handler_catches(handler: ast.ExceptHandler, name: str) -> bool:
+    if handler.type is None:
+        return False
+    candidates: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        candidates = list(handler.type.elts)
+    else:
+        candidates = [handler.type]
+    for candidate in candidates:
+        leaf = (
+            candidate.id
+            if isinstance(candidate, ast.Name)
+            else candidate.attr
+            if isinstance(candidate, ast.Attribute)
+            else None
+        )
+        if leaf == name:
+            return True
+    return False
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _handler_uses_exception(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    return any(
+        isinstance(node, ast.Name) and node.id == handler.name
+        for stmt in handler.body
+        for node in ast.walk(stmt)
+    )
+
+
+def _handler_builds_failure(handler: ast.ExceptHandler) -> str | None:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, (ast.Name, ast.Attribute))
+            ):
+                leaf = (
+                    node.func.id
+                    if isinstance(node.func, ast.Name)
+                    else node.func.attr
+                )
+                if leaf == "FailedSolve":
+                    return "a FailedSolve record"
+                if leaf == "float" and any(
+                    isinstance(a, ast.Constant) and a.value == "nan"
+                    for a in node.args
+                ):
+                    return "a NaN point"
+            if isinstance(node, ast.Attribute) and node.attr == "nan":
+                return "a NaN point"
+    return None
+
+
+def rl014_exception_laundering(tree: ast.AST, path: str) -> Iterator[Violation]:
+    """RL014: dropped ContractViolations, laundered cancellations."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _handler_catches(node, "ContractViolation"):
+            if not _handler_reraises(node) and not _handler_uses_exception(node):
+                yield Violation(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "RL014",
+                    "ContractViolation caught and dropped; the failure "
+                    "semantics require its details to be re-raised or "
+                    "recorded (a silently swallowed contract breach hides "
+                    "corrupt data from every downstream consumer)",
+                )
+        if _handler_catches(node, "SweepCancelled"):
+            laundered = _handler_builds_failure(node)
+            if laundered is not None:
+                yield Violation(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "RL014",
+                    f"SweepCancelled converted into {laundered}; "
+                    "cancellation is deliberately NOT a solve failure -- "
+                    "stand down or record the CANCELLED state instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL015: env-var hygiene
+# ---------------------------------------------------------------------------
+
+#: Modules allowed to read REPRO_* directly (path suffixes, '/'-normal).
+ENV_ACCESSOR_MODULES = (
+    "repro/_env.py",
+    "repro/contracts/checks.py",
+    "repro/faults/injector.py",
+    "repro/qbd/rmatrix.py",
+)
+
+_ENV_PREFIX = "REPRO_"
+
+
+def _module_env_constants(tree: ast.Module) -> set[str]:
+    constants: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value.startswith(_ENV_PREFIX)
+        ):
+            constants.update(
+                t.id for t in targets if isinstance(t, ast.Name)
+            )
+    return constants
+
+
+def _env_key_expr(call_or_sub: ast.Call | ast.Subscript) -> ast.expr | None:
+    if isinstance(call_or_sub, ast.Call):
+        return call_or_sub.args[0] if call_or_sub.args else None
+    key = call_or_sub.slice
+    return key
+
+
+def _is_environ_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id == "environ"
+    return (
+        isinstance(expr, ast.Attribute)
+        and expr.attr == "environ"
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "os"
+    )
+
+
+def rl015_env_hygiene(tree: ast.AST, path: str) -> Iterator[Violation]:
+    """RL015: REPRO_* env reads outside the designated accessor modules."""
+    normalized = str(path).replace("\\", "/")
+    if any(normalized.endswith(suffix) for suffix in ENV_ACCESSOR_MODULES):
+        return
+    constants = (
+        _module_env_constants(tree) if isinstance(tree, ast.Module) else set()
+    )
+
+    def is_repro_key(expr: ast.expr | None) -> str | None:
+        if (
+            isinstance(expr, ast.Constant)
+            and isinstance(expr.value, str)
+            and expr.value.startswith(_ENV_PREFIX)
+        ):
+            return expr.value
+        if isinstance(expr, ast.Name) and expr.id in constants:
+            return expr.id
+        return None
+
+    for node in ast.walk(tree):
+        key: str | None = None
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id == "getenv":
+                key = is_repro_key(_env_key_expr(node))
+            elif isinstance(fn, ast.Attribute) and fn.attr in {"getenv", "get"}:
+                if fn.attr == "getenv":
+                    if isinstance(fn.value, ast.Name) and fn.value.id == "os":
+                        key = is_repro_key(_env_key_expr(node))
+                elif _is_environ_expr(fn.value):
+                    key = is_repro_key(_env_key_expr(node))
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            if _is_environ_expr(node.value):
+                key = is_repro_key(_env_key_expr(node))
+        if key is not None:
+            yield Violation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "RL015",
+                f"literal read of {key} outside the designated accessor "
+                "modules; route it through repro._env (repro_env / "
+                "repro_env_required) so distributed workers cannot grow "
+                "divergent config backdoors (--fix rewrites simple reads)",
+            )
+
+
 #: Single-file rules, runnable without cross-module context.
 FILE_RULES = (
     rl001_frozen_mutation,
@@ -633,6 +1266,10 @@ FILE_RULES = (
     rl005_stationary_on_phase_sum,
     rl006_certificate_soundness,
     rl010_deprecated_sweep_api,
+    rl012_lifecycle_gate_bypass,
+    rl013_durable_write_discipline,
+    rl014_exception_laundering,
+    rl015_env_hygiene,
 )
 
 #: Backwards-compatible alias (pre-project-analyzer name).
