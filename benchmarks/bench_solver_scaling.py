@@ -5,6 +5,8 @@ The repeating level has ``(2X + 1) * A`` states and the boundary
 {5, 10, 25, 50} to document the polynomial growth.
 """
 
+import math
+
 import pytest
 
 from repro.core.model import FgBgModel
@@ -23,4 +25,6 @@ def bench_solver_buffer_scaling(benchmark, bg_buffer):
         bg_buffer=bg_buffer,
     )
     solution = benchmark(model.solve)
-    assert 0 <= solution.bg_completion_rate <= 1
+    rate = solution.bg_completion_rate
+    assert math.isfinite(rate), "bg_completion_rate is NaN at p=0.6"
+    assert 0 <= rate <= 1

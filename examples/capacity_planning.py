@@ -10,6 +10,8 @@ admits very different background budgets.
 Run:  python examples/capacity_planning.py
 """
 
+import math
+
 import numpy as np
 
 from repro import FgBgModel, workloads
@@ -36,7 +38,11 @@ def max_bg_probability(arrival, service_rate: float) -> float:
             arrival=scaled, service_rate=service_rate, bg_probability=float(p)
         ).solve()
         inflation = s.fg_response_time / baseline.fg_response_time
-        if inflation <= RESPONSE_INFLATION_SLO and s.bg_completion_rate >= COMPLETION_FLOOR:
+        rate = s.bg_completion_rate
+        # bg_completion_rate is a deliberate NaN below
+        # NEAR_ZERO_BG_PROBABILITY; a NaN comparison would silently
+        # read as "SLO missed", so test finiteness explicitly.
+        if inflation <= RESPONSE_INFLATION_SLO and math.isfinite(rate) and rate >= COMPLETION_FLOOR:
             best = float(p)
         else:
             break

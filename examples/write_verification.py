@@ -10,6 +10,8 @@ shows how strongly the answer depends on the arrival dependence structure.
 Run:  python examples/write_verification.py
 """
 
+import math
+
 from repro import FgBgModel, workloads
 
 #: Fraction of requests that are WRITEs needing verification.
@@ -29,7 +31,10 @@ def max_sustainable_load(arrival, service_rate: float, coverage: float) -> float
             service_rate=service_rate,
             bg_probability=WRITE_FRACTION,
         )
-        if model.solve().bg_completion_rate >= coverage:
+        rate = model.solve().bg_completion_rate
+        # NaN (p below NEAR_ZERO_BG_PROBABILITY) must not read as
+        # "coverage missed": test finiteness before comparing.
+        if math.isfinite(rate) and rate >= coverage:
             best = util
         else:
             break

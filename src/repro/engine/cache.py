@@ -53,6 +53,10 @@ def solve_key(
     fingerprint: str, algorithm: str, tol: float
 ) -> str:
     """Cache key of one solve: model fingerprint + solver parameters."""
+    if not fingerprint:
+        raise ValueError("solve_key needs a non-empty model fingerprint")
+    if not tol > 0.0:
+        raise ValueError(f"solver tolerance must be positive, got {tol!r}")
     h = hashlib.sha256()
     h.update(fingerprint.encode())
     h.update(algorithm.encode())

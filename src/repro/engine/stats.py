@@ -56,6 +56,10 @@ class SolveRecord:
     cache_hit: bool
     stats: SolveStats | None
 
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            raise ValueError("SolveRecord needs a model fingerprint")
+
     def as_dict(self) -> dict:
         return {
             "fingerprint": self.fingerprint,

@@ -353,7 +353,7 @@ def _newton_impl(
     eye = np.eye(m)
     for it in range(1, max_iter + 1):
         residual = a0 + r @ a1 + r @ r @ a2
-        lhs = np.kron((a1 + r @ a2).T, eye) + np.kron(a2.T, r)
+        lhs = np.kron((a1 + r @ a2).T, eye) + np.kron(a2.T, r)  # noqa: RL016 -- vec-trick: vec(AXB) = (B.T kron A) vec(X); the transposes build the Frechet derivative, not a QBD block
         try:
             h = np.linalg.solve(lhs, residual.flatten("F")).reshape(
                 (m, m), order="F"

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 from tools.reprolint.baseline import (
     apply_baseline,
@@ -61,3 +62,45 @@ def test_update_baseline_writes_sorted_deterministic_file(tmp_path):
     assert target.read_text(encoding="utf-8") == first
     data = json.loads(first)
     assert list(data["entries"]) == ["a.py", "b.py"]
+
+
+def test_update_baseline_prunes_fixed_entries(tmp_path):
+    # A (file, rule) key whose count reached zero must not linger as
+    # slack: rewriting from the current violations drops it.
+    target = tmp_path / "baseline.json"
+    update_baseline(target, [v("a.py", "RL007"), v("b.py", "RL003")])
+    update_baseline(target, [v("a.py", "RL007")])
+    assert load_baseline(target) == {"a.py": {"RL007": 1}}
+
+
+def test_scoped_update_preserves_out_of_scope_debt(tmp_path):
+    # --update-baseline src must not discard debt recorded for tests/:
+    # entries outside the linted scope survive a scoped rewrite verbatim.
+    target = tmp_path / "baseline.json"
+    update_baseline(
+        target,
+        [v("src/a.py", "RL007"), v("tests/b.py", "RL007")],
+    )
+    update_baseline(
+        target,
+        [],  # the scoped run fixed everything under src/
+        linted_paths=[Path("src")],
+    )
+    assert load_baseline(target) == {"tests/b.py": {"RL007": 1}}
+
+
+def test_scoped_update_prunes_in_scope_zero_counts(tmp_path):
+    target = tmp_path / "baseline.json"
+    update_baseline(
+        target,
+        [v("src/a.py", "RL007"), v("src/a.py", "RL003"), v("tests/b.py", "RL007")],
+    )
+    update_baseline(
+        target,
+        [v("src/a.py", "RL007")],  # RL003 fixed, RL007 still present
+        linted_paths=[Path("src")],
+    )
+    assert load_baseline(target) == {
+        "src/a.py": {"RL007": 1},
+        "tests/b.py": {"RL007": 1},
+    }

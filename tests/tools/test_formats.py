@@ -169,3 +169,17 @@ def test_render_report_dispatch_and_unknown_format():
     assert "RL003" in render_report(VIOLATIONS, "text")
     with pytest.raises(ValueError, match="unknown format"):
         render_report(VIOLATIONS, "xml")
+
+
+def test_sarif_rules_carry_help_from_the_doc_registry():
+    # --explain and the code-scanning UI must tell the same story: every
+    # documented rule's SARIF descriptor embeds the registry's help text.
+    from tools.reprolint.docs import RULE_DOCS, help_text
+
+    log = sarif_log(VIOLATIONS)
+    (run,) = log["runs"]
+    by_id = {rule["id"]: rule for rule in run["tool"]["driver"]["rules"]}
+    assert set(RULE_DOCS) == set(by_id), "every rule is documented"
+    for code, rule in by_id.items():
+        assert rule["help"]["text"] == help_text(code)
+    assert "d0 + d1" in by_id["RL017"]["help"]["text"]

@@ -252,6 +252,71 @@ def test_parallel_jobs_match_serial(tmp_path):
     assert len(serial) == 8
 
 
+def test_engine_version_bump_invalidates_whole_cache(tmp_path, monkeypatch):
+    # Cached summaries carry analysis-engine state (symbols, effects,
+    # shape facts); a new engine must never trust an old cache.
+    files = write_tree(
+        tmp_path,
+        {f"mod{i}.py": f"def f{i}(x):\n    return x\n" for i in range(3)},
+    )
+    cache = tmp_path / "cache.json"
+    Project(files, root=tmp_path, cache_path=cache).analyze()
+    monkeypatch.setattr(
+        "tools.reprolint.project.ENGINE_VERSION", "reprolint-99.0-test"
+    )
+    bumped = Project(files, root=tmp_path, cache_path=cache)
+    bumped.analyze()
+    assert bumped.stats == {"analyzed": 3, "cache_hits": 0}
+    # And the rewritten cache is warm again under the new version.
+    rewarm = Project(files, root=tmp_path, cache_path=cache)
+    rewarm.analyze()
+    assert rewarm.stats == {"analyzed": 0, "cache_hits": 3}
+
+
+_SHAPE_FLOW_TREE = {
+    "pkg/__init__.py": "",
+    "pkg/solver.py": (
+        "def phase_pi(q):\n"
+        "    return q\n"
+    ),
+    "pkg/caller.py": (
+        "from pkg.solver import phase_pi\n"
+        "def use(d0):\n"
+        "    return phase_pi(d0)\n"
+    ),
+}
+
+_SINKFUL_SOLVER = (
+    "def phase_pi(q):\n"
+    "    return stationary_distribution(q)\n"
+)
+
+
+def _edited_callee_updates_caller_verdict(tmp_path, jobs):
+    # The project verdict depends on *other* files' summaries: editing
+    # only the callee must flip the violation reported at the caller,
+    # while the caller itself is still served from the cache.
+    paths = write_tree(tmp_path, _SHAPE_FLOW_TREE)
+    cache = tmp_path / "cache.json"
+    clean = Project(paths, root=tmp_path, cache_path=cache, jobs=jobs)
+    assert [v for v in clean.lint() if v.code == "RL017"] == []
+    (tmp_path / "pkg" / "solver.py").write_text(
+        _SINKFUL_SOLVER, encoding="utf-8"
+    )
+    dirty = Project(paths, root=tmp_path, cache_path=cache, jobs=jobs)
+    violations = [v for v in dirty.lint() if v.code == "RL017"]
+    assert dirty.stats == {"analyzed": 1, "cache_hits": 2}
+    assert violations and violations[0].path.endswith("caller.py")
+
+
+def test_edited_callee_updates_cached_caller_verdict(tmp_path):
+    _edited_callee_updates_caller_verdict(tmp_path, jobs=1)
+
+
+def test_edited_callee_updates_cached_caller_verdict_parallel(tmp_path):
+    _edited_callee_updates_caller_verdict(tmp_path, jobs=4)
+
+
 # ---------------------------------------------------------------------------
 # RL007: one-hop callee evidence through the call graph
 # ---------------------------------------------------------------------------
@@ -474,7 +539,9 @@ def test_injected_conditional_helper_freeze_is_caught_by_rl006():
 # ---------------------------------------------------------------------------
 
 
-def test_lint_src_tests_cold_under_8s_and_warm_2x(tmp_path):
+def test_lint_src_tests_cold_under_10s_and_warm_2x(tmp_path):
+    # 10 s budget: the v4 shape layer adds a second abstract-interpretation
+    # walk per file on top of the v3 symbol/effect analysis.
     cache = tmp_path / "cache.json"
     paths = [REPO_ROOT / "src", REPO_ROOT / "tests"]
 
@@ -483,7 +550,7 @@ def test_lint_src_tests_cold_under_8s_and_warm_2x(tmp_path):
     cold.lint()
     cold_elapsed = time.perf_counter() - start
     assert cold.stats["cache_hits"] == 0
-    assert cold_elapsed < 8.0, f"cold lint took {cold_elapsed:.2f}s"
+    assert cold_elapsed < 10.0, f"cold lint took {cold_elapsed:.2f}s"
 
     start = time.perf_counter()
     warm = Project(paths, root=REPO_ROOT, cache_path=cache)

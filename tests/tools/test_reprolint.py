@@ -51,6 +51,11 @@ def codes(violations):
         ("rl013", ["RL013", "RL013", "RL013"]),
         ("rl014", ["RL014", "RL014", "RL014"]),
         ("rl015", ["RL015", "RL015", "RL015"]),
+        ("rl016", ["RL016", "RL016", "RL016", "RL016"]),
+        ("rl017", ["RL017", "RL017", "RL017"]),
+        ("rl018", ["RL018", "RL018", "RL018"]),
+        ("rl019", ["RL019", "RL019"]),
+        ("rl020", ["RL020", "RL020", "RL020", "RL020"]),
     ],
 )
 def test_bad_fixture_fires(name, expected):
@@ -72,6 +77,11 @@ def test_bad_fixture_fires(name, expected):
         "rl013",
         "rl014",
         "rl015",
+        "rl016",
+        "rl017",
+        "rl018",
+        "rl019",
+        "rl020",
     ],
 )
 def test_good_fixture_is_clean(name):
@@ -394,8 +404,23 @@ def test_cli_exits_two_on_missing_path():
 def test_cli_list_rules():
     result = run_cli("--list-rules")
     assert result.returncode == 0
-    for number in range(1, 16):
+    for number in range(1, 21):
         assert f"RL{number:03d}" in result.stdout
+
+
+def test_cli_explain_prints_rationale_example_and_fix():
+    result = run_cli("--explain", "rl016")
+    assert result.returncode == 0
+    out = result.stdout
+    assert "RL016" in out
+    for section in ("Why", "Example", "Fix"):
+        assert section in out, out
+
+
+def test_cli_explain_unknown_rule_exits_two():
+    result = run_cli("--explain", "RL999")
+    assert result.returncode == 2
+    assert "unknown rule" in result.stderr
 
 
 def test_cli_no_baseline_surfaces_accepted_debt():

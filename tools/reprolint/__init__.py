@@ -1,10 +1,13 @@
 """reprolint -- repo-specific static analyzer for the repro codebase.
 
 Run as ``python -m tools.reprolint src tests``.  See
-:mod:`tools.reprolint.rules` for the rule catalogue (RL001-RL010):
-per-file AST rules plus project-level analyses (certificate soundness,
-contract coverage, unit flow, noqa audit) driven by
-:class:`tools.reprolint.project.Project`.
+:mod:`tools.reprolint.rules` for the rule catalogue (RL001-RL020):
+per-file AST rules -- including the shape/stochastic-kind abstract
+interpreter of :mod:`tools.reprolint.shapes` (RL016-RL020) -- plus
+project-level analyses (certificate soundness, contract coverage, unit
+flow, noqa audit, effect summaries, cross-file shape flow) driven by
+:class:`tools.reprolint.project.Project`.  ``--explain RLxxx`` prints
+one rule's rationale, example and fix.
 """
 
 from tools.reprolint.baseline import (

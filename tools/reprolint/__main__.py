@@ -40,9 +40,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.reprolint",
         description=(
-            "Repo-specific linter for repro invariants (RL001-RL015): "
-            "per-file AST rules plus project-wide certificate-soundness, "
-            "contract-coverage, unit-flow and noqa-audit analyses."
+            "Repo-specific linter for repro invariants (RL001-RL020): "
+            "per-file AST rules (including the shape/stochastic-kind "
+            "abstract interpreter) plus project-wide certificate-"
+            "soundness, contract-coverage, unit-flow, noqa-audit and "
+            "shape-flow analyses."
         ),
     )
     parser.add_argument(
@@ -115,6 +117,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     parser.add_argument(
+        "--explain",
+        metavar="RLxxx",
+        default=None,
+        help="print one rule's rationale, example and fix, then exit",
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -130,6 +138,21 @@ def main(argv: list[str] | None = None) -> int:
     if options.list_rules:
         for code in sorted(RULE_SUMMARIES):
             print(f"{code}  {RULE_SUMMARIES[code]}")
+        return 0
+
+    if options.explain is not None:
+        from tools.reprolint.docs import explain
+
+        code = options.explain.upper()
+        text = explain(code)
+        if text is None:
+            print(
+                f"reprolint: unknown rule {options.explain!r} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
         return 0
 
     paths = [Path(p) for p in options.paths]
@@ -163,7 +186,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if options.update_baseline:
         target = baseline_path or Path(DEFAULT_BASELINE_NAME)
-        update_baseline(target, violations)
+        update_baseline(target, violations, linted_paths=paths)
         if not options.quiet:
             noun = "violation" if len(violations) == 1 else "violations"
             print(

@@ -81,9 +81,42 @@ def apply_baseline(
     return kept, dropped
 
 
-def update_baseline(path: Path, violations: Sequence[Violation]) -> Baseline:
-    """Write the baseline matching the current violations; returns it."""
+def _in_scope(file_path: str, roots: Sequence[Path]) -> bool:
+    resolved = Path(file_path).resolve()
+    for root in roots:
+        root_resolved = root.resolve()
+        if resolved == root_resolved:
+            return True
+        try:
+            resolved.relative_to(root_resolved)
+            return True
+        except ValueError:
+            continue
+    return False
+
+
+def update_baseline(
+    path: Path,
+    violations: Sequence[Violation],
+    *,
+    linted_paths: Sequence[Path] | None = None,
+) -> Baseline:
+    """Write the baseline matching the current violations; returns it.
+
+    Entries for files inside the linted scope are replaced by the
+    current counts, so ``(file, rule)`` keys whose count has reached
+    zero -- fixed violations, renamed rules, deleted files -- are
+    **pruned** rather than lingering forever.  When ``linted_paths`` is
+    given, entries for files *outside* that scope are preserved
+    unchanged: a scoped run (``--update-baseline src``) must not
+    silently discard debt it did not re-measure.
+    """
     entries: Baseline = {}
+    if linted_paths is not None:
+        roots = [Path(p) for p in linted_paths]
+        for file_path, by_code in load_baseline(path).items():
+            if by_code and not _in_scope(file_path, roots):
+                entries[file_path] = dict(by_code)
     for violation in violations:
         by_code = entries.setdefault(violation.path, {})
         by_code[violation.code] = by_code.get(violation.code, 0) + 1

@@ -1,0 +1,36 @@
+"""Fixture: non-conformable/non-square block assembly (RL016 x4)."""
+
+import numpy as np
+
+from repro.qbd.rmatrix import r_matrix
+from repro.qbd.structure import QBDProcess
+
+
+def transposed_kron_operand(d1, m_g):
+    # RL016: d1 enters the kron through .T, swapping its transition
+    # direction inside the assembled block.
+    a0 = np.kron(np.eye(m_g), d1.T)
+    return a0
+
+
+def swapped_boundary_split(n_b, m):
+    b00 = np.zeros((n_b, n_b))
+    b01 = np.zeros((m, n_b))  # wrong row split: rows must be boundary states
+    b10 = np.zeros((m, n_b))
+    a0 = np.zeros((m, m))
+    a1 = np.zeros((m, m))
+    a2 = np.zeros((m, m))
+    # RL016: b01 arrives transposed relative to the (n_b, m) declaration.
+    return QBDProcess(b00=b00, b01=b01, b10=b10, a0=a0, a1=a1, a2=a2)
+
+
+def transposed_block_at_sink(a0, a1, a2):
+    # RL016: a2.T flips the down-transition block before the solve.
+    return r_matrix(a0, a1, a2.T)
+
+
+def numeric_mismatch():
+    a0 = np.zeros((4, 4))
+    a1 = np.zeros((4, 4))
+    a2 = np.zeros((3, 3))  # RL016: triple members disagree numerically
+    return r_matrix(a0, a1, a2)

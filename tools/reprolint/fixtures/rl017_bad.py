@@ -1,0 +1,22 @@
+"""Fixture: stochastic-kind confusion (RL017 x3)."""
+
+from repro.contracts.checks import check_stochastic
+from repro.markov.ctmc import stationary_distribution
+
+
+def d0_as_standalone_generator(d0):
+    # RL017: D0 alone is a subgenerator (rows sum to -D1 rows); the
+    # stationary solve needs the full phase generator d0 + d1.
+    return stationary_distribution(d0)
+
+
+def generator_as_stochastic(d0, d1):
+    q = d0 + d1
+    # RL017: rows of a generator sum to 0, not 1.
+    check_stochastic(q)
+    return q
+
+
+def rate_as_probability(mu, model_cls):
+    # RL017: a per-ms rate flows into a [0, 1] probability slot.
+    return model_cls(bg_probability=mu)

@@ -1,0 +1,24 @@
+"""Fixture twin: kinds routed to matching sinks (no RL017)."""
+
+from repro.contracts.checks import check_probability_vector, check_stochastic
+from repro.markov.ctmc import stationary_distribution
+
+
+def full_phase_generator(d0, d1):
+    return stationary_distribution(d0 + d1)
+
+
+def stochastic_input(jump_matrix):
+    # An unseeded name carries no kind fact: nothing to confuse.
+    check_stochastic(jump_matrix)
+    return jump_matrix
+
+
+def probability_vector(pi):
+    check_probability_vector(pi)
+    return pi
+
+
+def probability_from_ratio(mu, total_rate, model_cls):
+    # A normalized ratio is a probability, not a rate.
+    return model_cls(bg_probability=mu / total_rate)

@@ -1,0 +1,22 @@
+"""Fixture: batched-axis hazards on leading-N stacks (RL018 x3)."""
+
+import numpy as np
+
+
+def aggregate_across_items(m):
+    stack = np.stack((np.zeros((m, m)), np.zeros((m, m))))
+    # RL018: no axis -> one scalar across every item, not one per item.
+    return stack.sum()
+
+
+def reduce_over_item_axis(m):
+    stack = np.stack((np.zeros((m, m)), np.zeros((m, m))))
+    # RL018: axis=0 is the item axis.
+    return stack.max(axis=0)
+
+
+def per_item_weights_without_trailing_axes(m):
+    stack = np.stack((np.zeros((m, m)), np.zeros((m, m))))
+    weights = np.stack((1.0, 2.0))
+    # RL018: (N,) against (N, m, m) aligns N onto a matrix axis.
+    return stack * weights

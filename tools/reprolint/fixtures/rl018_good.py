@@ -1,0 +1,21 @@
+"""Fixture twin: per-item batched ops with explicit axes (no RL018)."""
+
+import numpy as np
+
+
+def per_item_aggregates(m):
+    stack = np.stack((np.zeros((m, m)), np.zeros((m, m))))
+    row_sums = stack.sum(axis=2)
+    item_maxima = stack.max(axis=(1, 2))
+    return row_sums, item_maxima
+
+
+def per_item_weights(m):
+    stack = np.stack((np.zeros((m, m)), np.zeros((m, m))))
+    weights = np.stack((1.0, 2.0))
+    return stack * weights[:, None, None]
+
+
+def stacked_solve_with_3d_rhs(stack, n, m):
+    rhs = np.ones((n, m, 1))
+    return np.linalg.solve(stack, rhs)[..., 0]

@@ -1,0 +1,17 @@
+"""Fixture: bg_completion_rate compared without a NaN guard (RL019 x2)."""
+
+
+def pick_best(solutions):
+    best = None
+    for s in solutions:
+        # RL019: below NEAR_ZERO_BG_PROBABILITY the metric is NaN and
+        # this comparison is silently False.
+        if best is None or s.bg_completion_rate > best.bg_completion_rate:
+            best = s
+    return best
+
+
+def total_coverage(solutions):
+    rates = [s.bg_completion_rate for s in solutions]
+    # RL019: sum() over NaN-bearing values poisons the aggregate.
+    return sum(rates)

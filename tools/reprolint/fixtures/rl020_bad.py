@@ -1,0 +1,23 @@
+"""Fixture: precision hazards on rate/_ms quantities (RL020 x4)."""
+
+import numpy as np
+
+
+def narrow_factory(m):
+    # RL020: float32 loses ~9 significant digits in the QBD iterations.
+    return np.zeros((m, m), dtype=np.float32)
+
+
+def narrow_cast(blocks):
+    # RL020: string dtype spellings are just as narrowing.
+    return blocks.astype("float16")
+
+
+def removed_alias(m):
+    # RL020: np.float_ was removed in numpy 2.0.
+    return np.ones(m, dtype=np.float_)
+
+
+def truncating_budget(budget_ms):
+    # RL020: floor division truncates a continuous _ms duration.
+    return budget_ms // 2

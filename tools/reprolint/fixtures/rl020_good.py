@@ -1,0 +1,21 @@
+"""Fixture twin: full precision on rate/_ms quantities (no RL020)."""
+
+import numpy as np
+
+
+def wide_factory(m):
+    return np.zeros((m, m), dtype=float)
+
+
+def explicit_double(blocks):
+    return blocks.astype(np.float64)
+
+
+def halved_budget(budget_ms):
+    return budget_ms / 2
+
+
+def integer_bucket_count(total_states, phases):
+    # Floor division of *counts* is fine; only rate/_ms quantities are
+    # continuous.
+    return total_states // phases

@@ -14,6 +14,7 @@ from pathlib import PurePath
 from typing import Any
 
 from tools.reprolint.core import Violation, render
+from tools.reprolint.docs import help_text
 from tools.reprolint.rules import RULE_SUMMARIES
 
 __all__ = ["FORMATS", "render_github", "render_report", "render_sarif"]
@@ -47,16 +48,19 @@ def _artifact_uri(path: str) -> str:
 
 def sarif_log(violations: Sequence[Violation]) -> dict[str, Any]:
     """The SARIF 2.1.0 log object for ``violations``."""
-    rules = [
-        {
+    rules = []
+    for code, summary in sorted(RULE_SUMMARIES.items()):
+        rule: dict[str, Any] = {
             "id": code,
             "name": code,
             "shortDescription": {"text": summary},
             "defaultConfiguration": {"level": "error"},
             "helpUri": _TOOL_URI,
         }
-        for code, summary in sorted(RULE_SUMMARIES.items())
-    ]
+        help_md = help_text(code)
+        if help_md is not None:
+            rule["help"] = {"text": help_md}
+        rules.append(rule)
     rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
     results = []
     for violation in violations:
@@ -91,7 +95,7 @@ def sarif_log(violations: Sequence[Violation]) -> dict[str, Any]:
                     "driver": {
                         "name": "reprolint",
                         "informationUri": _TOOL_URI,
-                        "version": "3.0.0",
+                        "version": "4.0.0",
                         "rules": rules,
                     }
                 },

@@ -68,6 +68,17 @@ from tools.reprolint.core import (
     raw_lint_source,
     suppressed,
 )
+from tools.reprolint.shapes import (
+    GENERATOR,
+    ORIENTED_KINDS,
+    PROB_VECTOR,
+    RATE_BLOCK,
+    SINK_NAMES,
+    STOCHASTIC,
+    SUBGENERATOR,
+    ArrayFact,
+    extract_shape_summary,
+)
 
 __all__ = [
     "FileAnalysis",
@@ -77,7 +88,7 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cache entry (rule or summary format changes).
-ENGINE_VERSION = "reprolint-3.0"
+ENGINE_VERSION = "reprolint-4.0"
 
 #: Packages whose exports RL007 holds to contract coverage.
 DEFAULT_CONTRACT_PACKAGES = (
@@ -396,6 +407,9 @@ def analyze_source(source: str, path: str, module: str) -> Summary:
     try:
         tree = ast.parse(source, filename=path)
         summary = summarize_module(tree, module, is_package=is_package)
+        # Shape/kind facts for the cross-file RL016/RL017 pass; JSON-only
+        # so they ride the result cache with everything else.
+        summary["shapes"] = extract_shape_summary(tree, path)
     except SyntaxError:
         summary = {
             "module": module,
@@ -405,6 +419,7 @@ def analyze_source(source: str, path: str, module: str) -> Summary:
             "classes": {},
             "calls": [],
             "defs": {},
+            "shapes": {"functions": {}, "calls": []},
         }
     return {
         "raw": [_violation_to_json(v) for v in raw],
@@ -986,6 +1001,141 @@ class Project:
                     )
         return violations
 
+    # -- RL016/RL017 interprocedural: facts through project wrappers -------
+    _SHAPE_KIND_CONFLICTS = {
+        GENERATOR: frozenset({SUBGENERATOR, RATE_BLOCK, STOCHASTIC}),
+        STOCHASTIC: frozenset({GENERATOR, SUBGENERATOR}),
+        PROB_VECTOR: frozenset({GENERATOR, SUBGENERATOR}),
+    }
+
+    def _rl016_rl017_shape_flow(
+        self, modules: dict[str, FileAnalysis]
+    ) -> list[Violation]:
+        """Shape/kind facts flowing into project wrappers.
+
+        The per-file layer checks direct calls to the known sinks
+        (``r_matrix``, ``stationary_distribution``, ...).  This pass
+        follows one level further: a project function that *forwards* a
+        parameter into such a sink inherits that slot's expectation, and
+        every cross-file call site with a conflicting fact is flagged at
+        the caller.
+        """
+        violations: list[Violation] = []
+        for analysis in self.files.values():
+            shapes = analysis.summary.get("shapes") or {}
+            for call in shapes.get("calls", []):
+                target = call["target"]
+                if target[0] == "name":
+                    name = target[1]
+                    resolved = self.resolve(analysis.module, name, modules)
+                elif target[0] == "attr":
+                    name = target[2]
+                    base_target = analysis.summary["imports"].get(target[1])
+                    resolved = (
+                        self.resolve(base_target, name, modules)
+                        if base_target
+                        else None
+                    )
+                else:
+                    continue
+                if name in SINK_NAMES:
+                    continue  # already checked by the per-file layer
+                if resolved is None or resolved[0] != "function":
+                    continue
+                _, callee_module, callee_name = resolved
+                callee = modules.get(callee_module)
+                if callee is None:
+                    continue
+                callee_shapes = callee.summary.get("shapes") or {}
+                expect = (
+                    callee_shapes.get("functions", {})
+                    .get(callee_name, {})
+                    .get("expect")
+                )
+                if not expect:
+                    continue
+                signature = callee.summary["functions"].get(callee_name, {})
+                params = signature.get("params", [])
+                bound: list[tuple[str, ArrayFact]] = []
+                for index, fact_json in enumerate(call.get("pos", [])):
+                    if fact_json is not None and index < len(params):
+                        bound.append(
+                            (params[index], ArrayFact.from_json(fact_json))
+                        )
+                for kw_name, fact_json in call.get("kw", {}).items():
+                    if fact_json is not None:
+                        bound.append((kw_name, ArrayFact.from_json(fact_json)))
+                for param, fact in bound:
+                    slot = expect.get(param)
+                    if not slot:
+                        continue
+                    violations.extend(
+                        self._shape_slot_conflicts(
+                            analysis.path, call, callee_name, param, slot, fact
+                        )
+                    )
+        return violations
+
+    def _shape_slot_conflicts(
+        self,
+        path: str,
+        call: Summary,
+        callee_name: str,
+        param: str,
+        slot: Summary,
+        fact: ArrayFact,
+    ) -> list[Violation]:
+        violations: list[Violation] = []
+        expected_kind = slot.get("kind")
+        if (
+            expected_kind
+            and fact.kind in self._SHAPE_KIND_CONFLICTS.get(expected_kind, ())
+        ):
+            violations.append(
+                Violation(
+                    path,
+                    call["line"],
+                    call["col"],
+                    "RL017",
+                    f"{callee_name}() forwards parameter {param!r} into a "
+                    f"{expected_kind}-expecting sink, but this call passes "
+                    f"a {fact.kind} value -- convert it (e.g. d0 + d1 for "
+                    "the full phase generator) before the call",
+                )
+            )
+        if slot.get("square"):
+            if fact.transposed and fact.kind in ORIENTED_KINDS:
+                violations.append(
+                    Violation(
+                        path,
+                        call["line"],
+                        call["col"],
+                        "RL016",
+                        f"{callee_name}() forwards parameter {param!r} "
+                        "into a square-block sink, but this call passes a "
+                        f"transposed {fact.kind}: QBD blocks follow the "
+                        "row convention -- drop the .T",
+                    )
+                )
+            elif (
+                fact.shape is not None
+                and len(fact.shape) == 2
+                and all(d.isdigit() for d in fact.shape)
+                and fact.shape[0] != fact.shape[1]
+            ):
+                violations.append(
+                    Violation(
+                        path,
+                        call["line"],
+                        call["col"],
+                        "RL016",
+                        f"{callee_name}() forwards parameter {param!r} "
+                        "into a square-block sink, but this call passes "
+                        f"shape ({fact.shape[0]}, {fact.shape[1]})",
+                    )
+                )
+        return violations
+
     # -- entry points ------------------------------------------------------
     def raw_violations(self) -> dict[str, list[Violation]]:
         """All violations before noqa suppression, keyed by file path."""
@@ -1001,6 +1151,7 @@ class Project:
             *self._rl007_contract_coverage(modules, defs),
             *self._rl008_unit_flow(modules),
             *self._rl011_solver_purity(modules, defs, summaries),
+            *self._rl016_rl017_shape_flow(modules),
         ):
             by_file.setdefault(violation.path, []).append(violation)
         for violation in self._rl009_noqa_audit(by_file):

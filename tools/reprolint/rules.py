@@ -85,6 +85,7 @@ from collections.abc import Iterator
 
 from tools.reprolint import dataflow, effects
 from tools.reprolint.core import Violation
+from tools.reprolint.shapes import shape_rules
 
 __all__ = ["ALL_RULES", "FILE_RULES", "RULE_SUMMARIES"]
 
@@ -104,6 +105,11 @@ RULE_SUMMARIES = {
     "RL013": "durable write without tmp+os.replace, or unprotected O_EXCL lock fd",
     "RL014": "ContractViolation dropped, or SweepCancelled laundered into a failure",
     "RL015": "literal REPRO_* env read outside the designated accessor modules",
+    "RL016": "non-conformable or non-square block assembly reaching a QBD sink",
+    "RL017": "stochastic-kind confusion (generator vs stochastic vs probability)",
+    "RL018": "batched-axis hazard: op aggregates/broadcasts across the item axis",
+    "RL019": "bg_completion_rate compared/aggregated outside the NaN guard",
+    "RL020": "precision hazard: narrowing float dtype or floor-divided rate/_ms",
 }
 
 _NUMPY_MODULES = {"np", "numpy"}
@@ -1270,6 +1276,7 @@ FILE_RULES = (
     rl013_durable_write_discipline,
     rl014_exception_laundering,
     rl015_env_hygiene,
+    shape_rules,
 )
 
 #: Backwards-compatible alias (pre-project-analyzer name).
