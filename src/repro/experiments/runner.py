@@ -209,9 +209,9 @@ def _main_via_jobs(root, requested, config, fast) -> int:
     Import is local: :mod:`repro.jobs` builds on this module's
     :func:`execute_figure`, so a top-level import would be circular.
     """
-    from repro.jobs import COMPLETED, FileJobRepository, JobService, JobWorker
+    from repro.jobs import COMPLETED, JobService, JobWorker, open_repository
 
-    repository = FileJobRepository(root)
+    repository = open_repository(root)
     service = JobService(repository)
     jobs = [
         service.submit_figure(name, fast=fast, config=config, reuse_completed=True)

@@ -15,8 +15,10 @@ from repro.faults.injector import (
     KNOWN_FAULT_POINTS,
     FaultPlan,
     FaultRule,
+    InjectedKill,
     active_plan,
     fire,
+    fire_value,
     inject,
     parse_spec,
     reset,
@@ -27,8 +29,10 @@ __all__ = [
     "KNOWN_FAULT_POINTS",
     "FaultPlan",
     "FaultRule",
+    "InjectedKill",
     "active_plan",
     "fire",
+    "fire_value",
     "inject",
     "parse_spec",
     "reset",

@@ -43,12 +43,25 @@ __all__ = [
     "KNOWN_FAULT_POINTS",
     "FaultPlan",
     "FaultRule",
+    "InjectedKill",
     "active_plan",
     "fire",
+    "fire_value",
     "inject",
     "parse_spec",
     "reset",
 ]
+
+
+class InjectedKill(BaseException):
+    """A simulated process death at a fault point (``torn_write`` & co).
+
+    Deliberately a ``BaseException``: a simulated SIGKILL must tear
+    through ``except Exception`` handlers exactly like a real one tears
+    through the whole process, so no recovery path can mistake a chaos
+    kill for an ordinary solve failure and record it as one.  Only the
+    chaos harness (which installed the plan) catches it.
+    """
 
 #: Environment variable holding the fault spec (empty/unset = no faults).
 ENV_FAULTS = "REPRO_FAULTS"
@@ -75,6 +88,24 @@ KNOWN_FAULT_POINTS = frozenset(
         # repro.engine.cache.SolveCache.put: SIGKILL the *current*
         # process after the entry lands -- crash-safety / --resume tests.
         "kill_run",
+        # repro.jobs.store.FileJobStore._write / SqliteJobStore durable
+        # writes: simulated death between the tmp.<pid> write and the
+        # os.replace (or inside the SQLite transaction, before commit) --
+        # the record must keep its old value, never a torn one.  Raises
+        # InjectedKill.
+        "torn_write",
+        # Same write paths: ENOSPC on the durable write (raises OSError
+        # with errno ENOSPC before any byte lands).
+        "disk_full",
+        # repro.jobs.store.now_ms: per-process heartbeat clock offset of
+        # ``param`` milliseconds (a worker whose clock runs ahead/behind
+        # writes skewed heartbeats; the sweeper must not steal its job
+        # on that evidence alone).
+        "clock_skew",
+        # repro.jobs.store lock release: the holder "dies" before
+        # unlinking its O_EXCL lock file, orphaning it until broken by
+        # age.
+        "lock_orphan",
     }
 )
 
@@ -98,6 +129,10 @@ class FaultRule:
         eligible (``after=10`` arms the fault on the 11th check).
     limit:
         Maximum number of fires per process (``None`` = unlimited).
+    param:
+        Free payload for points that need a magnitude, not just a
+        yes/no -- ``clock_skew:param=-45000`` offsets the process clock
+        by -45 s.  Read via :func:`fire_value`.
     """
 
     point: str
@@ -105,6 +140,7 @@ class FaultRule:
     seed: int = 0
     after: int = 0
     limit: int | None = None
+    param: float | None = None
 
     def __post_init__(self) -> None:
         if self.point not in KNOWN_FAULT_POINTS:
@@ -151,6 +187,11 @@ class FaultPlan:
         """How many times ``point`` has fired under this plan."""
         return self._fires.get(point, 0)
 
+    def param(self, point: str) -> float | None:
+        """The ``param`` payload of ``point``'s rule (``None`` if absent)."""
+        rule = self._rules.get(point)
+        return None if rule is None else rule.param
+
     def should_fire(self, point: str) -> bool:
         """Advance the deterministic state of ``point`` and decide."""
         rule = self._rules.get(point)
@@ -192,14 +233,14 @@ def parse_spec(spec: str) -> FaultPlan:
                     f"malformed fault parameter {param!r} in clause "
                     f"{clause!r}; expected key=value"
                 )
-            if key == "rate":
-                kwargs["rate"] = float(value)
+            if key in ("rate", "param"):
+                kwargs[key] = float(value)
             elif key in ("seed", "after", "limit"):
                 kwargs[key] = int(value)
             else:
                 raise ValueError(
                     f"unknown fault parameter {key!r} in clause {clause!r}; "
-                    "choose from rate, seed, after, limit"
+                    "choose from rate, seed, after, limit, param"
                 )
         rules.append(FaultRule(point=name.strip(), **kwargs))  # type: ignore[arg-type]
     return FaultPlan(rules)
@@ -240,6 +281,20 @@ def fire(point: str) -> bool:
     """
     plan = active_plan()
     return plan is not None and plan.should_fire(point)
+
+
+def fire_value(point: str) -> float | None:
+    """Like :func:`fire`, but returns the rule's ``param`` payload.
+
+    ``None`` when the point does not fire (no plan, rate miss, limit
+    reached) *or* when the firing rule carries no ``param`` -- callers
+    treat both as "no perturbation".  Advances the same deterministic
+    per-point state as :func:`fire`.
+    """
+    plan = active_plan()
+    if plan is None or not plan.should_fire(point):
+        return None
+    return plan.param(point)
 
 
 @contextmanager

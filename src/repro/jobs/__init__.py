@@ -9,24 +9,35 @@ recoverable when the worker dies:
 
 * :mod:`~repro.jobs.lifecycle` -- the :class:`Job` aggregate and its
   PENDING -> RUNNING -> COMPLETED/FAILED/CANCELLED state machine
-  (including the RUNNING -> PENDING requeue edge).
+  (including the RUNNING -> PENDING requeue edge, the fencing
+  :attr:`Job.epoch`, and the QUARANTINED poison-job circuit breaker with
+  its operator-release exit).
 * :mod:`~repro.jobs.spec` -- :class:`JobSpec`, the serializable work
   description (figure + :class:`~repro.engine.EngineConfig`).
-* :mod:`~repro.jobs.repository` -- pluggable storage:
-  :class:`MemoryJobRepository` and the crash-safe, multi-process
-  :class:`FileJobRepository`.
+* :mod:`~repro.jobs.store` / :mod:`~repro.jobs.sqlite_store` -- the
+  pluggable :class:`JobStore` backend seam: in-memory, crash-safe
+  JSON-dir, and WAL-mode SQLite with single-statement compare-and-swap.
+* :mod:`~repro.jobs.repository` -- :class:`JobRepository`, the queue
+  protocol (optimistic concurrency, fencing epochs, claims) generic
+  over any store; :func:`open_repository` picks a backend.
 * :mod:`~repro.jobs.worker` -- :class:`JobWorker`, claim + execute with
   progress/heartbeat and cooperative cancellation.
 * :mod:`~repro.jobs.sweeper` -- :class:`StaleJobSweeper`, requeues jobs
-  whose worker was SIGKILLed.
+  whose worker was SIGKILLed and quarantines jobs that keep killing
+  their workers.
 * :mod:`~repro.jobs.service` / :mod:`~repro.jobs.admin` -- the
   submission-side and queue-wide facades the CLI
   (``python -m repro.jobs``) and the HTTP front end
   (:mod:`~repro.jobs.http`) both drive.
+* :mod:`~repro.jobs.soak` -- the deterministic chaos soak harness:
+  seeded submit/worker/sweeper interleavings with injected kills,
+  checked against the queue's safety invariants.
 
 The durability guarantee worth remembering: a job whose worker dies
 mid-sweep is requeued and *resumes* through the queue's shared solve
-cache, finishing byte-identical to an uninterrupted run.
+cache, finishing byte-identical to an uninterrupted run -- and the dead
+worker, should it turn out to be merely asleep, is fenced off by its
+stale lease epoch rather than allowed to clobber the new owner.
 """
 
 from repro.jobs.admin import AdminService
@@ -35,23 +46,30 @@ from repro.jobs.lifecycle import (
     COMPLETED,
     FAILED,
     PENDING,
+    QUARANTINED,
     RUNNING,
     STATES,
     TERMINAL_STATES,
     TRANSITIONS,
+    Attempt,
     InvalidTransition,
     Job,
 )
 from repro.jobs.repository import (
     FileJobRepository,
     JobRepository,
+    LockContentionError,
     MemoryJobRepository,
+    SqliteJobRepository,
     StaleJobError,
     UnknownJobError,
+    open_repository,
 )
 from repro.jobs.service import JobNotFinished, JobService
 from repro.jobs.spec import JobSpec
-from repro.jobs.sweeper import StaleJobSweeper
+from repro.jobs.sqlite_store import SqliteJobStore
+from repro.jobs.store import FileJobStore, JobStore, MemoryJobStore
+from repro.jobs.sweeper import StaleJobSweeper, SweeperStats
 from repro.jobs.worker import JobWorker, default_worker_id
 
 __all__ = [
@@ -59,22 +77,32 @@ __all__ = [
     "COMPLETED",
     "FAILED",
     "PENDING",
+    "QUARANTINED",
     "RUNNING",
     "STATES",
     "TERMINAL_STATES",
     "TRANSITIONS",
     "AdminService",
+    "Attempt",
     "FileJobRepository",
+    "FileJobStore",
     "InvalidTransition",
     "Job",
     "JobNotFinished",
     "JobRepository",
     "JobService",
     "JobSpec",
+    "JobStore",
     "JobWorker",
+    "LockContentionError",
     "MemoryJobRepository",
+    "MemoryJobStore",
+    "SqliteJobRepository",
+    "SqliteJobStore",
     "StaleJobError",
     "StaleJobSweeper",
+    "SweeperStats",
     "UnknownJobError",
     "default_worker_id",
+    "open_repository",
 ]

@@ -11,12 +11,15 @@ Everything a deployment needs, one subcommand each::
     python -m repro.jobs sweep --dir Q                # requeue dead workers' jobs
     python -m repro.jobs list --dir Q [--state s]     # queue listing
     python -m repro.jobs admin stats|purge --dir Q    # queue-wide ops
+    python -m repro.jobs admin quarantine-list --dir Q
+    python -m repro.jobs admin quarantine-release <id> --dir Q
     python -m repro.jobs serve --dir Q --port 8642    # HTTP front end
 
-The ``--dir`` directory is the durable queue (a
-:class:`~repro.jobs.repository.FileJobRepository`); every command
-operating on the same directory sees the same jobs, across processes
-and across crashes.
+The ``--dir`` directory is the durable queue; every command operating
+on the same directory sees the same jobs, across processes and across
+crashes.  ``--backend`` picks the store (``file`` JSON-dir, ``sqlite``
+WAL database, or the default ``auto``, which re-opens whatever backend
+already lives in the directory).
 """
 
 from __future__ import annotations
@@ -29,7 +32,8 @@ from collections.abc import Sequence
 from repro.engine.config import EngineConfig
 from repro.jobs.admin import AdminService
 from repro.jobs.lifecycle import COMPLETED, STATES
-from repro.jobs.repository import FileJobRepository, UnknownJobError
+from repro.jobs.lifecycle import InvalidTransition
+from repro.jobs.repository import UnknownJobError, open_repository
 from repro.jobs.service import JobNotFinished, JobService
 from repro.jobs.sweeper import StaleJobSweeper
 from repro.jobs.worker import JobWorker
@@ -61,6 +65,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="DIR",
         help="queue directory (default ./jobs-queue); all commands "
         "against the same DIR share one durable queue",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "file", "sqlite"),
+        default="auto",
+        help="job-store backend (default auto: re-open whatever backend "
+        "already lives in DIR, JSON-dir for a fresh queue)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -120,14 +131,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_list.add_argument("--state", choices=STATES, default=None)
 
     p_admin = sub.add_parser("admin", help="queue-wide operations")
-    p_admin.add_argument("operation", choices=("stats", "purge", "cancel-all"))
+    p_admin.add_argument(
+        "operation",
+        choices=(
+            "stats",
+            "purge",
+            "cancel-all",
+            "quarantine-list",
+            "quarantine-release",
+        ),
+    )
+    p_admin.add_argument(
+        "job_id",
+        nargs="?",
+        default=None,
+        help="job id (quarantine-release only)",
+    )
+    p_admin.add_argument(
+        "--include-quarantined",
+        action="store_true",
+        help="let purge remove QUARANTINED records too",
+    )
 
     p_serve = sub.add_parser("serve", help="run the HTTP/JSON front end")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8642)
 
     args = parser.parse_args(argv)
-    repository = FileJobRepository(args.queue_dir)
+    repository = open_repository(args.queue_dir, backend=args.backend)
     service = JobService(repository)
 
     try:
@@ -177,8 +208,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.operation == "stats":
                 print(json.dumps(admin.stats(), indent=2))
             elif args.operation == "purge":
-                for job_id in admin.purge():
+                for job_id in admin.purge(
+                    include_quarantined=args.include_quarantined
+                ):
                     print(job_id)
+            elif args.operation == "quarantine-list":
+                for job in admin.quarantine_list():
+                    print(_summary_line(job))
+            elif args.operation == "quarantine-release":
+                if not args.job_id:
+                    print(
+                        "quarantine-release needs a job id", file=sys.stderr
+                    )
+                    return 2
+                print(_summary_line(admin.quarantine_release(args.job_id)))
             else:
                 for job in admin.cancel_all():
                     print(_summary_line(job))
@@ -202,6 +245,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (JobNotFinished, TimeoutError) as exc:
         print(str(exc), file=sys.stderr)
         return 3
+    except InvalidTransition as exc:
+        print(str(exc), file=sys.stderr)
+        return 4
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

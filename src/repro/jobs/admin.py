@@ -1,10 +1,11 @@
-"""Administrative operations over a job queue: stats, bulk cancel, purge."""
+"""Administrative operations over a job queue: stats, bulk cancel, purge,
+and the quarantine shelf (list / release poison jobs)."""
 
 from __future__ import annotations
 
 from collections import Counter
 
-from repro.jobs.lifecycle import PENDING, RUNNING, STATES, Job
+from repro.jobs.lifecycle import PENDING, QUARANTINED, RUNNING, STATES, Job
 from repro.jobs.repository import JobRepository, now_ms
 from repro.jobs.service import JobService
 
@@ -39,19 +40,41 @@ class AdminService:
                 cancelled.append(self._service.cancel(job.job_id))
         return cancelled
 
+    def quarantine_list(self) -> list[Job]:
+        """Every QUARANTINED job, oldest first, forensics attached."""
+        return self.repository.list_jobs(state=QUARANTINED)
+
+    def quarantine_release(self, job_id: str) -> Job:
+        """QUARANTINED -> PENDING: deliberately re-admit a poison job.
+
+        Refreshes the retry budget and breaks the consecutive-death
+        streak (the circuit breaker counts only deaths after the
+        release); raises
+        :class:`~repro.jobs.lifecycle.InvalidTransition` for a job that
+        is not quarantined.
+        """
+        job = self.repository.get(job_id)
+        return self.repository.update(job.released(now_ms()))
+
     def purge(
-        self, older_than_ms: float | None = None
+        self,
+        older_than_ms: float | None = None,
+        include_quarantined: bool = False,
     ) -> list[str]:
         """Delete terminal job records; returns the removed ids.
 
         ``older_than_ms`` restricts the purge to jobs that finished more
         than that many milliseconds ago (``None`` purges every terminal
         job).  Non-terminal jobs are never purged -- cancel them first.
+        QUARANTINED jobs are parked evidence, not garbage: they are kept
+        unless ``include_quarantined`` is set.
         """
         cutoff_ms = None if older_than_ms is None else now_ms() - older_than_ms
         removed = []
         for job in self.repository.list_jobs():
             if not job.is_terminal:
+                continue
+            if job.state == QUARANTINED and not include_quarantined:
                 continue
             finished_ms = (
                 job.finished_ms if job.finished_ms is not None else job.updated_ms

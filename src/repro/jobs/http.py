@@ -18,6 +18,8 @@ Routes::
     POST   /jobs/<id>/cancel     -> job
     GET    /admin/stats          -> queue summary
     POST   /admin/purge          -> {"purged": [ids]}
+    GET    /admin/quarantine     -> [job, ...] (QUARANTINED shelf)
+    POST   /admin/quarantine/<id>/release -> job (back to PENDING)
 
 Deliberately no TLS, no auth: this is a localhost experiment harness,
 not a deployment surface.
@@ -32,7 +34,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.engine.config import EngineConfig
 from repro.jobs.admin import AdminService
-from repro.jobs.lifecycle import STATES
+from repro.jobs.lifecycle import STATES, InvalidTransition
 from repro.jobs.repository import JobRepository, UnknownJobError
 from repro.jobs.service import JobNotFinished, JobService
 
@@ -108,6 +110,10 @@ class JobApiHandler(BaseHTTPRequestHandler):
                 return self._send_text(self.service.result(parts[1]))
             if parts == ["admin", "stats"]:
                 return self._send_json(self.admin.stats())
+            if parts == ["admin", "quarantine"]:
+                return self._send_json(
+                    [j.as_dict() for j in self.admin.quarantine_list()]
+                )
         except UnknownJobError as exc:
             return self._send_error_json(HTTPStatus.NOT_FOUND, str(exc))
         except JobNotFinished as exc:
@@ -123,8 +129,18 @@ class JobApiHandler(BaseHTTPRequestHandler):
                 return self._send_json(self.service.cancel(parts[1]).as_dict())
             if parts == ["admin", "purge"]:
                 return self._send_json({"purged": self.admin.purge()})
+            if (
+                len(parts) == 4
+                and parts[:2] == ["admin", "quarantine"]
+                and parts[3] == "release"
+            ):
+                return self._send_json(
+                    self.admin.quarantine_release(parts[2]).as_dict()
+                )
         except UnknownJobError as exc:
             return self._send_error_json(HTTPStatus.NOT_FOUND, str(exc))
+        except InvalidTransition as exc:
+            return self._send_error_json(HTTPStatus.CONFLICT, str(exc))
         except (ValueError, TypeError) as exc:
             return self._send_error_json(HTTPStatus.BAD_REQUEST, str(exc))
         self._send_error_json(HTTPStatus.NOT_FOUND, f"no route {self.path!r}")

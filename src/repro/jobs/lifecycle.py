@@ -9,18 +9,35 @@ the ``_to(...)`` transition helper, which is the *only* place a state
 field changes, so the legality check in :data:`TRANSITIONS` cannot be
 bypassed.
 
-The one non-obvious edge is ``RUNNING -> PENDING``: a *requeue*.  A
-worker that dies (SIGKILL, OOM) leaves its job RUNNING forever; the
-sweeper (:mod:`repro.jobs.sweeper`) detects the dead owner and requeues
-the job for the next worker, bumping :attr:`Job.retries`.  Requeues are
-bounded by :attr:`Job.max_retries` -- a poisoned job that kills every
-worker it touches must eventually FAIL, not cycle forever.
+Two non-obvious edges:
+
+* ``RUNNING -> PENDING``: a *requeue*.  A worker that dies (SIGKILL,
+  OOM) leaves its job RUNNING forever; the sweeper
+  (:mod:`repro.jobs.sweeper`) detects the dead owner and requeues the
+  job for the next worker, bumping :attr:`Job.retries` and appending an
+  :class:`Attempt` forensics record.  Requeues are bounded by
+  :attr:`Job.max_retries`.
+* ``RUNNING -> QUARANTINED`` and ``QUARANTINED -> PENDING``: the
+  poison-job circuit breaker.  A job whose workers *die* (not fail, not
+  cancel) on consecutive attempts is pulled off the queue with its
+  forensics attached instead of burning the retry budget and FAILing
+  ambiguously; an operator inspects the attempts and deliberately
+  releases it back to PENDING (``admin quarantine-release``) -- the one
+  exit a terminal state has, and it only moves through the ``_to()``
+  gate like everything else.
+
+Ownership is fenced by :attr:`Job.epoch`: every claim stamps a
+monotonically increasing epoch (the repository bumps it atomically with
+the claim), so a zombie worker -- one whose job was requeued under it
+and claimed by someone else -- holds a provably stale lease and has its
+late writes rejected with ``StaleJobError`` instead of clobbering the
+new owner.
 """
 
 from __future__ import annotations
 
 import uuid
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.jobs.spec import JobSpec
 
@@ -29,10 +46,12 @@ __all__ = [
     "COMPLETED",
     "FAILED",
     "PENDING",
+    "QUARANTINED",
     "RUNNING",
     "STATES",
     "TERMINAL_STATES",
     "TRANSITIONS",
+    "Attempt",
     "InvalidTransition",
     "Job",
 ]
@@ -42,26 +61,74 @@ RUNNING = "running"
 COMPLETED = "completed"
 FAILED = "failed"
 CANCELLED = "cancelled"
+QUARANTINED = "quarantined"
 
 #: Every lifecycle state, in rough lifecycle order.
-STATES = (PENDING, RUNNING, COMPLETED, FAILED, CANCELLED)
+STATES = (PENDING, RUNNING, COMPLETED, FAILED, CANCELLED, QUARANTINED)
 
-#: States a job never leaves.
-TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+#: States a job never leaves on its own.  QUARANTINED is terminal for
+#: workers and waiters, but an operator can deliberately release it.
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED, QUARANTINED})
 
 #: The legal state machine.  ``RUNNING -> PENDING`` is the requeue edge
-#: (dead worker detected by the sweeper); terminal states have no exits.
+#: (dead worker detected by the sweeper); ``RUNNING -> QUARANTINED`` is
+#: the poison-job circuit breaker and ``QUARANTINED -> PENDING`` its
+#: operator-driven release; the other terminal states have no exits.
 TRANSITIONS: dict[str, frozenset[str]] = {
     PENDING: frozenset({RUNNING, CANCELLED}),
-    RUNNING: frozenset({PENDING, COMPLETED, FAILED, CANCELLED}),
+    RUNNING: frozenset({PENDING, COMPLETED, FAILED, CANCELLED, QUARANTINED}),
     COMPLETED: frozenset(),
     FAILED: frozenset(),
     CANCELLED: frozenset(),
+    QUARANTINED: frozenset({PENDING}),
 }
+
+#: Attempt outcomes a job's forensics log can record.
+ATTEMPT_OUTCOMES = ("worker-died", "failed", "released")
 
 
 class InvalidTransition(RuntimeError):
     """An illegal lifecycle transition was attempted (e.g. COMPLETED -> RUNNING)."""
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """Forensics for one finished execution attempt.
+
+    Appended when an attempt ends without completing the job: the
+    sweeper records ``"worker-died"`` when it requeues (or quarantines)
+    an orphaned job, the worker records ``"failed"`` when it requeues
+    after an exception, and an operator release appends ``"released"``
+    (which also resets the consecutive-death streak the circuit breaker
+    counts).
+    """
+
+    epoch: int
+    worker_id: str | None
+    started_ms: float | None
+    ended_ms: float
+    outcome: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.outcome not in ATTEMPT_OUTCOMES:
+            raise ValueError(
+                f"outcome must be one of {ATTEMPT_OUTCOMES}, got {self.outcome!r}"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "worker_id": self.worker_id,
+            "started_ms": self.started_ms,
+            "ended_ms": self.ended_ms,
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> Attempt:
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -81,6 +148,11 @@ class Job:
         is the first claim, ``finished`` the terminal transition.
     worker_id:
         ``"<pid>@<host>"`` of the claiming worker while RUNNING.
+    epoch:
+        Fencing token: monotonically increasing lease generation,
+        stamped by the repository on every claim.  A worker whose copy
+        carries an older epoch than the stored record provably lost
+        ownership; its writes are rejected with ``StaleJobError``.
     heartbeat_ms:
         Last sign of life from the claiming worker; the sweeper requeues
         RUNNING jobs whose heartbeat goes stale.
@@ -90,13 +162,17 @@ class Job:
     retries:
         Requeues consumed (dead-worker requeues and failure retries
         share the one budget); bounded by ``max_retries``.
+    attempts:
+        Forensics log of finished attempts (:class:`Attempt`); the
+        circuit breaker counts the trailing run of ``"worker-died"``
+        entries.
     cancel_requested:
         Cooperative-cancellation flag: set by :meth:`cancel_requested_now`
         while RUNNING, observed by the worker's cancel hook, which stops
         the sweep and records the CANCELLED terminal state.
     result_text / error:
         Terminal payload: the rendered figure for COMPLETED, the failure
-        diagnostic for FAILED.
+        diagnostic for FAILED/QUARANTINED.
     version:
         Optimistic-concurrency counter; every repository update bumps it
         and rejects writers holding a stale copy.
@@ -110,11 +186,13 @@ class Job:
     started_ms: float | None = None
     finished_ms: float | None = None
     worker_id: str | None = None
+    epoch: int = 0
     heartbeat_ms: float | None = None
     points_done: int = 0
     points_total: int = 0
     retries: int = 0
     max_retries: int = 3
+    attempts: tuple[Attempt, ...] = field(default=())
     cancel_requested: bool = False
     result_text: str | None = None
     error: str | None = None
@@ -129,6 +207,8 @@ class Job:
             raise ValueError("progress counters must be >= 0")
         if self.retries < 0 or self.max_retries < 0:
             raise ValueError("retries/max_retries must be >= 0")
+        if self.epoch < 0:
+            raise ValueError("epoch must be >= 0")
 
     # ------------------------------------------------------------------
     # Transitions (the only way state changes)
@@ -146,12 +226,29 @@ class Job:
     def is_terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
-    def claimed(self, worker_id: str, now_ms: float) -> Job:
-        """PENDING -> RUNNING: a worker takes ownership."""
+    @property
+    def consecutive_worker_deaths(self) -> int:
+        """Trailing run of ``"worker-died"`` attempts (circuit-breaker input)."""
+        deaths = 0
+        for attempt in reversed(self.attempts):
+            if attempt.outcome != "worker-died":
+                break
+            deaths += 1
+        return deaths
+
+    def claimed(self, worker_id: str, now_ms: float, epoch: int | None = None) -> Job:
+        """PENDING -> RUNNING: a worker takes ownership.
+
+        ``epoch`` is the fencing token of the new lease; the repository
+        stamps ``stored.epoch + 1`` atomically with the claim.  ``None``
+        keeps the current epoch (unit tests driving the aggregate
+        directly).
+        """
         return self._to(
             RUNNING,
             now_ms,
             worker_id=worker_id,
+            epoch=self.epoch if epoch is None else epoch,
             heartbeat_ms=now_ms,
             started_ms=self.started_ms if self.started_ms is not None else now_ms,
         )
@@ -201,12 +298,28 @@ class Job:
         """PENDING/RUNNING -> CANCELLED (cooperative or pre-start)."""
         return self._to(CANCELLED, now_ms, finished_ms=now_ms)
 
-    def requeued(self, now_ms: float) -> Job:
-        """RUNNING -> PENDING: the owner died; hand the job back.
+    def _attempt(self, outcome: str, now_ms: float, detail: str) -> Attempt:
+        """Forensics record for the attempt that just ended."""
+        return Attempt(
+            epoch=self.epoch,
+            worker_id=self.worker_id,
+            started_ms=self.started_ms,
+            ended_ms=now_ms,
+            outcome=outcome,
+            detail=detail,
+        )
 
-        Consumes one retry; progress is reset (the next worker replays
-        the sweep -- completed solves are served from the shared disk
-        cache, so no work is lost, only re-counted).
+    def requeued(
+        self, now_ms: float, outcome: str = "worker-died", detail: str = ""
+    ) -> Job:
+        """RUNNING -> PENDING: the attempt ended without a result.
+
+        Consumes one retry, appends an :class:`Attempt` forensics record
+        (``outcome`` is ``"worker-died"`` for sweeper requeues,
+        ``"failed"`` for worker-side exception requeues), and resets
+        progress (the next worker replays the sweep -- completed solves
+        are served from the shared disk cache, so no work is lost, only
+        re-counted).
 
         Raises
         ------
@@ -226,6 +339,56 @@ class Job:
             heartbeat_ms=None,
             points_done=0,
             retries=self.retries + 1,
+            attempts=self.attempts + (self._attempt(outcome, now_ms, detail),),
+        )
+
+    def quarantined(self, now_ms: float, detail: str = "") -> Job:
+        """RUNNING -> QUARANTINED: the poison-job circuit breaker trips.
+
+        The final ``"worker-died"`` attempt is appended so the forensics
+        log covers every death, including the one that tripped the
+        breaker.
+        """
+        attempts = self.attempts + (
+            self._attempt("worker-died", now_ms, detail),
+        )
+        deaths = 0
+        for attempt in reversed(attempts):
+            if attempt.outcome != "worker-died":
+                break
+            deaths += 1
+        error = f"quarantined after {deaths} consecutive worker deaths"
+        if detail:
+            error = f"{error}: {detail}"
+        return self._to(
+            QUARANTINED,
+            now_ms,
+            worker_id=None,
+            heartbeat_ms=None,
+            finished_ms=now_ms,
+            attempts=attempts,
+            error=error,
+        )
+
+    def released(self, now_ms: float) -> Job:
+        """QUARANTINED -> PENDING: an operator deliberately re-admits the job.
+
+        The retry budget is refreshed and a ``"released"`` attempt marker
+        breaks the consecutive-death streak, so the circuit breaker
+        counts only deaths *after* the release.  The forensics history
+        is preserved.
+        """
+        return self._to(
+            PENDING,
+            now_ms,
+            worker_id=None,
+            heartbeat_ms=None,
+            points_done=0,
+            retries=0,
+            finished_ms=None,
+            error=None,
+            attempts=self.attempts
+            + (self._attempt("released", now_ms, "operator release"),),
         )
 
     def cancel_requested_now(self, now_ms: float) -> Job:
@@ -264,11 +427,13 @@ class Job:
             "started_ms": self.started_ms,
             "finished_ms": self.finished_ms,
             "worker_id": self.worker_id,
+            "epoch": self.epoch,
             "heartbeat_ms": self.heartbeat_ms,
             "points_done": self.points_done,
             "points_total": self.points_total,
             "retries": self.retries,
             "max_retries": self.max_retries,
+            "attempts": [a.as_dict() for a in self.attempts],
             "cancel_requested": self.cancel_requested,
             "result_text": self.result_text,
             "error": self.error,
@@ -279,4 +444,9 @@ class Job:
     def from_dict(cls, payload: dict) -> Job:
         data = dict(payload)
         data["spec"] = JobSpec.from_dict(data["spec"])
+        # Records written before the fencing/forensics fields existed
+        # load with their defaults (epoch 0, no attempts).
+        data["attempts"] = tuple(
+            Attempt.from_dict(a) for a in data.get("attempts", ())
+        )
         return cls(**data)

@@ -1,347 +1,232 @@
-"""Durable storage for jobs: the pluggable :class:`JobRepository`.
+"""The queue protocol over a pluggable :class:`~repro.jobs.store.JobStore`.
 
-Two implementations ship:
+:class:`JobRepository` implements the full claim/update protocol --
+optimistic-concurrency updates, fencing-epoch stamping on claims,
+oldest-first claim scans -- generically over any store backend, so the
+queue semantics are written (and tested) exactly once:
 
-* :class:`MemoryJobRepository` -- a lock-guarded dict; the unit-test and
-  single-process substrate.
-* :class:`FileJobRepository` -- one JSON document per job under
-  ``<root>/jobs/``, written atomically (``tmp.<pid>`` + ``os.replace``,
-  the same crash-safe idiom as
-  :class:`~repro.experiments.manifest.RunManifest`), so a SIGKILL at any
-  instant leaves either the old record or the new one, never a torn
-  file.  Cross-process mutual exclusion uses a short-lived ``O_EXCL``
-  lock file per job held only across a read-modify-write (microseconds;
-  no solving happens under a lock); a lock orphaned by a kill inside
-  that window is broken by age.
+* :class:`MemoryJobRepository` -- in-process dict store; unit tests and
+  the thread-based HTTP front end.
+* :class:`FileJobRepository` -- crash-safe JSON-dir store
+  (:class:`~repro.jobs.store.FileJobStore`): ``tmp.<pid>`` +
+  ``os.replace`` records plus short-lived ``O_EXCL`` RMW locks.
+* :class:`SqliteJobRepository` -- WAL-mode SQLite store
+  (:class:`~repro.jobs.sqlite_store.SqliteJobStore`): single-statement
+  compare-and-swap, no lock files.
 
-Both enforce *optimistic concurrency*: every stored job carries a
+All of them enforce *optimistic concurrency*: every stored job carries a
 ``version``, every update requires the writer's copy to match it, and a
-mismatch raises :class:`StaleJobError`.  That is what keeps a worker
-whose job was requeued under it (sweeper decided it was dead, another
-worker took over) from overwriting the new owner's record.
+mismatch raises :class:`StaleJobError`.  Claims additionally stamp a
+monotonically increasing *fencing epoch* on the lease, so a zombie
+worker -- one whose job was requeued under it and claimed by someone
+else -- is rejected by version *and* identifiable by epoch: the error
+says whether the writer merely raced another update (re-read and
+re-apply) or provably lost its lease (stand down).
 """
 
 from __future__ import annotations
 
-import json
 import os
-import threading
-import time
-from abc import ABC, abstractmethod
 from dataclasses import replace
-from pathlib import Path
 
 from repro.jobs.lifecycle import PENDING, Job
+from repro.jobs.sqlite_store import SqliteJobStore
+from repro.jobs.store import (
+    FileJobStore,
+    JobStore,
+    LockContentionError,
+    MemoryJobStore,
+    StaleJobError,
+    UnknownJobError,
+    now_ms,
+)
 
 __all__ = [
     "FileJobRepository",
     "JobRepository",
+    "LockContentionError",
     "MemoryJobRepository",
+    "SqliteJobRepository",
     "StaleJobError",
     "UnknownJobError",
+    "open_repository",
 ]
 
 
-class UnknownJobError(KeyError):
-    """No job with the requested id exists in the repository."""
+class JobRepository:
+    """The queue protocol, generic over a :class:`JobStore` backend."""
 
-
-class StaleJobError(RuntimeError):
-    """An update was based on an outdated copy (version mismatch).
-
-    The canonical recovery is read-decide-retry: re-fetch the job, check
-    whether the concurrent change (requeue, cancellation) makes the
-    update moot, and either re-apply or stand down.
-    """
-
-
-def now_ms() -> float:
-    """Wall-clock milliseconds since the epoch (heartbeats, timestamps)."""
-    return time.time() * 1000.0
-
-
-class JobRepository(ABC):
-    """Storage contract the worker, sweeper and services run against."""
-
-    @abstractmethod
-    def submit(self, job: Job) -> Job:
-        """Store a fresh job; returns the stored copy (version 0)."""
-
-    @abstractmethod
-    def get(self, job_id: str) -> Job:
-        """The current stored copy; raises :class:`UnknownJobError`."""
-
-    @abstractmethod
-    def update(self, job: Job) -> Job:
-        """Store an evolved copy.
-
-        ``job.version`` must equal the stored version; the returned copy
-        carries ``version + 1``.  Raises :class:`StaleJobError` on a
-        mismatch and :class:`UnknownJobError` for a vanished job.
-        """
-
-    @abstractmethod
-    def claim(self, worker_id: str, claim_now_ms: float) -> Job | None:
-        """Atomically claim the oldest PENDING job, or ``None``.
-
-        The claimed job is stored as RUNNING under ``worker_id`` before
-        it is returned; no two workers can claim the same job.
-        """
-
-    @abstractmethod
-    def list_jobs(self, state: str | None = None) -> list[Job]:
-        """All jobs (optionally filtered by state), oldest first."""
-
-    @abstractmethod
-    def delete(self, job_id: str) -> None:
-        """Remove a job record; raises :class:`UnknownJobError`."""
-
-
-class MemoryJobRepository(JobRepository):
-    """In-process repository: a dict behind a lock.
-
-    Supports multi-threaded workers (the HTTP front end executes jobs on
-    threads) but naturally not multi-process ones -- that is what
-    :class:`FileJobRepository` is for.
-    """
-
-    def __init__(self) -> None:
-        self._jobs: dict[str, Job] = {}
-        self._lock = threading.Lock()
-
-    def submit(self, job: Job) -> Job:
-        stored = replace(job, version=0)
-        with self._lock:
-            if job.job_id in self._jobs:
-                raise ValueError(f"job {job.job_id} already exists")
-            self._jobs[job.job_id] = stored
-        return stored
-
-    def get(self, job_id: str) -> Job:
-        with self._lock:
-            try:
-                return self._jobs[job_id]
-            except KeyError:
-                raise UnknownJobError(job_id) from None
-
-    def update(self, job: Job) -> Job:
-        with self._lock:
-            current = self._jobs.get(job.job_id)
-            if current is None:
-                raise UnknownJobError(job.job_id)
-            if current.version != job.version:
-                raise StaleJobError(
-                    f"job {job.job_id}: update based on version "
-                    f"{job.version}, stored is {current.version}"
-                )
-            stored = replace(job, version=job.version + 1)
-            self._jobs[job.job_id] = stored
-        return stored
-
-    def claim(self, worker_id: str, claim_now_ms: float) -> Job | None:
-        with self._lock:
-            pending = sorted(
-                (j for j in self._jobs.values() if j.state == PENDING),
-                key=lambda j: (j.created_ms, j.job_id),
-            )
-            for job in pending:
-                if job.cancel_requested:
-                    continue
-                claimed = replace(
-                    job.claimed(worker_id, claim_now_ms), version=job.version + 1
-                )
-                self._jobs[job.job_id] = claimed
-                return claimed
-        return None
-
-    def list_jobs(self, state: str | None = None) -> list[Job]:
-        with self._lock:
-            jobs = list(self._jobs.values())
-        if state is not None:
-            jobs = [j for j in jobs if j.state == state]
-        return sorted(jobs, key=lambda j: (j.created_ms, j.job_id))
-
-    def delete(self, job_id: str) -> None:
-        with self._lock:
-            if self._jobs.pop(job_id, None) is None:
-                raise UnknownJobError(job_id)
-
-
-class FileJobRepository(JobRepository):
-    """On-disk repository: one atomic JSON document per job.
-
-    Layout under ``root``::
-
-        root/jobs/<job_id>.json   the job record
-        root/jobs/<job_id>.lock   short-lived read-modify-write lock
-        root/cache/               the queue's shared solve cache
-                                  (see JobService.cache_dir)
-
-    Durability model: records are written with the ``tmp.<pid>`` +
-    ``os.replace`` idiom, so readers always see a complete document.
-    Locks only serialize the read-modify-write window; a lock file left
-    behind by a killed process is broken once older than
-    ``lock_timeout_ms``.
-    """
-
-    def __init__(self, root: str | os.PathLike, lock_timeout_ms: float = 5_000.0):
-        self.root = Path(root)
-        self.jobs_dir = self.root / "jobs"
-        self.jobs_dir.mkdir(parents=True, exist_ok=True)
-        if lock_timeout_ms <= 0:
-            raise ValueError(
-                f"lock_timeout_ms must be positive, got {lock_timeout_ms}"
-            )
-        self.lock_timeout_ms = float(lock_timeout_ms)
+    def __init__(self, store: JobStore) -> None:
+        self.store = store
 
     @property
-    def cache_dir(self) -> str:
-        """The queue's shared on-disk solve cache directory.
+    def cache_dir(self) -> str | None:
+        """The queue's shared on-disk solve cache directory, if durable.
 
         Pointing every job's engine here is what makes requeues resume:
         solves a dead worker finished are already on disk, so the next
         worker replays them as cache hits and the final result is
         byte-identical to an uninterrupted run.
         """
-        return str(self.root / "cache")
+        return self.store.cache_dir
 
-    # ------------------------------------------------------------------
-    # Record I/O
-    # ------------------------------------------------------------------
-    def _path(self, job_id: str) -> Path:
-        return self.jobs_dir / f"{job_id}.json"
+    def close(self) -> None:
+        """Release the backend's resources.  Idempotent."""
+        self.store.close()
 
-    def _read(self, path: Path) -> Job:
-        try:
-            payload = json.loads(path.read_text())
-        except FileNotFoundError:
-            raise UnknownJobError(path.stem) from None
-        return Job.from_dict(payload)
-
-    def _write(self, job: Job) -> None:
-        path = self._path(job.job_id)
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(job.as_dict(), indent=2) + "\n")
-        os.replace(tmp, path)
-
-    # ------------------------------------------------------------------
-    # Per-job RMW lock
-    # ------------------------------------------------------------------
-    def _lock_path(self, job_id: str) -> Path:
-        return self.jobs_dir / f"{job_id}.lock"
-
-    def _acquire_lock(self, job_id: str) -> bool:
-        lock = self._lock_path(job_id)
-        try:
-            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            # Break locks orphaned by a kill inside the RMW window.
-            try:
-                age_ms = now_ms() - lock.stat().st_mtime * 1000.0
-            except FileNotFoundError:
-                return False  # holder just released; retry next attempt
-            if age_ms > self.lock_timeout_ms:
-                try:
-                    lock.unlink()
-                except FileNotFoundError:
-                    pass
-            return False
-        with os.fdopen(fd, "w") as handle:
-            handle.write(f"{os.getpid()}\n")
-        return True
-
-    def _release_lock(self, job_id: str) -> None:
-        try:
-            self._lock_path(job_id).unlink()
-        except FileNotFoundError:
-            pass
-
-    def _with_lock(self, job_id: str, attempts: int = 50):
-        """Context manager: acquire the RMW lock, spinning briefly."""
-        return _JobLock(self, job_id, attempts)
-
-    # ------------------------------------------------------------------
-    # JobRepository API
-    # ------------------------------------------------------------------
     def submit(self, job: Job) -> Job:
+        """Store a fresh job; returns the stored copy (version 0)."""
         stored = replace(job, version=0)
-        path = self._path(job.job_id)
-        if path.exists():
-            raise ValueError(f"job {job.job_id} already exists")
-        self._write(stored)
+        self.store.insert(stored)
         return stored
 
     def get(self, job_id: str) -> Job:
-        return self._read(self._path(job_id))
+        """The current stored copy; raises :class:`UnknownJobError`."""
+        return self.store.read(job_id)
 
     def update(self, job: Job) -> Job:
-        with self._with_lock(job.job_id):
-            current = self.get(job.job_id)
-            if current.version != job.version:
+        """Store an evolved copy.
+
+        ``job.version`` must equal the stored version; the returned copy
+        carries ``version + 1``.  Raises :class:`StaleJobError` on a
+        mismatch (annotated with the lease epochs when the writer's
+        fencing token is stale -- the zombie-worker signature) and
+        :class:`UnknownJobError` for a vanished job.
+        """
+        stored = replace(job, version=job.version + 1)
+        try:
+            self.store.replace(stored, expected_version=job.version)
+        except StaleJobError as exc:
+            current = self.store.read(job.job_id)
+            if current.epoch != job.epoch:
                 raise StaleJobError(
-                    f"job {job.job_id}: update based on version "
-                    f"{job.version}, stored is {current.version}"
-                )
-            stored = replace(job, version=job.version + 1)
-            self._write(stored)
+                    f"job {job.job_id}: write fenced off -- writer holds "
+                    f"lease epoch {job.epoch}, stored is {current.epoch} "
+                    f"(the job was requeued and re-claimed; stand down)"
+                ) from None
+            raise exc
         return stored
 
     def claim(self, worker_id: str, claim_now_ms: float) -> Job | None:
+        """Atomically claim the oldest PENDING job, or ``None``.
+
+        The claimed job is stored as RUNNING under ``worker_id`` with a
+        freshly stamped fencing epoch (``stored.epoch + 1``) before it
+        is returned; the store's compare-and-swap guarantees no two
+        workers can win the same claim, and the epoch bump guarantees
+        any previous leaseholder's copy is now provably stale.
+        """
         for job in self.list_jobs(state=PENDING):
             if job.cancel_requested:
                 continue
             try:
-                with self._with_lock(job.job_id):
-                    current = self.get(job.job_id)
-                    if current.state != PENDING or current.cancel_requested:
-                        continue
-                    claimed = replace(
-                        current.claimed(worker_id, claim_now_ms),
-                        version=current.version + 1,
-                    )
-                    self._write(claimed)
-                    return claimed
-            except (UnknownJobError, TimeoutError):
-                continue  # purged or contended underneath us; next candidate
+                current = self.store.read(job.job_id)
+                if current.state != PENDING or current.cancel_requested:
+                    continue
+                claimed = current.claimed(
+                    worker_id, claim_now_ms, epoch=current.epoch + 1
+                )
+                return self.update(claimed)
+            except (UnknownJobError, StaleJobError, TimeoutError):
+                continue  # purged, raced or contended underneath us
         return None
 
     def list_jobs(self, state: str | None = None) -> list[Job]:
-        jobs = []
-        for path in self.jobs_dir.glob("*.json"):
-            try:
-                jobs.append(self._read(path))
-            except UnknownJobError:
-                continue  # deleted between glob and read
+        """All jobs (optionally filtered by state), oldest first."""
+        jobs = self.store.scan()
         if state is not None:
             jobs = [j for j in jobs if j.state == state]
         return sorted(jobs, key=lambda j: (j.created_ms, j.job_id))
 
     def delete(self, job_id: str) -> None:
-        try:
-            self._path(job_id).unlink()
-        except FileNotFoundError:
-            raise UnknownJobError(job_id) from None
-        self._release_lock(job_id)
+        """Remove a job record; raises :class:`UnknownJobError`."""
+        self.store.remove(job_id)
 
 
-class _JobLock:
-    """``with``-style wrapper around the repository's per-job RMW lock."""
+class MemoryJobRepository(JobRepository):
+    """In-process repository over a :class:`MemoryJobStore`.
 
-    def __init__(self, repo: FileJobRepository, job_id: str, attempts: int):
-        self.repo = repo
-        self.job_id = job_id
-        self.attempts = attempts
+    Supports multi-threaded workers (the HTTP front end executes jobs on
+    threads) but naturally not multi-process ones -- that is what the
+    durable backends are for.
+    """
 
-    def __enter__(self) -> None:
-        delay_ms = 2.0
-        for _ in range(self.attempts):
-            if self.repo._acquire_lock(self.job_id):
-                return
-            time.sleep(delay_ms / 1000.0)
-            delay_ms = min(delay_ms * 1.5, 100.0)
-        raise TimeoutError(
-            f"could not lock job {self.job_id} after {self.attempts} attempts"
+    def __init__(self) -> None:
+        super().__init__(MemoryJobStore())
+
+
+class FileJobRepository(JobRepository):
+    """Crash-safe JSON-dir repository over a :class:`FileJobStore`.
+
+    See the store for the durability model; ``jobs_dir``/``root`` and
+    the lock knobs are re-exposed here for callers and tests.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        lock_timeout_ms: float = 5_000.0,
+        lock_acquire_timeout_ms: float = 30_000.0,
+    ):
+        super().__init__(
+            FileJobStore(
+                root,
+                lock_timeout_ms=lock_timeout_ms,
+                lock_acquire_timeout_ms=lock_acquire_timeout_ms,
+            )
         )
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.repo._release_lock(self.job_id)
+    @property
+    def root(self):
+        return self.store.root
+
+    @property
+    def jobs_dir(self):
+        return self.store.jobs_dir
+
+    @property
+    def lock_timeout_ms(self) -> float:
+        return self.store.lock_timeout_ms
+
+
+class SqliteJobRepository(JobRepository):
+    """WAL-mode SQLite repository over a :class:`SqliteJobStore`."""
+
+    def __init__(self, root: str | os.PathLike, busy_timeout_ms: float = 10_000.0):
+        super().__init__(SqliteJobStore(root, busy_timeout_ms=busy_timeout_ms))
+
+    @property
+    def root(self):
+        return self.store.root
+
+    @property
+    def db_path(self):
+        return self.store.db_path
+
+
+def open_repository(root: str | os.PathLike, backend: str = "auto") -> JobRepository:
+    """Open the durable repository at ``root`` with the chosen backend.
+
+    ``backend`` is ``"file"`` (JSON-dir), ``"sqlite"``, or ``"auto"``:
+    auto re-opens whatever backend already lives at ``root`` (an
+    existing ``jobs.sqlite3`` wins over an existing ``jobs/`` dir) and
+    defaults to the JSON-dir layout for a fresh root, so existing queues
+    keep working untouched.
+    """
+    from pathlib import Path
+
+    root = Path(root)
+    if backend == "auto":
+        if (root / "jobs.sqlite3").exists():
+            backend = "sqlite"
+        elif (root / "jobs").is_dir():
+            backend = "file"
+        else:
+            backend = "file"
+    if backend == "file":
+        return FileJobRepository(root)
+    if backend == "sqlite":
+        return SqliteJobRepository(root)
+    raise ValueError(
+        f"unknown job-store backend {backend!r}; choose from auto, file, sqlite"
+    )

@@ -1,0 +1,186 @@
+"""SQLite :class:`~repro.jobs.store.JobStore` backend.
+
+One ``jobs`` table in a WAL-mode database: WAL gives crash-atomic
+commits (a reader never sees a half-written record; a process killed
+mid-transaction rolls back on the next open) and lets readers proceed
+while a writer commits.  The optimistic-concurrency primitive is a
+*single-statement* compare-and-swap::
+
+    UPDATE jobs SET ... WHERE job_id = ? AND version = ?
+
+whose rowcount tells the writer whether it held the current version --
+no read-modify-write window, hence no per-job lock files at all.
+Cross-process serialization is SQLite's own (``busy_timeout`` retries
+writer collisions); in-process threads share one connection behind an
+``RLock``.
+
+Chaos hooks: the write paths carry the same ``disk_full`` / ``torn_write``
+fault points as the JSON-dir backend; ``torn_write`` fires *inside* the
+transaction, before commit, so the rollback must preserve the old record
+-- which is exactly what the soak harness asserts.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.faults import InjectedKill, fire as _fault_fire
+from repro.jobs.lifecycle import Job
+from repro.jobs.store import JobStore, StaleJobError, UnknownJobError
+
+__all__ = ["SqliteJobStore"]
+
+_SCHEMA = """\
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id     TEXT PRIMARY KEY,
+    version    INTEGER NOT NULL,
+    state      TEXT NOT NULL,
+    created_ms REAL NOT NULL,
+    payload    TEXT NOT NULL
+)
+"""
+
+
+class SqliteJobStore(JobStore):
+    """Durable job records in a single WAL-mode SQLite database.
+
+    Layout under ``root``::
+
+        root/jobs.sqlite3   the database (plus SQLite's -wal/-shm)
+        root/cache/         the queue's shared solve cache
+
+    The full record is stored as its JSON document in ``payload``;
+    ``version``/``state``/``created_ms`` are mirrored into columns so the
+    CAS and the claim scan are single indexed statements.
+    """
+
+    def __init__(self, root: str | os.PathLike, busy_timeout_ms: float = 10_000.0):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.db_path = self.root / "jobs.sqlite3"
+        if busy_timeout_ms <= 0:
+            raise ValueError(
+                f"busy_timeout_ms must be positive, got {busy_timeout_ms}"
+            )
+        self.busy_timeout_ms = float(busy_timeout_ms)
+        # One connection shared by all threads of this process, guarded
+        # by an RLock (sqlite3 objects are not thread-safe by default);
+        # cross-process writers are serialized by SQLite itself.
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.db_path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_ms)}")
+        with self._lock, self._conn:
+            self._conn.execute(_SCHEMA)
+
+    @property
+    def cache_dir(self) -> str:
+        return str(self.root / "cache")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Fault hooks shared by both write statements
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pre_write_faults() -> None:
+        """Fires ``disk_full`` before any byte lands."""
+        if _fault_fire("disk_full"):
+            raise OSError(
+                errno.ENOSPC, "database or disk is full (injected)"
+            )
+
+    @staticmethod
+    def _in_transaction_faults(job_id: str) -> None:
+        """Fires ``torn_write`` inside the open transaction.
+
+        The ``with conn`` block rolls the statement back, so the durable
+        record keeps its pre-transaction value -- the SQLite analogue of
+        dying between the ``tmp.<pid>`` write and ``os.replace``.
+        """
+        if _fault_fire("torn_write"):
+            raise InjectedKill(
+                f"torn_write: killed inside transaction for job {job_id}"
+            )
+
+    # ------------------------------------------------------------------
+    # JobStore API
+    # ------------------------------------------------------------------
+    def insert(self, job: Job) -> None:
+        self._pre_write_faults()
+        try:
+            with self._lock, self._conn:
+                self._conn.execute(
+                    "INSERT INTO jobs (job_id, version, state, created_ms, payload) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        job.job_id,
+                        job.version,
+                        job.state,
+                        job.created_ms,
+                        json.dumps(job.as_dict()),
+                    ),
+                )
+                self._in_transaction_faults(job.job_id)
+        except sqlite3.IntegrityError:
+            raise ValueError(f"job {job.job_id} already exists") from None
+
+    def read(self, job_id: str) -> Job:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownJobError(job_id)
+        return Job.from_dict(json.loads(row[0]))
+
+    def replace(self, job: Job, expected_version: int) -> None:
+        self._pre_write_faults()
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET version = ?, state = ?, payload = ? "
+                "WHERE job_id = ? AND version = ?",
+                (
+                    job.version,
+                    job.state,
+                    json.dumps(job.as_dict()),
+                    job.job_id,
+                    expected_version,
+                ),
+            )
+            self._in_transaction_faults(job.job_id)
+            if cursor.rowcount == 0:
+                # Lost the CAS: distinguish a vanished job from a stale
+                # copy inside the same transaction for a coherent error.
+                row = self._conn.execute(
+                    "SELECT version FROM jobs WHERE job_id = ?",
+                    (job.job_id,),
+                ).fetchone()
+                if row is None:
+                    raise UnknownJobError(job.job_id)
+                raise StaleJobError(
+                    f"job {job.job_id}: update based on version "
+                    f"{expected_version}, stored is {row[0]}"
+                )
+
+    def scan(self) -> list[Job]:
+        with self._lock:
+            rows = self._conn.execute("SELECT payload FROM jobs").fetchall()
+        return [Job.from_dict(json.loads(row[0])) for row in rows]
+
+    def remove(self, job_id: str) -> None:
+        self._pre_write_faults()
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM jobs WHERE job_id = ?", (job_id,)
+            )
+            if cursor.rowcount == 0:
+                raise UnknownJobError(job_id)

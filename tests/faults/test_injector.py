@@ -111,3 +111,56 @@ class TestPlanPrecedence:
         monkeypatch.setenv(faults.ENV_FAULTS, "not_a_point")
         with pytest.raises(ValueError, match="unknown fault point"):
             faults.fire("logred_overflow")
+
+
+class TestParamPayload:
+    def test_param_parses_as_float(self):
+        plan = faults.parse_spec("clock_skew:param=-45000")
+        assert plan.param("clock_skew") == -45_000.0
+
+    def test_fire_value_returns_the_param(self):
+        with faults.inject("clock_skew:param=250"):
+            assert faults.fire_value("clock_skew") == 250.0
+
+    def test_fire_value_none_when_not_firing(self):
+        assert faults.fire_value("clock_skew") is None  # no plan
+        with faults.inject("clock_skew:rate=0:param=250"):
+            assert faults.fire_value("clock_skew") is None  # rate miss
+
+    def test_fire_value_none_without_param(self):
+        with faults.inject("clock_skew"):
+            assert faults.fire_value("clock_skew") is None
+
+    def test_fire_value_advances_the_same_counters(self):
+        with faults.inject("clock_skew:after=1:param=5") as plan:
+            assert faults.fire_value("clock_skew") is None  # eaten by after
+            assert faults.fire_value("clock_skew") == 5.0
+            assert plan.checks("clock_skew") == 2
+
+    def test_injected_kill_tears_through_except_exception(self):
+        from repro.faults import InjectedKill
+
+        assert not issubclass(InjectedKill, Exception)
+        assert issubclass(InjectedKill, BaseException)
+
+    def test_repository_fault_points_are_known(self):
+        for point in ("torn_write", "disk_full", "clock_skew", "lock_orphan"):
+            assert point in faults.KNOWN_FAULT_POINTS
+
+
+class TestClockSkew:
+    def test_now_ms_honours_clock_skew(self):
+        import time
+
+        from repro.jobs.store import now_ms
+
+        with faults.inject("clock_skew:param=-60000"):
+            skewed = now_ms()
+        assert abs((time.time() * 1000.0 - 60_000.0) - skewed) < 5_000.0
+
+    def test_now_ms_unskewed_without_plan(self):
+        import time
+
+        from repro.jobs.store import now_ms
+
+        assert abs(now_ms() - time.time() * 1000.0) < 5_000.0

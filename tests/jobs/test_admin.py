@@ -1,11 +1,18 @@
-"""Admin-facade tests: stats, bulk cancel, purge."""
+"""Admin-facade tests: stats, bulk cancel, purge, quarantine shelf."""
+
+import pytest
 
 from repro.jobs import (
     CANCELLED,
     COMPLETED,
     PENDING,
+    QUARANTINED,
     AdminService,
+    InvalidTransition,
+    Job,
+    JobSpec,
 )
+from repro.jobs.repository import now_ms
 
 
 class TestStats:
@@ -18,6 +25,7 @@ class TestStats:
             "completed",
             "failed",
             "cancelled",
+            "quarantined",
         }
 
     def test_counts_by_state_and_progress(
@@ -64,3 +72,44 @@ class TestBulkOps:
 
     def test_purge_is_safe_on_empty_queue(self, memory_repo):
         assert AdminService(memory_repo).purge() == []
+
+
+def quarantine_one(repo) -> Job:
+    """Submit, claim and quarantine a job directly through the aggregate."""
+    job = repo.submit(Job.new(JobSpec(figure="fig2"), now_ms()))
+    claimed = repo.claim("dead@unit", now_ms())
+    return repo.update(claimed.quarantined(now_ms(), detail="test poison"))
+
+
+class TestQuarantineShelf:
+    def test_list_shows_only_quarantined_jobs(self, service, memory_repo, tiny_figure):
+        service.submit_figure(tiny_figure)
+        poisoned = quarantine_one(memory_repo)
+        admin = AdminService(memory_repo)
+        assert [j.job_id for j in admin.quarantine_list()] == [poisoned.job_id]
+        assert admin.stats()["states"][QUARANTINED] == 1
+
+    def test_release_returns_the_job_to_pending(self, memory_repo):
+        poisoned = quarantine_one(memory_repo)
+        released = AdminService(memory_repo).quarantine_release(poisoned.job_id)
+        assert released.state == PENDING
+        assert released.retries == 0
+        assert released.error is None
+        # The forensics history is preserved, capped with the release marker.
+        assert [a.outcome for a in released.attempts] == [
+            "worker-died",
+            "released",
+        ]
+        # And it is claimable again.
+        assert memory_repo.claim("next@unit", now_ms()) is not None
+
+    def test_release_of_non_quarantined_job_raises(self, service, memory_repo, tiny_figure):
+        job = service.submit_figure(tiny_figure)
+        with pytest.raises(InvalidTransition):
+            AdminService(memory_repo).quarantine_release(job.job_id)
+
+    def test_purge_keeps_quarantined_jobs_by_default(self, memory_repo):
+        poisoned = quarantine_one(memory_repo)
+        admin = AdminService(memory_repo)
+        assert admin.purge() == []
+        assert admin.purge(include_quarantined=True) == [poisoned.job_id]

@@ -92,3 +92,42 @@ class TestRoundTrip:
     def test_unknown_job_exits_nonzero(self, queue_dir):
         result = cli(queue_dir, "status", "nope", check=False)
         assert result.returncode == 2
+
+
+class TestBackendSelection:
+    def test_sqlite_round_trip(self, queue_dir):
+        job_id = cli(
+            queue_dir, "--backend", "sqlite", "submit", "fig2"
+        ).stdout.strip()
+        assert (Path(queue_dir) / "jobs.sqlite3").exists()
+        # auto re-opens the sqlite backend without being told.
+        cli(queue_dir, "worker")
+        result = cli(queue_dir, "result", job_id).stdout
+        assert result == execute_figure("fig2") + "\n"
+
+    def test_auto_keeps_using_the_file_backend(self, queue_dir):
+        cli(queue_dir, "submit", "fig2")
+        assert not (Path(queue_dir) / "jobs.sqlite3").exists()
+        assert (Path(queue_dir) / "jobs").is_dir()
+        listing = cli(queue_dir, "--backend", "auto", "list").stdout
+        assert "fig2" in listing
+
+
+class TestQuarantineCommands:
+    def test_quarantine_list_empty(self, queue_dir):
+        cli(queue_dir, "submit", "fig2")
+        assert cli(queue_dir, "admin", "quarantine-list").stdout == ""
+
+    def test_release_requires_a_job_id(self, queue_dir):
+        cli(queue_dir, "submit", "fig2")
+        result = cli(queue_dir, "admin", "quarantine-release", check=False)
+        assert result.returncode == 2
+        assert "needs a job id" in result.stderr
+
+    def test_release_of_non_quarantined_job_exits_nonzero(self, queue_dir):
+        job_id = cli(queue_dir, "submit", "fig2").stdout.strip()
+        result = cli(
+            queue_dir, "admin", "quarantine-release", job_id, check=False
+        )
+        assert result.returncode == 4
+        assert "illegal transition" in result.stderr

@@ -120,3 +120,42 @@ class TestErrors:
         with pytest.raises(HTTPError) as excinfo:
             get(f"{base_url}/jobs?state=exploded")
         assert excinfo.value.code == 400
+
+
+class TestQuarantineRoutes:
+    def quarantine_one(self, memory_repo):
+        from repro.jobs import Job, JobSpec
+        from repro.jobs.repository import now_ms
+
+        memory_repo.submit(Job.new(JobSpec(figure="fig2"), now_ms()))
+        claimed = memory_repo.claim("dead@unit", now_ms())
+        return memory_repo.update(claimed.quarantined(now_ms()))
+
+    def test_quarantine_list_route(self, base_url, memory_repo):
+        _, empty = get(f"{base_url}/admin/quarantine")
+        assert empty == []
+        poisoned = self.quarantine_one(memory_repo)
+        _, listed = get(f"{base_url}/admin/quarantine")
+        assert [j["job_id"] for j in listed] == [poisoned.job_id]
+        assert listed[0]["attempts"][0]["outcome"] == "worker-died"
+
+    def test_quarantine_release_route(self, base_url, memory_repo):
+        poisoned = self.quarantine_one(memory_repo)
+        status, released = post(
+            f"{base_url}/admin/quarantine/{poisoned.job_id}/release"
+        )
+        assert status == 200
+        assert released["state"] == "pending"
+
+    def test_release_of_unquarantined_job_is_409(
+        self, base_url, memory_repo, tiny_figure
+    ):
+        status, job = post(f"{base_url}/jobs", {"figure": tiny_figure})
+        with pytest.raises(HTTPError) as excinfo:
+            post(f"{base_url}/admin/quarantine/{job['job_id']}/release")
+        assert excinfo.value.code == 409
+
+    def test_release_of_unknown_job_is_404(self, base_url):
+        with pytest.raises(HTTPError) as excinfo:
+            post(f"{base_url}/admin/quarantine/nope/release")
+        assert excinfo.value.code == 404

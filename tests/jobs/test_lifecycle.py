@@ -7,6 +7,7 @@ from repro.jobs import (
     COMPLETED,
     FAILED,
     PENDING,
+    QUARANTINED,
     RUNNING,
     STATES,
     TERMINAL_STATES,
@@ -30,8 +31,11 @@ class TestStateMachine:
 
     def test_transition_table_is_exhaustive(self):
         assert set(TRANSITIONS) == set(STATES)
-        for state in TERMINAL_STATES:
+        for state in TERMINAL_STATES - {QUARANTINED}:
             assert TRANSITIONS[state] == frozenset()
+        # QUARANTINED is terminal for workers but has exactly one exit:
+        # the operator release back to PENDING.
+        assert TRANSITIONS[QUARANTINED] == frozenset({PENDING})
 
     def test_claim_starts_the_job(self):
         job = fresh().claimed("w@h", 2_000.0)
@@ -84,6 +88,7 @@ class TestStateMachine:
             COMPLETED: lambda: job.completed("r", 3_000.0),
             FAILED: lambda: job.failed("e", 3_000.0),
             CANCELLED: lambda: job.cancelled(3_000.0),
+            QUARANTINED: lambda: job.quarantined(3_000.0),
         }[terminal]()
         with pytest.raises(InvalidTransition):
             job.claimed("w@h", 4_000.0)

@@ -9,19 +9,23 @@ from repro.jobs import (
     FileJobRepository,
     Job,
     JobSpec,
+    LockContentionError,
     MemoryJobRepository,
     PENDING,
     RUNNING,
+    SqliteJobRepository,
     StaleJobError,
     UnknownJobError,
 )
-from repro.jobs.repository import now_ms
+from repro.jobs.repository import now_ms, open_repository
 
 
-@pytest.fixture(params=["memory", "file"])
+@pytest.fixture(params=["memory", "file", "sqlite"])
 def repo(request, tmp_path):
     if request.param == "memory":
         return MemoryJobRepository()
+    if request.param == "sqlite":
+        return SqliteJobRepository(tmp_path / "queue")
     return FileJobRepository(tmp_path / "queue")
 
 
@@ -144,3 +148,104 @@ class TestFileRepository:
     def test_invalid_lock_timeout_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="lock_timeout_ms"):
             FileJobRepository(tmp_path / "q", lock_timeout_ms=0)
+
+    def test_contended_lock_raises_typed_timeout(self, tmp_path):
+        """A held lock must surface LockContentionError, not hang the CLI."""
+        repo = FileJobRepository(
+            tmp_path / "q",
+            lock_timeout_ms=60_000.0,  # holder is not presumed dead
+            lock_acquire_timeout_ms=150.0,
+        )
+        job = submit(repo)
+        (repo.jobs_dir / f"{job.job_id}.lock").write_text("live-holder\n")
+        with pytest.raises(LockContentionError, match="could not lock"):
+            repo.update(job.claimed("w@h", now_ms()))
+        # Typed as a TimeoutError so claim loops keep skipping contended
+        # candidates.
+        assert issubclass(LockContentionError, TimeoutError)
+
+    def test_contended_claim_skips_to_next_candidate(self, tmp_path):
+        repo = FileJobRepository(
+            tmp_path / "q",
+            lock_timeout_ms=60_000.0,
+            lock_acquire_timeout_ms=100.0,
+        )
+        blocked = submit(repo, created_ms=1_000.0)
+        free = submit(repo, created_ms=2_000.0)
+        (repo.jobs_dir / f"{blocked.job_id}.lock").write_text("live-holder\n")
+        claimed = repo.claim("w@h", now_ms())
+        assert claimed is not None
+        assert claimed.job_id == free.job_id
+
+    def test_invalid_acquire_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="lock_acquire_timeout_ms"):
+            FileJobRepository(tmp_path / "q", lock_acquire_timeout_ms=-1.0)
+
+
+class TestClaimStampsEpoch:
+    def test_each_claim_bumps_the_fencing_epoch(self, repo):
+        job = submit(repo)
+        first = repo.claim("w1@h", now_ms())
+        assert first.epoch == 1
+        requeued = repo.update(first.requeued(now_ms()))
+        second = repo.claim("w2@h", now_ms())
+        assert second.job_id == requeued.job_id
+        assert second.epoch == 2
+
+    def test_epoch_survives_serialization(self, repo):
+        job = submit(repo)
+        claimed = repo.claim("w@h", now_ms())
+        assert repo.get(job.job_id).epoch == claimed.epoch == 1
+
+
+class TestSqliteRepository:
+    def test_records_live_in_one_database(self, tmp_path):
+        repo = SqliteJobRepository(tmp_path / "q")
+        job = submit(repo)
+        assert repo.db_path.exists()
+        assert repo.get(job.job_id) == job
+
+    def test_two_handles_share_state(self, tmp_path):
+        writer = SqliteJobRepository(tmp_path / "q")
+        reader = SqliteJobRepository(tmp_path / "q")
+        job = submit(writer)
+        assert reader.get(job.job_id) == job
+        writer.update(job.claimed("w@h", now_ms()))
+        assert reader.get(job.job_id).state == RUNNING
+
+    def test_cache_dir_is_inside_the_queue(self, tmp_path):
+        repo = SqliteJobRepository(tmp_path / "q")
+        assert repo.cache_dir == str(tmp_path / "q" / "cache")
+
+    def test_invalid_busy_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="busy_timeout_ms"):
+            SqliteJobRepository(tmp_path / "q", busy_timeout_ms=0)
+
+
+class TestOpenRepository:
+    def test_fresh_root_defaults_to_file_backend(self, tmp_path):
+        repo = open_repository(tmp_path / "q")
+        assert isinstance(repo, FileJobRepository)
+
+    def test_auto_reopens_an_existing_sqlite_queue(self, tmp_path):
+        job = submit(SqliteJobRepository(tmp_path / "q"))
+        repo = open_repository(tmp_path / "q")
+        assert isinstance(repo, SqliteJobRepository)
+        assert repo.get(job.job_id) == job
+
+    def test_auto_reopens_an_existing_file_queue(self, tmp_path):
+        job = submit(FileJobRepository(tmp_path / "q"))
+        repo = open_repository(tmp_path / "q")
+        assert isinstance(repo, FileJobRepository)
+        assert repo.get(job.job_id) == job
+
+    def test_explicit_backends(self, tmp_path):
+        assert isinstance(
+            open_repository(tmp_path / "a", backend="sqlite"),
+            SqliteJobRepository,
+        )
+        assert isinstance(
+            open_repository(tmp_path / "b", backend="file"), FileJobRepository
+        )
+        with pytest.raises(ValueError, match="unknown job-store backend"):
+            open_repository(tmp_path / "c", backend="postgres")

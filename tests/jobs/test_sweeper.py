@@ -1,4 +1,5 @@
-"""Stale-job sweeper tests: dead pids, stale heartbeats, requeue bounds."""
+"""Stale-job sweeper tests: dead pids, stale heartbeats, requeue bounds,
+the poison-job circuit breaker, lease clamping and steal accounting."""
 
 import dataclasses
 import os
@@ -8,11 +9,14 @@ import pytest
 from repro.jobs import (
     FAILED,
     PENDING,
+    QUARANTINED,
     RUNNING,
+    AdminService,
     Job,
     JobSpec,
     StaleJobSweeper,
 )
+from repro.jobs.sweeper import LeaseClampWarning
 from repro.jobs.repository import now_ms
 
 
@@ -90,3 +94,154 @@ class TestSweep:
         claimed = memory_repo.claim("next@worker", now_ms())
         assert claimed is not None
         assert claimed.state == RUNNING
+
+    def test_requeue_attaches_forensics(self, memory_repo):
+        job = running_job(memory_repo, dead_local_worker_id())
+        StaleJobSweeper(memory_repo).sweep()
+        requeued = memory_repo.get(job.job_id)
+        assert len(requeued.attempts) == 1
+        attempt = requeued.attempts[0]
+        assert attempt.outcome == "worker-died"
+        assert attempt.worker_id == job.worker_id
+        assert "pid is gone" in attempt.detail
+
+
+class TestCircuitBreaker:
+    def kill_and_sweep(self, repo, sweeper, rounds):
+        """Claim with a dead pid and sweep, ``rounds`` times."""
+        for _ in range(rounds):
+            claimed = repo.claim(dead_local_worker_id(), now_ms())
+            assert claimed is not None
+            sweeper.sweep()
+
+    def test_consecutive_deaths_trip_quarantine(self, memory_repo):
+        job = memory_repo.submit(
+            Job.new(JobSpec(figure="fig2"), now_ms(), max_retries=10)
+        )
+        sweeper = StaleJobSweeper(memory_repo, quarantine_after=3)
+        self.kill_and_sweep(memory_repo, sweeper, rounds=3)
+        final = memory_repo.get(job.job_id)
+        assert final.state == QUARANTINED
+        assert final.is_terminal
+        assert "3 consecutive worker deaths" in final.error
+        assert len(final.attempts) == 3
+        assert all(a.outcome == "worker-died" for a in final.attempts)
+        assert sweeper.stats.quarantined == 1
+        assert sweeper.stats.requeued == 2
+
+    def test_quarantined_job_is_not_claimable(self, memory_repo):
+        memory_repo.submit(
+            Job.new(JobSpec(figure="fig2"), now_ms(), max_retries=10)
+        )
+        sweeper = StaleJobSweeper(memory_repo, quarantine_after=2)
+        self.kill_and_sweep(memory_repo, sweeper, rounds=2)
+        assert memory_repo.claim("next@worker", now_ms()) is None
+
+    def test_worker_failure_requeues_do_not_count_as_deaths(self, memory_repo):
+        """Outcome "failed" breaks the streak: only deaths trip the breaker."""
+        job = memory_repo.submit(
+            Job.new(JobSpec(figure="fig2"), now_ms(), max_retries=10)
+        )
+        sweeper = StaleJobSweeper(memory_repo, quarantine_after=2)
+        # death, failure, death: never two *consecutive* deaths.
+        claimed = memory_repo.claim(dead_local_worker_id(), now_ms())
+        sweeper.sweep()
+        claimed = memory_repo.claim("alive@unit", now_ms())
+        memory_repo.update(
+            claimed.requeued(now_ms(), outcome="failed", detail="boom")
+        )
+        claimed = memory_repo.claim(dead_local_worker_id(), now_ms())
+        sweeper.sweep()
+        final = memory_repo.get(job.job_id)
+        assert final.state == PENDING
+        assert final.consecutive_worker_deaths == 1
+
+    def test_release_breaks_the_death_streak(self, memory_repo):
+        job = memory_repo.submit(
+            Job.new(JobSpec(figure="fig2"), now_ms(), max_retries=10)
+        )
+        sweeper = StaleJobSweeper(memory_repo, quarantine_after=2)
+        self.kill_and_sweep(memory_repo, sweeper, rounds=2)
+        assert memory_repo.get(job.job_id).state == QUARANTINED
+
+        released = AdminService(memory_repo).quarantine_release(job.job_id)
+        assert released.state == PENDING
+        assert released.retries == 0
+        assert released.consecutive_worker_deaths == 0
+        # One more death does not re-trip the breaker (streak restarted).
+        self.kill_and_sweep(memory_repo, sweeper, rounds=1)
+        assert memory_repo.get(job.job_id).state == PENDING
+
+    def test_quarantine_disabled_falls_back_to_budget(self, memory_repo):
+        job = memory_repo.submit(
+            Job.new(JobSpec(figure="fig2"), now_ms(), max_retries=1)
+        )
+        sweeper = StaleJobSweeper(memory_repo, quarantine_after=None)
+        self.kill_and_sweep(memory_repo, sweeper, rounds=2)
+        final = memory_repo.get(job.job_id)
+        assert final.state == FAILED
+        assert sweeper.stats.failed == 1
+
+    def test_invalid_quarantine_after_rejected(self, memory_repo):
+        with pytest.raises(ValueError, match="quarantine_after"):
+            StaleJobSweeper(memory_repo, quarantine_after=0)
+
+
+class TestLeaseSanity:
+    def slow_job(self, repo, points_done=4, interval_ms=10_000.0):
+        """A RUNNING remote job whose heartbeats are ``interval_ms`` apart."""
+        start_ms = now_ms() - points_done * interval_ms
+        job = Job.new(JobSpec(figure="fig2"), now_ms=start_ms)
+        stored = repo.submit(job)
+        claimed = repo.update(stored.claimed("12345@elsewhere", start_ms))
+        progressed = dataclasses.replace(
+            claimed.progressed(points_done, start_ms + points_done * interval_ms),
+            started_ms=start_ms,
+        )
+        return repo.update(progressed)
+
+    def test_short_lease_is_clamped_for_observed_slow_jobs(self, memory_repo):
+        job = self.slow_job(memory_repo, points_done=4, interval_ms=10_000.0)
+        sweeper = StaleJobSweeper(memory_repo, lease_ms=1_000.0)
+        # Heartbeat 15 s old: inside the clamped lease (2 x 10 s), so the
+        # live-but-slow worker keeps its job despite the 1 s configured lease.
+        with pytest.warns(LeaseClampWarning, match="clamping"):
+            assert not sweeper.is_stale(job, job.heartbeat_ms + 15_000.0)
+        assert sweeper.stats.lease_clamps == 1
+        # 25 s old is beyond even the clamped lease: genuinely stale.
+        with pytest.warns(LeaseClampWarning):
+            assert sweeper.is_stale(job, job.heartbeat_ms + 25_000.0)
+
+    def test_sane_lease_does_not_warn(self, memory_repo):
+        job = self.slow_job(memory_repo, points_done=4, interval_ms=100.0)
+        sweeper = StaleJobSweeper(memory_repo, lease_ms=30_000.0)
+        assert not sweeper.is_stale(job, job.heartbeat_ms + 1_000.0)
+        assert sweeper.stats.lease_clamps == 0
+
+    def test_heartbeat_steals_are_counted(self, memory_repo):
+        running_job(memory_repo, "12345@elsewhere")
+        sweeper = StaleJobSweeper(
+            memory_repo, lease_ms=1_000.0, clock=lambda: now_ms() + 10_000.0
+        )
+        touched = sweeper.sweep()
+        assert len(touched) == 1
+        assert sweeper.stats.steals == 1
+        assert sweeper.stats.requeued == 1
+
+    def test_dead_pid_requeues_are_not_steals(self, memory_repo):
+        running_job(memory_repo, dead_local_worker_id())
+        sweeper = StaleJobSweeper(memory_repo)
+        sweeper.sweep()
+        assert sweeper.stats.steals == 0
+        assert sweeper.stats.requeued == 1
+
+    def test_stats_round_trip_as_dict(self, memory_repo):
+        stats = StaleJobSweeper(memory_repo).stats
+        assert stats.as_dict() == {
+            "swept": 0,
+            "requeued": 0,
+            "failed": 0,
+            "quarantined": 0,
+            "steals": 0,
+            "lease_clamps": 0,
+        }

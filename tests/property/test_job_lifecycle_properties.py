@@ -18,6 +18,7 @@ from repro.jobs import (
     COMPLETED,
     FAILED,
     PENDING,
+    QUARANTINED,
     RUNNING,
     STATES,
     TERMINAL_STATES,
@@ -37,6 +38,8 @@ OPERATIONS = (
     ("fail", FAILED, lambda j, t: j.failed("error", t)),
     ("cancel", None, lambda j, t: j.cancelled(t)),
     ("requeue", PENDING, lambda j, t: j.requeued(t)),
+    ("quarantine", QUARANTINED, lambda j, t: j.quarantined(t)),
+    ("release", PENDING, lambda j, t: j.released(t)),
     ("request_cancel", None, lambda j, t: j.cancel_requested_now(t)),
 )
 

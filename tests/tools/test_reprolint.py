@@ -48,7 +48,7 @@ def codes(violations):
         ("rl006", ["RL006", "RL006", "RL006"]),
         ("rl010", ["RL010", "RL010"]),
         ("rl012", ["RL012", "RL012", "RL012"]),
-        ("rl013", ["RL013", "RL013", "RL013"]),
+        ("rl013", ["RL013", "RL013", "RL013", "RL013"]),
         ("rl014", ["RL014", "RL014", "RL014"]),
         ("rl015", ["RL015", "RL015", "RL015"]),
         ("rl016", ["RL016", "RL016", "RL016", "RL016"]),
@@ -271,13 +271,26 @@ def test_injected_transition_outside_table_is_caught_by_rl012():
     assert "RL012" in codes(lint_source(mutated, path))
 
 
-def test_injected_torn_write_in_repository_is_caught_by_rl013():
-    source, path = _real_source("src/repro/jobs/repository.py")
+def test_injected_torn_write_in_store_is_caught_by_rl013():
+    source, path = _real_source("src/repro/jobs/store.py")
     assert [v for v in lint_source(source, path) if v.code == "RL013"] == []
     mutated = source.replace("        os.replace(tmp, path)\n", "")
     assert mutated != source
     rl013 = [v for v in lint_source(mutated, path) if v.code == "RL013"]
     assert rl013 and "atomic-write idiom" in rl013[0].message
+
+
+def test_injected_autocommit_mutation_in_sqlite_store_is_caught_by_rl013():
+    """Stripping the connection from the transaction context leaves the
+    mutating statements in autocommit mode -- RL013(c) must fire."""
+    source, path = _real_source("src/repro/jobs/sqlite_store.py")
+    assert [v for v in lint_source(source, path) if v.code == "RL013"] == []
+    mutated = source.replace(
+        "with self._lock, self._conn:", "with self._lock:"
+    )
+    assert mutated != source
+    rl013 = [v for v in lint_source(mutated, path) if v.code == "RL013"]
+    assert rl013 and "autocommit" in rl013[0].message
 
 
 def test_injected_swallowed_contract_violation_is_caught_by_rl014():

@@ -156,13 +156,17 @@ RULE_DOCS: dict[str, RuleDoc] = {
     "RL013": RuleDoc(
         rationale=(
             "Durable repository/cache writes must be crash-atomic "
-            "(tmp.<pid> + os.replace) and O_EXCL lock fds must close on "
-            "all paths, or a SIGKILL leaves torn files and dead locks."
+            "(tmp.<pid> + os.replace for files; a 'with conn:' "
+            "transaction for SQLite, which commits or rolls back as one "
+            "unit) and O_EXCL lock fds must close on all paths, or a "
+            "SIGKILL leaves torn files, half-applied updates and dead "
+            "locks."
         ),
         example="path.write_text(payload)  # torn on crash",
         fix=(
-            "Write to a tmp.<pid> sibling and os.replace it; wrap lock "
-            "fds in try/finally (--fix wraps simple locks)."
+            "Write to a tmp.<pid> sibling and os.replace it; run "
+            "mutating SQL inside 'with conn:'; wrap lock fds in "
+            "try/finally (--fix wraps simple locks)."
         ),
     ),
     "RL014": RuleDoc(

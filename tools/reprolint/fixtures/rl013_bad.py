@@ -1,7 +1,8 @@
-"""Fixture: torn durable writes and a leakable lock fd (RL013 x3)."""
+"""Fixture: torn durable writes, a leakable lock fd, autocommit SQL (RL013 x4)."""
 
 import json
 import os
+import sqlite3
 
 
 class Ledger:
@@ -26,3 +27,14 @@ class Ledger:
         os.write(fd, b"held\n")
         os.close(fd)
         return lock
+
+
+class SqlLedger:
+    def __init__(self, root):
+        self.conn = sqlite3.connect(root / "ledger.sqlite3")
+
+    def save(self, key, payload):
+        # RL013: autocommit mutation -- no rollback point on a crash.
+        self.conn.execute(
+            "UPDATE ledger SET payload = ? WHERE key = ?", (payload, key)
+        )

@@ -1050,6 +1050,88 @@ def rl013_durable_write_discipline(tree: ast.AST, path: str) -> Iterator[Violati
                         "try/finally, or a raising path leaks the lock "
                         "forever (--fix wraps simple cases)",
                     )
+        # (c) mutating SQL in autocommit mode (outside ``with conn:``)
+        yield from _rl013_sqlite_autocommit(func, path)
+
+
+#: SQL verbs that mutate durable state.  SELECT/PRAGMA/CREATE are exempt:
+#: reads are harmless and idempotent schema setup is a single statement.
+_SQLITE_MUTATING = frozenset({"insert", "update", "delete", "replace"})
+
+
+def _looks_like_connection(expr: ast.expr) -> bool:
+    """Name-seeded detection, like the shape layer: a receiver whose
+    final segment is ``conn``-ish (``self._conn``, ``conn``,
+    ``connection``) is taken to be a sqlite connection."""
+    if isinstance(expr, ast.Attribute):
+        segment = expr.attr
+    elif isinstance(expr, ast.Name):
+        segment = expr.id
+    else:
+        return False
+    return "conn" in segment.lower()
+
+
+def _rl013_sqlite_autocommit(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, path: str
+) -> Iterator[Violation]:
+    """RL013(c): mutating SQL executed outside the connection's own
+    transaction context.
+
+    ``with conn:`` wraps the enclosed statements in one transaction --
+    committed together, rolled back together on an exception -- which is
+    the SQLite analogue of the ``tmp.<pid>`` + ``os.replace`` idiom and
+    therefore *satisfies* the durable-write discipline.  A mutating
+    ``conn.execute(...)`` in autocommit mode leaves no rollback point: a
+    crash between statements durably applies half an update, the
+    transactional form of a torn file.
+    """
+
+    def visit(node: ast.AST, active: tuple[str, ...]) -> Iterator[Violation]:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            and node is not func
+        ):
+            return  # nested scopes are linted on their own
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            grown = active + tuple(
+                ast.unparse(item.context_expr) for item in node.items
+            )
+            for child in node.body:
+                yield from visit(child, grown)
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"execute", "executemany", "executescript"}
+            and node.args
+            and _looks_like_connection(node.func.value)
+        ):
+            sql = node.args[0]
+            if isinstance(sql, ast.Constant) and isinstance(sql.value, str):
+                words = sql.value.split()
+                head = words[0].lower() if words else ""
+                if (
+                    head in _SQLITE_MUTATING
+                    and ast.unparse(node.func.value) not in active
+                ):
+                    yield Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "RL013",
+                        f"mutating SQL ({head.upper()}) on "
+                        f"{ast.unparse(node.func.value)!r} in autocommit "
+                        "mode; run it inside 'with "
+                        f"{ast.unparse(node.func.value)}:' so the write "
+                        "commits or rolls back as one transaction (the "
+                        "SQLite form of the atomic-write idiom)",
+                    )
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, active)
+
+    for stmt in func.body:
+        yield from visit(stmt, ())
 
 
 def _assigned_names_of_call(
